@@ -1,0 +1,260 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per
+// table and figure. They report the *simulated* metrics (cycles, IPC,
+// backend-bound share, bits/cycle, µs) through b.ReportMetric, so
+// `go test -bench=. -benchmem` prints the same quantities the paper
+// plots; wall-clock ns/op measures only the simulator itself.
+package vransim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vransim/internal/bench"
+	"vransim/internal/cache"
+	"vransim/internal/core"
+	"vransim/internal/pipeline"
+	"vransim/internal/simd"
+	"vransim/internal/transport"
+	"vransim/internal/uarch"
+)
+
+// BenchmarkTable1CacheHierarchies measures raw hierarchy lookup cost and
+// reports each node's geometry-driven average load latency over a 2 MB
+// pseudo-random working set (the Table 1 contrast).
+func BenchmarkTable1CacheHierarchies(b *testing.B) {
+	for _, cfg := range []cache.Config{cache.WimpyNode, cache.BeefyNode} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			h := cache.NewHierarchy(cfg)
+			var addr, total int64
+			for i := 0; i < b.N; i++ {
+				addr = (addr*6364136223846793005 + 1442695040888963407) % (2 << 20)
+				if addr < 0 {
+					addr = -addr
+				}
+				total += int64(h.Load(addr))
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "cycles/load")
+		})
+	}
+}
+
+// benchPipeline runs one uplink/downlink packet per iteration and
+// reports the simulated per-packet time.
+func benchPipeline(b *testing.B, downlink bool, strat core.Strategy) {
+	cfg := pipeline.DefaultConfig(simd.W128, strat, transport.UDP, 256)
+	cfg.Iters = 1
+	var us float64
+	for i := 0; i < b.N; i++ {
+		var res *pipeline.Result
+		var err error
+		if downlink {
+			res, err = pipeline.RunDownlink(cfg)
+		} else {
+			res, err = pipeline.RunUplink(cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.PayloadOK {
+			b.Fatal("payload corrupted")
+		}
+		us = res.TotalUs
+	}
+	b.ReportMetric(us, "sim-µs/packet")
+}
+
+// BenchmarkFig3UplinkModules regenerates the uplink profile workload.
+func BenchmarkFig3UplinkModules(b *testing.B) {
+	benchPipeline(b, false, core.StrategyExtract)
+}
+
+// BenchmarkFig4DownlinkModules regenerates the downlink profile workload.
+func BenchmarkFig4DownlinkModules(b *testing.B) {
+	benchPipeline(b, true, core.StrategyExtract)
+}
+
+// BenchmarkFig5UplinkTopDown reports the uplink turbo-decoding module's
+// backend-bound share (the Figure 5 hotspot).
+func BenchmarkFig5UplinkTopDown(b *testing.B) {
+	cfg := pipeline.DefaultConfig(simd.W128, core.StrategyExtract, transport.UDP, 256)
+	cfg.Iters = 1
+	var be float64
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.RunUplink(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st, ok := res.Stage("arrangement"); ok {
+			be = st.TD.BackendBound
+		}
+	}
+	b.ReportMetric(100*be, "arr-backend-%")
+}
+
+// BenchmarkFig6DownlinkTopDown reports the downlink scrambling module's
+// retiring share (a near-ideal module in Figure 6).
+func BenchmarkFig6DownlinkTopDown(b *testing.B) {
+	cfg := pipeline.DefaultConfig(simd.W128, core.StrategyExtract, transport.UDP, 256)
+	cfg.Iters = 1
+	var ret float64
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.RunDownlink(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st, ok := res.Stage("scramble"); ok {
+			ret = st.TD.Retiring
+		}
+	}
+	b.ReportMetric(100*ret, "scramble-retiring-%")
+}
+
+// BenchmarkFig7InstrClasses reports per-kernel IPC on both platforms.
+func BenchmarkFig7InstrClasses(b *testing.B) {
+	kinds := []bench.KernelKind{
+		bench.KernelPAdds, bench.KernelPSubs, bench.KernelPMax,
+		bench.KernelPExtract, bench.KernelScalarOFDM,
+	}
+	for _, k := range kinds {
+		for _, p := range []uarch.Platform{uarch.WimpyPlatform(), uarch.BeefyPlatform()} {
+			b.Run(fmt.Sprintf("%s/%s", k, p.Caches.Name), func(b *testing.B) {
+				insts := bench.BuildKernel(k, simd.W128, 2000, 2<<20)
+				var ipc float64
+				for i := 0; i < b.N; i++ {
+					ipc = bench.SimKernel(insts, p).IPC()
+				}
+				b.ReportMetric(ipc, "sim-IPC")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8Bandwidth reports the arrangement's store bandwidth per
+// width and mechanism.
+func BenchmarkFig8Bandwidth(b *testing.B) {
+	for _, w := range simd.Widths {
+		for _, s := range []core.Strategy{core.StrategyExtract, core.StrategyAPCM} {
+			b.Run(fmt.Sprintf("%s/%s", w, core.ByStrategy(s).Name()), func(b *testing.B) {
+				insts := bench.ArrangeWorkload(s, w, 2048)
+				var bw float64
+				for i := 0; i < b.N; i++ {
+					bw = bench.SimKernel(insts, uarch.WimpyPlatform()).StoreBitsPerCycle()
+				}
+				b.ReportMetric(bw, "bits/cycle")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9DecoderWidths reports the arrangement share of decoding
+// per width and mechanism.
+func BenchmarkFig9DecoderWidths(b *testing.B) {
+	for _, w := range simd.Widths {
+		for _, s := range []core.Strategy{core.StrategyExtract, core.StrategyAPCM} {
+			b.Run(fmt.Sprintf("%s/%s", w, core.ByStrategy(s).Name()), func(b *testing.B) {
+				var share float64
+				for i := 0; i < b.N; i++ {
+					ph, err := bench.DecodePhases(s, w, 512, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					share = ph.Us("arrangement") / ph.TotalUs()
+				}
+				b.ReportMetric(100*share, "arr-share-%")
+			})
+		}
+	}
+}
+
+// BenchmarkFig13PacketLatency reports simulated per-packet processing
+// time for the Figure 13 sweep corners.
+func BenchmarkFig13PacketLatency(b *testing.B) {
+	for _, proto := range []transport.Proto{transport.UDP, transport.TCP} {
+		for _, size := range []int{256, 1024} {
+			for _, s := range []core.Strategy{core.StrategyExtract, core.StrategyAPCM} {
+				b.Run(fmt.Sprintf("%s/%dB/%s", proto, size, core.ByStrategy(s).Name()), func(b *testing.B) {
+					cfg := pipeline.DefaultConfig(simd.W128, s, proto, size)
+					cfg.Iters = 1
+					var us float64
+					for i := 0; i < b.N; i++ {
+						res, err := pipeline.RunUplink(cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						us = res.TotalUs
+					}
+					b.ReportMetric(us, "sim-µs/packet")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig14Arrangement reports the arrangement CPU-time reduction
+// per width.
+func BenchmarkFig14Arrangement(b *testing.B) {
+	for _, w := range simd.Widths {
+		b.Run(w.String(), func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				po, err := bench.DecodePhases(core.StrategyExtract, w, 512, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pa, err := bench.DecodePhases(core.StrategyAPCM, w, 512, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				red = 1 - pa.Us("arrangement")/po.Us("arrangement")
+			}
+			b.ReportMetric(100*red, "arr-reduction-%")
+		})
+	}
+}
+
+// BenchmarkFig15TopDown reports the arrangement backend-bound share per
+// mechanism.
+func BenchmarkFig15TopDown(b *testing.B) {
+	for _, s := range []core.Strategy{core.StrategyExtract, core.StrategyAPCM} {
+		b.Run(core.ByStrategy(s).Name(), func(b *testing.B) {
+			insts := bench.ArrangeWorkload(s, simd.W128, 2048)
+			var be float64
+			for i := 0; i < b.N; i++ {
+				be = bench.SimKernel(insts, uarch.WimpyPlatform()).TopDown.BackendBound
+			}
+			b.ReportMetric(100*be, "backend-%")
+		})
+	}
+}
+
+// BenchmarkFig16Throughput reports simulated Mbps per core.
+func BenchmarkFig16Throughput(b *testing.B) {
+	for _, s := range []core.Strategy{core.StrategyExtract, core.StrategyAPCM} {
+		b.Run(core.ByStrategy(s).Name(), func(b *testing.B) {
+			cfg := pipeline.DefaultConfig(simd.W128, s, transport.UDP, 512)
+			cfg.Iters = 1
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				res, err := pipeline.RunUplink(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps = float64(512*8) / res.TotalUs
+			}
+			b.ReportMetric(mbps, "sim-Mbps/core")
+		})
+	}
+}
+
+// BenchmarkArrangeKernels measures the raw Go-side speed of the
+// arrangement emulation itself (how fast the harness runs, not the
+// simulated machine).
+func BenchmarkArrangeKernels(b *testing.B) {
+	for _, s := range []core.Strategy{core.StrategyExtract, core.StrategyAPCM} {
+		b.Run(core.ByStrategy(s).Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bench.ArrangeWorkload(s, simd.W128, 1024)
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+// Command vranbench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	vranbench -list
+//	vranbench [-quick] all
+//	vranbench [-quick] fig13 fig14 …
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vransim/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: vranbench [-quick] all | <experiment-id>... (see -list)")
+		os.Exit(2)
+	}
+	opts := bench.Options{Quick: *quick}
+	for _, id := range args {
+		if id == "all" {
+			if err := bench.RunAll(os.Stdout, opts); err != nil {
+				fmt.Fprintln(os.Stderr, "vranbench:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		e, ok := bench.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vranbench: unknown experiment %q (see -list)\n", id)
+			os.Exit(2)
+		}
+		if err := bench.RunOne(os.Stdout, e, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "vranbench:", err)
+			os.Exit(1)
+		}
+	}
+}

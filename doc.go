@@ -1,0 +1,16 @@
+// Package vransim reproduces "Enabling Efficient SIMD Acceleration for
+// Virtual Radio Access Network" (Wang & Hu, ICPP 2021) as a pure-Go
+// simulation: a functional SIMD ISA emulator and a cycle-level
+// execution-port model of a Skylake-class core host a from-scratch
+// LTE-shaped vRAN software pipeline, over which the paper's Arithmetic
+// Ports Consciousness Mechanism (APCM) for the turbo decoder's data
+// arrangement process is implemented, characterized and compared against
+// the original extract-based mechanism.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for the paper-vs-measured record.
+// The library lives under internal/; the runnable surfaces are
+// cmd/vranbench, cmd/vranpipe and the examples/ directory, and the
+// root-level benchmarks (bench_test.go) regenerate each table and figure
+// via `go test -bench`.
+package vransim

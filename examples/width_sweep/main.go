@@ -1,0 +1,34 @@
+// width_sweep recompiles (conceptually) the decoder for SSE128, AVX256
+// and AVX512 and shows the paper's central asymmetry: the original
+// extract-based arrangement gets *slower* as registers widen, while
+// APCM speeds up proportionally — so the arrangement share of decoding
+// either balloons or vanishes (Figures 9 and 14).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vransim/internal/bench"
+	"vransim/internal/core"
+	"vransim/internal/simd"
+)
+
+func main() {
+	const k = 1024 // turbo block size
+	fmt.Printf("decode one K=%d block, 1 iteration, per register width\n\n", k)
+	fmt.Printf("%-8s %-10s %14s %14s %10s\n", "width", "mechanism", "arrangement µs", "calculation µs", "arr share")
+	for _, s := range []core.Strategy{core.StrategyExtract, core.StrategyAPCM} {
+		for _, w := range simd.Widths {
+			ph, err := bench.DecodePhases(s, w, k, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			arr := ph.Us("arrangement")
+			calc := ph.Us("gamma") + ph.Us("alpha") + ph.Us("beta+ext") + ph.Us("ext")
+			fmt.Printf("%-8s %-10s %14.1f %14.1f %9.1f%%\n",
+				w, core.ByStrategy(s).Name(), arr, calc, 100*arr/(arr+calc))
+		}
+		fmt.Println()
+	}
+}

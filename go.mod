@@ -1,0 +1,3 @@
+module vransim
+
+go 1.22

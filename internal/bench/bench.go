@@ -1,0 +1,111 @@
+// Package bench is the experiment harness: one generator per table and
+// figure of the paper's evaluation, each printing the rows/series the
+// paper reports (shape reproduction; see EXPERIMENTS.md for the
+// paper-vs-measured record). The cmd/vranbench binary dispatches into
+// this registry.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options tune experiment cost.
+type Options struct {
+	// Quick shrinks workloads (shorter blocks, fewer packet sizes) for
+	// CI-speed runs; the shapes survive, absolute numbers shift.
+	Quick bool
+}
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, o Options) error
+}
+
+var registry []Experiment
+
+// register adds an experiment at init time.
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(w io.Writer, o Options) error {
+	for _, e := range All() {
+		if err := RunOne(w, e, o); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment with its banner.
+func RunOne(w io.Writer, e Experiment, o Options) error {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", e.ID, e.Title)
+	return e.Run(w, o)
+}
+
+// table is a minimal fixed-width table printer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table { return &table{header: cols} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...interface{}) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/uarch"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig13", "fig14", "fig15", "fig16",
+		"abl-variants", "abl-ports", "abl-rearrange", "abl-cache"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d experiments, want >= %d", len(All()), len(want))
+	}
+}
+
+func TestKernelIPCOrdering(t *testing.T) {
+	// The Figure 7 hierarchy: scalar > padds/psubs > pmax > pextrw.
+	p := uarch.WimpyPlatform()
+	// L1-resident working set so port structure (not cache misses)
+	// decides the ordering, as on the paper's beefy node.
+	ipc := func(k KernelKind) float64 {
+		return SimKernel(BuildKernel(k, simd.W128, 3000, 32<<10), p).IPC()
+	}
+	scalar := ipc(KernelScalarOFDM)
+	adds := ipc(KernelPAdds)
+	max := ipc(KernelPMax)
+	extract := ipc(KernelPExtract)
+	if !(scalar > adds && adds > max && max > extract) {
+		t.Errorf("IPC ordering violated: scalar=%.2f adds=%.2f max=%.2f extract=%.2f",
+			scalar, adds, max, extract)
+	}
+	if scalar < 3.3 {
+		t.Errorf("scalar IPC %.2f, want near 4", scalar)
+	}
+	if extract > 2.0 {
+		t.Errorf("extract IPC %.2f, want below the movement-port ceiling 2", extract)
+	}
+}
+
+func TestArrangeWorkloadHeadline(t *testing.T) {
+	// The headline claims at kernel level, every width: IPC up, backend
+	// bound down, bandwidth up by >= 3x.
+	p := uarch.WimpyPlatform()
+	for _, w := range simd.Widths {
+		o := SimKernel(ArrangeWorkload(core.StrategyExtract, w, 4096), p)
+		a := SimKernel(ArrangeWorkload(core.StrategyAPCM, w, 4096), p)
+		if a.IPC() < 2.5*o.IPC() {
+			t.Errorf("%v: IPC gain %.2f -> %.2f below 2.5x", w, o.IPC(), a.IPC())
+		}
+		if a.TopDown.BackendBound > 0.25 || o.TopDown.BackendBound < 0.4 {
+			t.Errorf("%v: backend bound %.2f -> %.2f, want high -> low",
+				w, o.TopDown.BackendBound, a.TopDown.BackendBound)
+		}
+		gain := a.StoreBitsPerCycle() / o.StoreBitsPerCycle()
+		if gain < 3 {
+			t.Errorf("%v: bandwidth gain %.1fx, want >= 3x", w, gain)
+		}
+	}
+}
+
+func TestBandwidthGainGrowsWithWidth(t *testing.T) {
+	// The 4X-16X claim: wider registers widen the gap.
+	p := uarch.WimpyPlatform()
+	gain := func(w simd.Width) float64 {
+		o := SimKernel(ArrangeWorkload(core.StrategyExtract, w, 4096), p)
+		a := SimKernel(ArrangeWorkload(core.StrategyAPCM, w, 4096), p)
+		return a.StoreBitsPerCycle() / o.StoreBitsPerCycle()
+	}
+	g128, g256, g512 := gain(simd.W128), gain(simd.W256), gain(simd.W512)
+	if !(g128 < g256 && g256 < g512) {
+		t.Errorf("bandwidth gains not monotone with width: %.1f, %.1f, %.1f", g128, g256, g512)
+	}
+	if g512 < 8 {
+		t.Errorf("AVX512 bandwidth gain %.1fx, want large (paper: ~16x)", g512)
+	}
+}
+
+func TestDecodePhasesShares(t *testing.T) {
+	// Arrangement share of decode: substantial under the original
+	// mechanism, small under APCM (the Figure 9 contrast).
+	po, err := DecodePhases(core.StrategyExtract, simd.W128, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := DecodePhases(core.StrategyAPCM, simd.W128, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := po.Us("arrangement") / po.TotalUs()
+	sa := pa.Us("arrangement") / pa.TotalUs()
+	if so < 0.05 {
+		t.Errorf("original arrangement share %.1f%%, want substantial", 100*so)
+	}
+	if sa > so/2 {
+		t.Errorf("APCM arrangement share %.1f%% not well below original %.1f%%", 100*sa, 100*so)
+	}
+}
+
+func TestQuickExperimentsRun(t *testing.T) {
+	// Smoke: the cheap experiments run end to end and emit tables.
+	for _, id := range []string{"table1", "fig8", "fig15", "abl-variants", "abl-ports", "abl-cache"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		var buf bytes.Buffer
+		if err := RunOne(&buf, e, Options{Quick: true}); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), "==") || buf.Len() < 100 {
+			t.Errorf("%s: implausibly small output", id)
+		}
+	}
+}
+
+func TestFig13Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline sweep")
+	}
+	e, _ := ByID("fig13")
+	var buf bytes.Buffer
+	if err := RunOne(&buf, e, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reduction") {
+		t.Error("fig13 output missing reduction column")
+	}
+}

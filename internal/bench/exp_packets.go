@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"vransim/internal/core"
+	"vransim/internal/pipeline"
+	"vransim/internal/simd"
+	"vransim/internal/transport"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Per-packet processing time vs packet size, UDP and TCP, original vs APCM (Figure 13)",
+		Run: func(w io.Writer, o Options) error {
+			sizes := transport.StandardPacketSizes
+			protos := []transport.Proto{transport.UDP, transport.TCP}
+			iters := 2
+			if o.Quick {
+				sizes = []int{256, 1024}
+				protos = []transport.Proto{transport.UDP}
+				iters = 1
+			}
+			t := newTable("proto", "packet", "original us", "apcm us", "reduction")
+			for _, proto := range protos {
+				for _, size := range sizes {
+					var us [2]float64
+					for i, s := range []core.Strategy{core.StrategyExtract, core.StrategyAPCM} {
+						cfg := pipeline.DefaultConfig(simd.W128, s, proto, size)
+						cfg.Iters = iters
+						res, err := pipeline.RunUplink(cfg)
+						if err != nil {
+							return err
+						}
+						if !res.PayloadOK {
+							return fmt.Errorf("fig13: %v %dB payload corrupted", proto, size)
+						}
+						us[i] = res.TotalUs
+					}
+					t.add(proto.String(), fmt.Sprintf("%dB", size),
+						fmt.Sprintf("%.1f", us[0]), fmt.Sprintf("%.1f", us[1]),
+						pct(1-us[1]/us[0]))
+				}
+			}
+			t.write(w)
+
+			// Width sweep at the largest size: the paper's "12%
+			// (SSE128) to 20% (AVX512)" claim.
+			widths := simd.Widths
+			size := sizes[len(sizes)-1]
+			t2 := newTable("width", "original us", "apcm us", "reduction")
+			for _, width := range widths {
+				var us [2]float64
+				for i, s := range []core.Strategy{core.StrategyExtract, core.StrategyAPCM} {
+					cfg := pipeline.DefaultConfig(width, s, transport.UDP, size)
+					cfg.Iters = iters
+					res, err := pipeline.RunUplink(cfg)
+					if err != nil {
+						return err
+					}
+					us[i] = res.TotalUs
+				}
+				t2.add(width.String(), fmt.Sprintf("%.1f", us[0]), fmt.Sprintf("%.1f", us[1]), pct(1-us[1]/us[0]))
+			}
+			fmt.Fprintf(w, "\n  width sweep at %dB:\n", size)
+			t2.write(w)
+			fmt.Fprintln(w, "  (paper: APCM reduces e2e processing 12% at SSE128 up to 20% at AVX512)")
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Bandwidth per core and cores required for 300 Mbps (Figure 16)",
+		Run: func(w io.Writer, o Options) error {
+			size := 1500
+			iters := 2
+			if o.Quick {
+				size, iters = 512, 1
+			}
+			const targetMbps = 300.0
+			t := newTable("width", "mechanism", "Mbps/core", "cores for 300 Mbps")
+			for _, width := range simd.Widths {
+				for _, s := range []core.Strategy{core.StrategyExtract, core.StrategyAPCM} {
+					cfg := pipeline.DefaultConfig(width, s, transport.UDP, size)
+					cfg.Iters = iters
+					res, err := pipeline.RunUplink(cfg)
+					if err != nil {
+						return err
+					}
+					mbps := float64(size*8) / res.TotalUs // bits/us == Mbps
+					t.add(width.String(), core.ByStrategy(s).Name(),
+						fmt.Sprintf("%.1f", mbps), fmt.Sprintf("%d", int(math.Ceil(targetMbps/mbps))))
+				}
+			}
+			t.write(w)
+			fmt.Fprintln(w, "  (paper: 16.4->18.5, 21.6->26.0, 25.5->32.9 Mbps/core; 18->16, 14->12, 12->9 cores)")
+			return nil
+		},
+	})
+}

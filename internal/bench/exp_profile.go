@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"vransim/internal/core"
+	"vransim/internal/pipeline"
+	"vransim/internal/simd"
+	"vransim/internal/transport"
+	"vransim/internal/uarch"
+)
+
+// moduleOf maps a pipeline stage to the module labels of Figures 3-6.
+func moduleOf(stage string) string {
+	switch stage {
+	case "arrangement", "gamma", "alpha", "beta+ext", "ext", "interleave", "init":
+		return "Turbo Decoding"
+	case "turboenc":
+		return "Turbo Encoding"
+	case "descramble", "scramble":
+		return "Scrambling"
+	case "ratematch":
+		return "Rate Matching"
+	case "dci":
+		return "DCI"
+	case "ofdm":
+		return "OFDM"
+	case "demod", "mod":
+		return "Modulation"
+	case "l2", "gtp":
+		return "L2+EPC"
+	}
+	return stage
+}
+
+// moduleStat is the per-module aggregate of Figures 3-6.
+type moduleStat struct {
+	name   string
+	insts  int
+	cycles int64
+	td     uarch.TopDown
+}
+
+func aggregateModules(stages []pipeline.StageTime) []moduleStat {
+	order := []string{}
+	agg := map[string]*moduleStat{}
+	for _, st := range stages {
+		name := moduleOf(st.Name)
+		m, ok := agg[name]
+		if !ok {
+			m = &moduleStat{name: name}
+			agg[name] = m
+			order = append(order, name)
+		}
+		w := float64(st.Cycles)
+		tot := float64(m.cycles) + w
+		if tot > 0 {
+			blend := func(old, add float64) float64 {
+				return (old*float64(m.cycles) + add*w) / tot
+			}
+			m.td = uarch.TopDown{
+				Retiring:      blend(m.td.Retiring, st.TD.Retiring),
+				FrontendBound: blend(m.td.FrontendBound, st.TD.FrontendBound),
+				BadSpec:       blend(m.td.BadSpec, st.TD.BadSpec),
+				BackendBound:  blend(m.td.BackendBound, st.TD.BackendBound),
+				CoreBound:     blend(m.td.CoreBound, st.TD.CoreBound),
+				MemoryBound:   blend(m.td.MemoryBound, st.TD.MemoryBound),
+			}
+		}
+		m.insts += st.Insts
+		m.cycles += st.Cycles
+	}
+	out := make([]moduleStat, 0, len(order))
+	for _, n := range order {
+		out = append(out, *agg[n])
+	}
+	return out
+}
+
+func profileConfig(o Options) (int, int) {
+	if o.Quick {
+		return 128, 1 // packet bytes, iterations
+	}
+	return 512, 2
+}
+
+func runProfile(w io.Writer, o Options, downlink bool) error {
+	bytes, iters := profileConfig(o)
+	cfg := pipeline.DefaultConfig(simd.W128, core.StrategyExtract, transport.UDP, bytes)
+	cfg.Iters = iters
+	var res *pipeline.Result
+	var err error
+	if downlink {
+		res, err = pipeline.RunDownlink(cfg)
+	} else {
+		res, err = pipeline.RunUplink(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	mods := aggregateModules(res.Stages)
+	var total int64
+	for _, m := range mods {
+		total += m.cycles
+	}
+	t := newTable("module", "CPU time", "IPC", "retiring", "frontend", "bad-spec", "backend")
+	for _, m := range mods {
+		ipc := 0.0
+		if m.cycles > 0 {
+			ipc = float64(m.insts) / float64(m.cycles)
+		}
+		t.add(m.name, pct(float64(m.cycles)/float64(total)), fmt.Sprintf("%.2f", ipc),
+			pct(m.td.Retiring), pct(m.td.FrontendBound), pct(m.td.BadSpec), pct(m.td.BackendBound))
+	}
+	t.write(w)
+	fmt.Fprintf(w, "  (packet=%dB, iters=%d, %s, original mechanism, total %d cycles)\n",
+		bytes, iters, simd.W128, total)
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "CPU utilization and IPC per module, uplink (Figure 3)",
+		Run: func(w io.Writer, o Options) error {
+			return runProfile(w, o, false)
+		},
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "CPU utilization and IPC per module, downlink (Figure 4)",
+		Run: func(w io.Writer, o Options) error {
+			return runProfile(w, o, true)
+		},
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Top-down micro-architecture breakdown per module, uplink (Figure 5)",
+		Run: func(w io.Writer, o Options) error {
+			return runTopDown(w, o, false)
+		},
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Top-down micro-architecture breakdown per module, downlink (Figure 6)",
+		Run: func(w io.Writer, o Options) error {
+			return runTopDown(w, o, true)
+		},
+	})
+}
+
+func runTopDown(w io.Writer, o Options, downlink bool) error {
+	bytes, iters := profileConfig(o)
+	cfg := pipeline.DefaultConfig(simd.W128, core.StrategyExtract, transport.UDP, bytes)
+	cfg.Iters = iters
+	var res *pipeline.Result
+	var err error
+	if downlink {
+		res, err = pipeline.RunDownlink(cfg)
+	} else {
+		res, err = pipeline.RunUplink(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	t := newTable("module", "retiring", "frontend", "bad-spec", "backend", "core-bound", "mem-bound")
+	for _, m := range aggregateModules(res.Stages) {
+		t.add(m.name, pct(m.td.Retiring), pct(m.td.FrontendBound), pct(m.td.BadSpec),
+			pct(m.td.BackendBound), pct(m.td.CoreBound), pct(m.td.MemoryBound))
+	}
+	t.write(w)
+	return nil
+}

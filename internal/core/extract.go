@@ -1,0 +1,83 @@
+package core
+
+import "vransim/internal/simd"
+
+// ExtractArranger is the original mechanism used by the vRAN platform
+// (Section 5.2 of the paper): after a full-register load of the
+// interleaved stream, every element is moved to its destination array
+// with a 16-bit pextrw store.
+//
+//   - xmm (SSE128): pextrw can address every lane directly.
+//   - ymm (AVX256): pextrw reaches only the low 128 bits, so the upper
+//     half must first be moved down with vextracti128 — the extra step
+//     that makes the original mechanism *slower* on wider registers.
+//   - zmm (AVX512): vextracti32x8 moves a 256-bit half down; selecting
+//     the low half clobbers the rest of the register, so the source must
+//     be reloaded (vmovdqa64) before the upper half can be processed.
+type ExtractArranger struct{}
+
+// Name implements Arranger.
+func (ExtractArranger) Name() string { return "original" }
+
+// Strategy implements Arranger.
+func (ExtractArranger) Strategy() Strategy { return StrategyExtract }
+
+// Layout implements Arranger: natural contiguous order.
+func (ExtractArranger) Layout(w simd.Width) Layout { return identityLayout(w) }
+
+// Arrange implements Arranger.
+func (a ExtractArranger) Arrange(e *simd.Engine, src int64, dst Dest, n int) {
+	lanes := e.W.Lanes16()
+	groups := n / lanes
+	reg := e.NewVec()
+	half := e.NewVec()
+	quarter := e.NewVec()
+
+	for g := 0; g < groups; g++ {
+		baseLane := 3 * g * lanes // first interleaved lane of the group
+		for r := 0; r < 3; r++ {
+			addr := src + int64(2*(baseLane+r*lanes))
+			e.LoadVec(reg, addr)
+			switch e.W {
+			case simd.W128:
+				a.extractRun(e, reg, dst, g, r, 0, 8, 0)
+			case simd.W256:
+				a.extractRun(e, reg, dst, g, r, 0, 8, 0)
+				e.VExtractI128(half, reg, 1)
+				a.extractRun(e, half, dst, g, r, 8, 16, 8)
+			case simd.W512:
+				// Low 256 bits.
+				e.VExtractI32x8(half, reg, 0)
+				a.extractRun(e, half, dst, g, r, 0, 8, 0)
+				e.VExtractI128(quarter, half, 1)
+				a.extractRun(e, quarter, dst, g, r, 8, 16, 8)
+				// The extract destroyed the rest of the working
+				// register set: reload before taking the high half
+				// (the +6.4% CPU-time penalty of Figure 14).
+				e.LoadVec(reg, addr)
+				e.VExtractI32x8(half, reg, 1)
+				a.extractRun(e, half, dst, g, r, 16, 24, 16)
+				e.VExtractI128(quarter, half, 1)
+				a.extractRun(e, quarter, dst, g, r, 24, 32, 24)
+			}
+		}
+		// Loop bookkeeping: pointer advance and loop branch.
+		e.EmitScalar("add", 1)
+		e.EmitBranch("jnz")
+	}
+	scalarTail(e, src, dst, a.Layout(e.W), groups*lanes, n)
+}
+
+// extractRun extracts register lanes [lo,hi) of the logical register r of
+// group g. regLaneOff is the logical lane index of the physical lane 0 of
+// v (pextrw can only address the low 128 bits, so callers pass the
+// shifted view).
+func (ExtractArranger) extractRun(e *simd.Engine, v *simd.Vec, dst Dest, g, r, lo, hi, regLaneOff int) {
+	lanes := e.W.Lanes16()
+	for l := lo; l < hi; l++ {
+		k := 3*g*lanes + r*lanes + l // global interleaved lane
+		c := Cluster(k % 3)
+		j := k / 3 // natural element index
+		e.PExtrWToMem(dst.Base(c)+int64(2*j), v, l-regLaneOff)
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import "vransim/internal/simd"
+
+// ScalarArranger performs the arrangement with plain scalar loads and
+// stores, one element at a time. It is the pre-SIMD reference point and
+// the correctness oracle for the vector mechanisms.
+type ScalarArranger struct{}
+
+// Name implements Arranger.
+func (ScalarArranger) Name() string { return "scalar" }
+
+// Strategy implements Arranger.
+func (ScalarArranger) Strategy() Strategy { return StrategyScalar }
+
+// Layout implements Arranger: natural contiguous order.
+func (ScalarArranger) Layout(w simd.Width) Layout { return identityLayout(w) }
+
+// Arrange implements Arranger.
+func (a ScalarArranger) Arrange(e *simd.Engine, src int64, dst Dest, n int) {
+	scalarTail(e, src, dst, a.Layout(e.W), 0, n)
+}
+
+// ArrangeReference computes the segregated arrays purely in Go, without
+// an engine, memory or trace: the golden model every mechanism is tested
+// against. It returns the three clusters in natural order.
+func ArrangeReference(interleaved []int16) (s, p1, p2 []int16) {
+	n := len(interleaved) / 3
+	s = make([]int16, n)
+	p1 = make([]int16, n)
+	p2 = make([]int16, n)
+	for j := 0; j < n; j++ {
+		s[j] = interleaved[3*j]
+		p1[j] = interleaved[3*j+1]
+		p2[j] = interleaved[3*j+2]
+	}
+	return s, p1, p2
+}

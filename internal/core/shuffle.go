@@ -1,0 +1,74 @@
+package core
+
+import "vransim/internal/simd"
+
+// ShuffleArranger de-interleaves with single-source word permutes
+// (vpermw/pshufb-style) and OR-merges: for each output cluster, each of
+// the three input registers is permuted so its cluster elements land in
+// their natural positions (other lanes zeroed), and the three partial
+// results are ORed. This is the classic shuffle-based AoS→SoA transform
+// — a third point in the design space between the extract-based original
+// (store-port bound) and APCM (vector-ALU bound): it produces natural
+// order directly but leans on the shuffle ports, which on a real Skylake
+// are scarcer (port 5 only) than the paper's model assumes. The
+// `abl-ports` style WithPorts ablation can restrict VecShuffle to a
+// single port to expose exactly that.
+type ShuffleArranger struct{}
+
+// Name implements Arranger.
+func (ShuffleArranger) Name() string { return "shuffle" }
+
+// Strategy implements Arranger.
+func (ShuffleArranger) Strategy() Strategy { return StrategyShuffle }
+
+// Layout implements Arranger: natural contiguous order.
+func (ShuffleArranger) Layout(w simd.Width) Layout { return identityLayout(w) }
+
+// Arrange implements Arranger.
+func (a ShuffleArranger) Arrange(e *simd.Engine, src int64, dst Dest, n int) {
+	L := e.W.Lanes16()
+	groups := n / L
+	lay := a.Layout(e.W)
+	if groups > 0 {
+		in := [3]*simd.Vec{e.NewVec(), e.NewVec(), e.NewVec()}
+		t0, t1, acc := e.NewVec(), e.NewVec(), e.NewVec()
+
+		// Permute tables: for output cluster c, input register r
+		// contributes element jj (at its lane (3jj+c) mod L) to output
+		// lane jj; every other lane selects zero.
+		idx := make([][3][]int, 3)
+		for c := 0; c < 3; c++ {
+			for r := 0; r < 3; r++ {
+				tab := make([]int, L)
+				for i := range tab {
+					tab[i] = -1
+				}
+				for jj := 0; jj < L; jj++ {
+					k := 3*jj + c
+					if k/L == r {
+						tab[jj] = k % L
+					}
+				}
+				idx[c][r] = tab
+			}
+		}
+
+		for g := 0; g < groups; g++ {
+			baseLane := 3 * g * L
+			for r := 0; r < 3; r++ {
+				e.LoadVec(in[r], src+int64(2*(baseLane+r*L)))
+			}
+			for c := 0; c < 3; c++ {
+				e.PermuteW(t0, in[0], idx[c][0])
+				e.PermuteW(t1, in[1], idx[c][1])
+				e.POr(acc, t0, t1)
+				e.PermuteW(t0, in[2], idx[c][2])
+				e.POr(acc, acc, t0)
+				e.StoreVec(dst.Base(Cluster(c))+2*int64(g*L), acc)
+			}
+			e.EmitScalar("add", 1)
+			e.EmitBranch("jnz")
+		}
+	}
+	scalarTail(e, src, dst, lay, groups*L, n)
+}

@@ -1,0 +1,49 @@
+package l2
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalRLC: arbitrary bytes must never panic; accepted PDUs
+// round-trip through Marshal.
+func FuzzUnmarshalRLC(f *testing.F) {
+	r := NewRLC(16)
+	for _, s := range r.Segment([]byte("some sdu payload that segments")) {
+		f.Add(s.Marshal())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg, err := UnmarshalRLC(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(seg.Marshal(), data) {
+			t.Fatal("accepted RLC PDU does not round-trip")
+		}
+	})
+}
+
+// FuzzParseTB: a MAC transport block parser fed arbitrary bit patterns
+// must never panic and never return PDUs that overrun the block.
+func FuzzParseTB(f *testing.F) {
+	m := NewMAC(64)
+	tb, _ := m.BuildTB([][]byte{bytes.Repeat([]byte{0xab}, 20)})
+	f.Add(BitsToBytes(tb.Bits))
+	f.Add([]byte{0x01, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rx := NewMAC(len(data))
+		pdus, err := rx.ParseTB(TransportBlock{Bits: BytesToBits(data), Bytes: len(data)})
+		if err != nil {
+			return
+		}
+		total := 0
+		for _, p := range pdus {
+			total += MACHeaderLen + len(p)
+		}
+		if total > len(data) {
+			t.Fatalf("parsed PDUs (%d bytes with headers) overrun the %d-byte TB", total, len(data))
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AWGNChannel adds white Gaussian noise of the configured variance per
+// real dimension. It stands in for the paper's RF front-end (USRP B210 +
+// over-the-air link); the claims under reproduction are all CPU-side,
+// so a deterministic stochastic channel that exercises the same
+// soft-decision code paths suffices (see DESIGN.md).
+type AWGNChannel struct {
+	// SNRdB is the per-sample signal-to-noise ratio.
+	SNRdB float64
+	rng   *rand.Rand
+}
+
+// NewAWGNChannel builds a deterministic channel for the given SNR and
+// seed.
+func NewAWGNChannel(snrDB float64, seed int64) *AWGNChannel {
+	return &AWGNChannel{SNRdB: snrDB, rng: rand.New(rand.NewSource(seed))}
+}
+
+// sigma returns the per-dimension noise standard deviation for unit
+// signal energy.
+func (c *AWGNChannel) sigma() float64 {
+	return math.Pow(10, -c.SNRdB/20) / math.Sqrt2
+}
+
+// Apply adds noise to the samples in place and returns them.
+func (c *AWGNChannel) Apply(samples []IQ) []IQ {
+	s := c.sigma()
+	for i := range samples {
+		samples[i].I += c.rng.NormFloat64() * s
+		samples[i].Q += c.rng.NormFloat64() * s
+	}
+	return samples
+}
+
+// NoiseVar returns the total (two-dimensional) noise variance, the value
+// a demodulator should use.
+func (c *AWGNChannel) NoiseVar() float64 {
+	s := c.sigma()
+	return 2 * s * s
+}

@@ -1,0 +1,202 @@
+package phy
+
+import (
+	"fmt"
+
+	"vransim/internal/simd"
+)
+
+// The DCI (Downlink Control Information) path uses the 36.212
+// tail-biting convolutional code: rate 1/3, constraint length 7,
+// generators 133/171/165 (octal).
+const (
+	tbccK     = 7
+	tbccMem   = tbccK - 1
+	numTBCC   = 1 << tbccMem
+	tbccG0    = 0o133
+	tbccG1    = 0o171
+	tbccG2    = 0o165
+	tbccRate  = 3
+	tbccInfin = int32(1) << 28
+)
+
+// parityOf returns the XOR of the bits of x.
+func parityOf(x int) byte {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return byte(n & 1)
+}
+
+// tbccOutputs returns the three coded bits for register contents
+// r = u<<6 | s: the current input in bit 6 and the six previous inputs
+// below it (newest in bit 5).
+func tbccOutputs(r int) [3]byte {
+	return [3]byte{parityOf(r & tbccG0), parityOf(r & tbccG1), parityOf(r & tbccG2)}
+}
+
+// TBCCEncode convolutionally encodes bits with tail-biting: the shift
+// register starts loaded with the last six information bits, so initial
+// and final states coincide and no tail is transmitted. Output length is
+// 3·len(bits).
+func TBCCEncode(bits []byte) []byte {
+	n := len(bits)
+	if n < tbccMem {
+		panic("phy: TBCC payload shorter than the constraint length")
+	}
+	// State s holds the six previous inputs, newest in bit 5.
+	state := 0
+	for i := 0; i < tbccMem; i++ {
+		state = state<<1 | int(bits[n-tbccMem+i])
+	}
+	// Reverse into the newest-in-bit-5 convention.
+	state = reverseBits(state, tbccMem)
+	out := make([]byte, 0, tbccRate*n)
+	for _, b := range bits {
+		r := int(b)<<tbccMem | state
+		o := tbccOutputs(r)
+		out = append(out, o[0], o[1], o[2])
+		state = r >> 1
+	}
+	return out
+}
+
+func reverseBits(x, n int) int {
+	out := 0
+	for i := 0; i < n; i++ {
+		out = out<<1 | (x>>i)&1
+	}
+	return out
+}
+
+// TBCCDecoder is a wrap-around Viterbi decoder for the tail-biting code.
+type TBCCDecoder struct {
+	// Wraps is how many times the trellis is traversed before the
+	// traceback (2 suffices for DCI-sized payloads).
+	Wraps int
+	// Eng, when set, receives a representative µop stream: OAI's
+	// Viterbi is a SIMD add/max kernel (one of the Figure 3/4 modules).
+	Eng *simd.Engine
+}
+
+// Decode returns the maximum-likelihood information bits for the 3·n
+// received LLRs (positive ⇒ bit 0).
+//
+// Trellis bookkeeping: a state ns encodes the six most recent inputs,
+// newest in bit 5, so the input that *produced* ns is ns>>5 and its two
+// possible predecessors are ((ns&31)<<1)|b for the shifted-out bit b.
+func (d *TBCCDecoder) Decode(llr []int16, n int) ([]byte, error) {
+	if len(llr) != tbccRate*n {
+		return nil, fmt.Errorf("phy: got %d LLRs for %d bits, want %d", len(llr), n, tbccRate*n)
+	}
+	if n < tbccMem {
+		return nil, fmt.Errorf("phy: payload %d shorter than constraint length", n)
+	}
+	wraps := d.Wraps
+	if wraps <= 0 {
+		wraps = 2
+	}
+	steps := wraps * n
+
+	metric := make([]int32, numTBCC) // equiprobable start: tail-biting
+	next := make([]int32, numTBCC)
+	survivors := make([][]byte, steps)
+
+	for t := 0; t < steps; t++ {
+		pos := t % n
+		l := [3]int32{int32(llr[3*pos]), int32(llr[3*pos+1]), int32(llr[3*pos+2])}
+		surv := make([]byte, numTBCC)
+		for ns := 0; ns < numTBCC; ns++ {
+			u := ns >> (tbccMem - 1)
+			best := -tbccInfin
+			var bestB byte
+			for b := 0; b < 2; b++ {
+				s := (ns&(numTBCC>>1-1))<<1 | b
+				r := u<<tbccMem | s
+				o := tbccOutputs(r)
+				bm := branchLLR(o[0], l[0]) + branchLLR(o[1], l[1]) + branchLLR(o[2], l[2])
+				if m := metric[s] + bm; m > best {
+					best = m
+					bestB = byte(b)
+				}
+			}
+			next[ns] = best
+			surv[ns] = bestB
+		}
+		survivors[t] = surv
+		copy(metric, next)
+		if t%32 == 31 {
+			normalizeI32(metric)
+		}
+		if d.Eng != nil {
+			// 64 states × (add + max), vectorized in the real kernel.
+			vecs := numTBCC / d.Eng.W.Lanes16()
+			for v := 0; v < vecs; v++ {
+				d.Eng.EmitScalarLoad("mov", int64(t*64%4096), 8)
+				d.Eng.EmitScalar("add", 2)
+				d.Eng.EmitScalar("cmp", 1)
+			}
+			d.Eng.EmitBranch("jnz")
+		}
+	}
+
+	// Traceback over the final wrap.
+	best := 0
+	for s := 1; s < numTBCC; s++ {
+		if metric[s] > metric[best] {
+			best = s
+		}
+	}
+	bits := make([]byte, n)
+	state := best
+	for t := steps - 1; t >= steps-n; t-- {
+		bits[t%n] = byte(state >> (tbccMem - 1))
+		state = (state&(numTBCC>>1-1))<<1 | int(survivors[t][state])
+	}
+	return bits, nil
+}
+
+func branchLLR(bit byte, llr int32) int32 {
+	if bit == 0 {
+		return llr
+	}
+	return -llr
+}
+
+func normalizeI32(v []int32) {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	for i := range v {
+		v[i] -= m
+	}
+}
+
+// DCI is a downlink control message: a compact bit payload protected by
+// a CRC16 and the tail-biting convolutional code.
+type DCI struct {
+	// Payload carries the scheduling fields as raw bits.
+	Payload []byte
+}
+
+// EncodeDCI attaches a CRC16 and convolutionally encodes the message.
+func EncodeDCI(d DCI) []byte {
+	return TBCCEncode(AppendCRC(d.Payload, CRC16Poly, 16))
+}
+
+// DecodeDCI Viterbi-decodes and CRC-checks a DCI of the given payload
+// length from LLRs.
+func DecodeDCI(llr []int16, payloadLen int, dec *TBCCDecoder) (DCI, bool, error) {
+	n := payloadLen + 16
+	bits, err := dec.Decode(llr, n)
+	if err != nil {
+		return DCI{}, false, err
+	}
+	ok := CheckCRC(bits, CRC16Poly, 16)
+	return DCI{Payload: bits[:payloadLen]}, ok, nil
+}

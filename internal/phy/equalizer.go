@@ -1,0 +1,138 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FadingChannel models a frequency-flat block-fading radio channel: a
+// complex gain h (drawn once per channel instance, Rayleigh-distributed
+// magnitude, uniform phase) applied to every sample, plus AWGN. It
+// extends the plain AWGN substitute for the paper's RF front-end with
+// the impairment that makes channel estimation necessary.
+type FadingChannel struct {
+	HRe, HIm float64
+	awgn     *AWGNChannel
+}
+
+// NewFadingChannel draws the channel gain and builds the noise source.
+func NewFadingChannel(snrDB float64, seed int64) *FadingChannel {
+	rng := rand.New(rand.NewSource(seed))
+	// Rayleigh magnitude with unit mean power, uniform phase.
+	mag := math.Sqrt((rng.NormFloat64()*rng.NormFloat64() + 1) / 2)
+	if mag < 0.3 {
+		mag = 0.3 // keep the block decodable: deep fades are HARQ territory
+	}
+	phase := rng.Float64() * 2 * math.Pi
+	return &FadingChannel{
+		HRe:  mag * math.Cos(phase),
+		HIm:  mag * math.Sin(phase),
+		awgn: NewAWGNChannel(snrDB, seed+1),
+	}
+}
+
+// Apply multiplies by the channel gain and adds noise, in place.
+func (c *FadingChannel) Apply(samples []IQ) []IQ {
+	for i, s := range samples {
+		samples[i] = IQ{
+			I: s.I*c.HRe - s.Q*c.HIm,
+			Q: s.I*c.HIm + s.Q*c.HRe,
+		}
+	}
+	return c.awgn.Apply(samples)
+}
+
+// NoiseVar exposes the additive noise variance.
+func (c *FadingChannel) NoiseVar() float64 { return c.awgn.NoiseVar() }
+
+// PilotPattern describes where reference symbols sit in the subcarrier
+// grid: every Spacing-th carrier starting at Offset.
+type PilotPattern struct {
+	Offset  int
+	Spacing int
+}
+
+// DefaultPilots is an LTE-ish one-in-six reference-signal density.
+var DefaultPilots = PilotPattern{Offset: 0, Spacing: 6}
+
+// Positions returns the pilot carrier indices for a grid of n carriers.
+func (p PilotPattern) Positions(n int) []int {
+	var out []int
+	for i := p.Offset; i < n; i += p.Spacing {
+		out = append(out, i)
+	}
+	return out
+}
+
+// PilotValue returns the known reference symbol for pilot position index
+// j (a QPSK constant-amplitude sequence derived from a Gold sequence, so
+// both ends can generate it).
+func PilotValue(seq []byte, j int) IQ {
+	a := 1 / math.Sqrt2
+	re, im := a, a
+	if seq[2*j] == 1 {
+		re = -a
+	}
+	if seq[2*j+1] == 1 {
+		im = -a
+	}
+	return IQ{I: re, Q: im}
+}
+
+// InsertPilots writes pilot symbols into the grid (overwriting whatever
+// data mapper put there); data must be mapped around the pilots by the
+// caller using DataPositions.
+func (p PilotPattern) InsertPilots(grid []IQ, seq []byte) {
+	for j, pos := range p.Positions(len(grid)) {
+		grid[pos] = PilotValue(seq, j)
+	}
+}
+
+// DataPositions returns the non-pilot carrier indices.
+func (p PilotPattern) DataPositions(n int) []int {
+	pilot := map[int]bool{}
+	for _, pos := range p.Positions(n) {
+		pilot[pos] = true
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if !pilot[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Estimate performs least-squares channel estimation over the pilots of
+// a received grid: ĥ = Σ Y_p·conj(X_p) / Σ |X_p|².
+func (p PilotPattern) Estimate(rx []IQ, seq []byte) (hRe, hIm float64) {
+	var numRe, numIm, den float64
+	for j, pos := range p.Positions(len(rx)) {
+		x := PilotValue(seq, j)
+		y := rx[pos]
+		numRe += y.I*x.I + y.Q*x.Q
+		numIm += y.Q*x.I - y.I*x.Q
+		den += x.I*x.I + x.Q*x.Q
+	}
+	if den == 0 {
+		return 1, 0
+	}
+	return numRe / den, numIm / den
+}
+
+// Equalize applies the one-tap zero-forcing equalizer X̂ = Y·conj(ĥ)/|ĥ|²
+// in place and returns the post-equalization noise variance scale
+// (noise is amplified by 1/|ĥ|²).
+func Equalize(rx []IQ, hRe, hIm float64) float64 {
+	mag2 := hRe*hRe + hIm*hIm
+	if mag2 < 1e-9 {
+		mag2 = 1e-9
+	}
+	for i, y := range rx {
+		rx[i] = IQ{
+			I: (y.I*hRe + y.Q*hIm) / mag2,
+			Q: (y.Q*hRe - y.I*hIm) / mag2,
+		}
+	}
+	return 1 / mag2
+}

@@ -1,0 +1,149 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPilotPatternGeometry(t *testing.T) {
+	p := PilotPattern{Offset: 0, Spacing: 6}
+	pos := p.Positions(300)
+	if len(pos) != 50 {
+		t.Fatalf("pilot count %d, want 50", len(pos))
+	}
+	data := p.DataPositions(300)
+	if len(data) != 250 {
+		t.Fatalf("data count %d, want 250", len(data))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, pos...), data...) {
+		if seen[i] {
+			t.Fatal("overlapping pilot/data position")
+		}
+		seen[i] = true
+	}
+}
+
+func TestEstimateRecoversKnownChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 300
+	seq := GoldSequence(999, 2*n)
+	p := DefaultPilots
+	grid := make([]IQ, n)
+	p.InsertPilots(grid, seq)
+	// Apply a known channel, no noise.
+	hRe, hIm := 0.8, -0.45
+	rx := make([]IQ, n)
+	for i, s := range grid {
+		rx[i] = IQ{I: s.I*hRe - s.Q*hIm, Q: s.I*hIm + s.Q*hRe}
+	}
+	gotRe, gotIm := p.Estimate(rx, seq)
+	if math.Abs(gotRe-hRe) > 1e-9 || math.Abs(gotIm-hIm) > 1e-9 {
+		t.Errorf("estimate (%f,%f), want (%f,%f)", gotRe, gotIm, hRe, hIm)
+	}
+	_ = rng
+}
+
+func TestEqualizeInvertsChannel(t *testing.T) {
+	syms, _ := Modulate([]byte{0, 1, 1, 0, 1, 1, 0, 0}, QPSK)
+	hRe, hIm := 0.3, 0.9
+	rx := make([]IQ, len(syms))
+	for i, s := range syms {
+		rx[i] = IQ{I: s.I*hRe - s.Q*hIm, Q: s.I*hIm + s.Q*hRe}
+	}
+	scale := Equalize(rx, hRe, hIm)
+	for i := range syms {
+		if math.Abs(rx[i].I-syms[i].I) > 1e-9 || math.Abs(rx[i].Q-syms[i].Q) > 1e-9 {
+			t.Fatalf("symbol %d not restored", i)
+		}
+	}
+	want := 1 / (hRe*hRe + hIm*hIm)
+	if math.Abs(scale-want) > 1e-9 {
+		t.Errorf("noise scale %f, want %f", scale, want)
+	}
+}
+
+// TestEqualizedLinkThroughFading is the end-to-end payoff: a QPSK/OFDM
+// link through a random-phase fading channel fails without equalization
+// and succeeds with pilot-based estimation + equalization.
+func TestEqualizedLinkThroughFading(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	o, err := NewOFDM(512, 300, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultPilots
+	seq := GoldSequence(4321, 2*o.UsedCarriers)
+	dataPos := p.DataPositions(o.UsedCarriers)
+	bits := randBits(rng, 2*len(dataPos))
+	syms, err := Modulate(bits, QPSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := make([]IQ, o.UsedCarriers)
+	for j, pos := range dataPos {
+		grid[pos] = syms[j]
+	}
+	p.InsertPilots(grid, seq)
+
+	tx, err := o.Modulate(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A channel whose phase rotation alone scrambles QPSK decisions.
+	ch := NewFadingChannel(25, 7)
+	if math.Abs(math.Atan2(ch.HIm, ch.HRe)) < 0.3 {
+		ch.HRe, ch.HIm = 0, 1 // force a 90-degree rotation
+	}
+	rxSamples := ch.Apply(tx)
+	rxGrid, err := o.Demodulate(rxSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	countErrs := func(g []IQ, nv float64) int {
+		d := Demodulator{M: QPSK, NoiseVar: nv, Scale: 16}
+		rxData := make([]IQ, len(dataPos))
+		for j, pos := range dataPos {
+			rxData[j] = g[pos]
+		}
+		llr := d.Demodulate(rxData)
+		errs := 0
+		for i, b := range bits {
+			got := byte(0)
+			if llr[i] < 0 {
+				got = 1
+			}
+			if got != b {
+				errs++
+			}
+		}
+		return errs
+	}
+
+	raw := append([]IQ(nil), rxGrid...)
+	rawErrs := countErrs(raw, o.SubcarrierNoiseVar(ch.NoiseVar()))
+	if rawErrs < len(bits)/8 {
+		t.Fatalf("unequalized link only had %d/%d errors; channel too kind for the test", rawErrs, len(bits))
+	}
+
+	hRe, hIm := p.Estimate(rxGrid, seq)
+	scale := Equalize(rxGrid, hRe, hIm)
+	eqErrs := countErrs(rxGrid, o.SubcarrierNoiseVar(ch.NoiseVar())*scale)
+	if eqErrs > 2 {
+		t.Errorf("equalized link had %d errors at 25 dB, want ~0", eqErrs)
+	}
+}
+
+func TestFadingChannelDeterministic(t *testing.T) {
+	a := NewFadingChannel(10, 3)
+	b := NewFadingChannel(10, 3)
+	if a.HRe != b.HRe || a.HIm != b.HIm {
+		t.Error("fading channel not deterministic per seed")
+	}
+	mag := math.Hypot(a.HRe, a.HIm)
+	if mag < 0.3 || mag > 3 {
+		t.Errorf("implausible channel magnitude %f", mag)
+	}
+}

@@ -1,0 +1,187 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"vransim/internal/simd"
+)
+
+// Modulation identifies a constellation.
+type Modulation int
+
+// Supported constellations.
+const (
+	QPSK Modulation = iota
+	QAM16
+	QAM64
+)
+
+// BitsPerSymbol returns the number of bits one symbol carries.
+func (m Modulation) BitsPerSymbol() int {
+	switch m {
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	}
+	panic("phy: unknown modulation")
+}
+
+// String names the constellation.
+func (m Modulation) String() string {
+	switch m {
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16QAM"
+	case QAM64:
+		return "64QAM"
+	}
+	return fmt.Sprintf("mod(%d)", int(m))
+}
+
+// IQ is one complex baseband sample.
+type IQ struct{ I, Q float64 }
+
+// pamLevel maps bit groups to one PAM axis per 36.211: Gray-coded with
+// the first bit selecting the sign and subsequent bits the magnitude.
+func pamLevel(bits []byte) float64 {
+	switch len(bits) {
+	case 1:
+		return 1 - 2*float64(bits[0])
+	case 2:
+		// 0b00:+1 0b01:+3 0b10:-1 0b11:-3 (scaled by caller)
+		v := 1.0
+		if bits[1] == 1 {
+			v = 3.0
+		}
+		if bits[0] == 1 {
+			v = -v
+		}
+		return v
+	case 3:
+		mag := []float64{3, 1, 5, 7}[bits[1]<<1|bits[2]]
+		if bits[0] == 1 {
+			return -mag
+		}
+		return mag
+	}
+	panic("phy: bad PAM width")
+}
+
+// Modulate maps a bit stream (length a multiple of BitsPerSymbol) to IQ
+// symbols with unit average energy.
+func Modulate(bits []byte, m Modulation) ([]IQ, error) {
+	bps := m.BitsPerSymbol()
+	if len(bits)%bps != 0 {
+		return nil, fmt.Errorf("phy: %d bits not a multiple of %d", len(bits), bps)
+	}
+	norm := map[Modulation]float64{QPSK: math.Sqrt2, QAM16: math.Sqrt(10), QAM64: math.Sqrt(42)}[m]
+	half := bps / 2
+	out := make([]IQ, len(bits)/bps)
+	for i := range out {
+		g := bits[i*bps : (i+1)*bps]
+		// 36.211 interleaves axis bits: even-indexed bits drive I,
+		// odd-indexed bits drive Q.
+		ib := make([]byte, 0, half)
+		qb := make([]byte, 0, half)
+		for j := 0; j < bps; j += 2 {
+			ib = append(ib, g[j])
+			qb = append(qb, g[j+1])
+		}
+		out[i] = IQ{I: pamLevel(ib) / norm, Q: pamLevel(qb) / norm}
+	}
+	return out, nil
+}
+
+// Demodulator computes max-log LLRs from received symbols.
+type Demodulator struct {
+	M Modulation
+	// Scale converts the float LLR to the int16 fixed-point range the
+	// decoder consumes.
+	Scale float64
+	// NoiseVar is the channel noise variance estimate.
+	NoiseVar float64
+	// Eng, when set, receives a representative µop stream (the OAI
+	// demodulators are SIMD calculation kernels).
+	Eng *simd.Engine
+}
+
+// Demodulate returns one int16 LLR per bit (positive ⇒ bit 0), max-log
+// over the constellation.
+func (d *Demodulator) Demodulate(syms []IQ) []int16 {
+	bps := d.M.BitsPerSymbol()
+	nv := d.NoiseVar
+	if nv <= 0 {
+		nv = 1e-3
+	}
+	scale := d.Scale
+	if scale == 0 {
+		scale = 16
+	}
+	out := make([]int16, len(syms)*bps)
+	table := constellation(d.M)
+	for si, y := range syms {
+		for b := 0; b < bps; b++ {
+			best0, best1 := math.Inf(-1), math.Inf(-1)
+			for _, pt := range table {
+				di := y.I - pt.sym.I
+				dq := y.Q - pt.sym.Q
+				metric := -(di*di + dq*dq) / nv
+				if pt.bits>>(bps-1-b)&1 == 0 {
+					if metric > best0 {
+						best0 = metric
+					}
+				} else if metric > best1 {
+					best1 = metric
+				}
+			}
+			llr := (best0 - best1) * scale
+			if llr > 32767 {
+				llr = 32767
+			}
+			if llr < -32768 {
+				llr = -32768
+			}
+			out[si*bps+b] = int16(llr)
+		}
+		if d.Eng != nil {
+			// Per symbol: distance computation across the
+			// constellation, vectorized in the real code.
+			d.Eng.EmitScalar("fma", 2)
+			vecs := (len(table) + d.Eng.W.Lanes16() - 1) / d.Eng.W.Lanes16()
+			for v := 0; v < vecs; v++ {
+				d.Eng.EmitScalarLoad("mov", int64(si*8), 8)
+				d.Eng.EmitScalar("sub", 2)
+			}
+		}
+	}
+	return out
+}
+
+type constPoint struct {
+	bits uint32
+	sym  IQ
+}
+
+// constellation enumerates every point with its bit label.
+func constellation(m Modulation) []constPoint {
+	bps := m.BitsPerSymbol()
+	n := 1 << bps
+	out := make([]constPoint, 0, n)
+	bits := make([]byte, bps)
+	for v := 0; v < n; v++ {
+		for j := 0; j < bps; j++ {
+			bits[j] = byte(v >> (bps - 1 - j) & 1)
+		}
+		syms, err := Modulate(bits, m)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, constPoint{bits: uint32(v), sym: syms[0]})
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/transport"
+)
+
+// CellConfig describes a small cell: several UEs generating uplink
+// traffic, a round-robin scheduler granting one transport block per TTI,
+// and the eNB processing budget derived from a calibrated pipeline run.
+type CellConfig struct {
+	// UEs is the number of attached users.
+	UEs int
+	// TTIs is the simulation horizon.
+	TTIs int
+	// TTIUs is the interval length (LTE: 1000 µs).
+	TTIUs float64
+	// PacketBytes and Proto describe each UE's traffic.
+	PacketBytes int
+	Proto       transport.Proto
+	// ArrivalPerTTI is the probability a UE enqueues a packet each TTI.
+	ArrivalPerTTI float64
+	// W and Strategy configure the eNB software build whose per-packet
+	// cost is calibrated once via RunUplink.
+	W        simd.Width
+	Strategy core.Strategy
+	// Cores is the eNB worker-core pool.
+	Cores int
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// CellResult aggregates the run.
+type CellResult struct {
+	// PerPacketUs is the calibrated eNB processing cost.
+	PerPacketUs float64
+	// Scheduled counts packets granted and processed; Dropped counts
+	// deadline misses.
+	Scheduled int
+	Dropped   int
+	// MeanLatencyUs and P99LatencyUs summarize queueing + processing
+	// delay of delivered packets.
+	MeanLatencyUs float64
+	P99LatencyUs  float64
+	// GoodputMbps is delivered payload over the horizon.
+	GoodputMbps float64
+	// PerUE counts delivered packets per user (fairness check).
+	PerUE []int
+}
+
+// RunCell calibrates the per-packet cost with one full traced pipeline
+// run, then plays the TTI-level queueing simulation: each TTI the
+// round-robin scheduler grants one UE, whose head-of-line packet is
+// handed to the earliest-free core; a packet missing the HARQ deadline
+// (3 TTIs) is dropped.
+func RunCell(cfg CellConfig) (*CellResult, error) {
+	if cfg.UEs <= 0 || cfg.TTIs <= 0 || cfg.Cores <= 0 {
+		return nil, fmt.Errorf("pipeline: cell needs UEs, TTIs and cores")
+	}
+	calib := DefaultConfig(cfg.W, cfg.Strategy, cfg.Proto, cfg.PacketBytes)
+	calib.Seed = cfg.Seed
+	ref, err := RunUplink(calib)
+	if err != nil {
+		return nil, err
+	}
+	if !ref.PayloadOK {
+		return nil, fmt.Errorf("pipeline: calibration packet corrupted")
+	}
+	res := &CellResult{PerPacketUs: ref.TotalUs, PerUE: make([]int, cfg.UEs)}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queues := make([]int, cfg.UEs) // backlog per UE (packet count)
+	coreFree := make([]float64, cfg.Cores)
+	deadline := 3 * cfg.TTIUs
+	var latencies []float64
+	next := 0 // round-robin pointer
+
+	for tti := 0; tti < cfg.TTIs; tti++ {
+		now := float64(tti) * cfg.TTIUs
+		for u := range queues {
+			if rng.Float64() < cfg.ArrivalPerTTI {
+				queues[u]++
+			}
+		}
+		// One grant per TTI: the next backlogged UE in RR order.
+		granted := -1
+		for i := 0; i < cfg.UEs; i++ {
+			u := (next + i) % cfg.UEs
+			if queues[u] > 0 {
+				granted = u
+				next = (u + 1) % cfg.UEs
+				break
+			}
+		}
+		if granted < 0 {
+			continue
+		}
+		queues[granted]--
+		res.Scheduled++
+		best := 0
+		for i := 1; i < cfg.Cores; i++ {
+			if coreFree[i] < coreFree[best] {
+				best = i
+			}
+		}
+		start := now
+		if coreFree[best] > start {
+			start = coreFree[best]
+		}
+		finish := start + res.PerPacketUs
+		coreFree[best] = finish
+		if finish-now > deadline {
+			res.Dropped++
+			continue
+		}
+		res.PerUE[granted]++
+		latencies = append(latencies, finish-now)
+	}
+
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLatencyUs = sum / float64(len(latencies))
+		// Nearly sorted already (queueing grows monotonically); a
+		// simple insertion sort keeps this dependency-free.
+		for i := 1; i < len(latencies); i++ {
+			for j := i; j > 0 && latencies[j] < latencies[j-1]; j-- {
+				latencies[j], latencies[j-1] = latencies[j-1], latencies[j]
+			}
+		}
+		res.P99LatencyUs = latencies[len(latencies)*99/100]
+	}
+	horizon := float64(cfg.TTIs) * cfg.TTIUs
+	res.GoodputMbps = float64(len(latencies)*cfg.PacketBytes*8) / horizon
+	return res, nil
+}

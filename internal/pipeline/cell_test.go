@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"testing"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/transport"
+)
+
+func cellBase() CellConfig {
+	return CellConfig{
+		UEs: 3, TTIs: 400, TTIUs: 1000,
+		PacketBytes: 256, Proto: transport.UDP,
+		ArrivalPerTTI: 0.2,
+		W:             simd.W128, Strategy: core.StrategyAPCM,
+		Cores: 1, Seed: 9,
+	}
+}
+
+func TestRunCellLightLoad(t *testing.T) {
+	res, err := RunCell(cellBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduled == 0 {
+		t.Fatal("no packets scheduled")
+	}
+	if res.Dropped > res.Scheduled/20 {
+		t.Errorf("dropped %d/%d under light load", res.Dropped, res.Scheduled)
+	}
+	if res.MeanLatencyUs < res.PerPacketUs-1e-6 {
+		t.Errorf("mean latency %.1f below processing cost %.1f", res.MeanLatencyUs, res.PerPacketUs)
+	}
+	if res.P99LatencyUs < res.MeanLatencyUs {
+		t.Error("p99 below mean")
+	}
+}
+
+func TestRunCellFairness(t *testing.T) {
+	cfg := cellBase()
+	cfg.ArrivalPerTTI = 0.9 // everyone always backlogged
+	cfg.TTIs = 600
+	res, err := RunCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := res.PerUE[0], res.PerUE[0]
+	for _, n := range res.PerUE {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 2 {
+		t.Errorf("round-robin unfair: per-UE deliveries %v", res.PerUE)
+	}
+}
+
+func TestRunCellAPCMBeatsOriginal(t *testing.T) {
+	cfgO := cellBase()
+	cfgO.Strategy = core.StrategyExtract
+	cfgA := cellBase()
+	ro, err := RunCell(cfgO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := RunCell(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.PerPacketUs >= ro.PerPacketUs {
+		t.Errorf("APCM per-packet %.1fus not below original %.1fus", ra.PerPacketUs, ro.PerPacketUs)
+	}
+	if ra.MeanLatencyUs >= ro.MeanLatencyUs {
+		t.Errorf("APCM mean latency %.1fus not below original %.1fus", ra.MeanLatencyUs, ro.MeanLatencyUs)
+	}
+}
+
+func TestRunCellValidation(t *testing.T) {
+	cfg := cellBase()
+	cfg.UEs = 0
+	if _, err := RunCell(cfg); err == nil {
+		t.Error("expected validation error")
+	}
+}

@@ -1,0 +1,247 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"vransim/internal/l2"
+	"vransim/internal/phy"
+	"vransim/internal/simd"
+	"vransim/internal/trace"
+	"vransim/internal/transport"
+	"vransim/internal/turbo"
+)
+
+// RunDownlink executes one downlink packet: the EPC delivers an IP
+// packet to the eNB, whose transmit processing (traced) builds the
+// radio frame; a functional UE receiver verifies delivery.
+func RunDownlink(cfg Config) (*Result, error) {
+	r := &runner{cfg: cfg}
+	mem := simd.NewMemory(64 << 20)
+	r.eng = simd.NewEngine(cfg.W, mem, trace.NewRecorder(1<<20))
+
+	// Internet side generates the packet; the EPC tunnels it in.
+	gen := transport.NewGenerator(cfg.Proto, cfg.Seed)
+	ipPacket, err := gen.Next(cfg.PacketBytes)
+	if err != nil {
+		return nil, err
+	}
+	epc := &transport.EPCPath{SGWTEID: 0x11, PGWTEID: 0x21, HopDelayUs: 30}
+
+	// ---- eNB transmit side (traced) ----
+	var arrived []byte
+	r.section("gtp", func() {
+		out, err2 := epc.Traverse(ipPacket)
+		if err2 != nil {
+			err = err2
+			return
+		}
+		arrived = out
+		for h := 0; h < 2; h++ {
+			r.eng.EmitScalarLoad("mov", int64(h*64), 8)
+			r.eng.EmitScalar("add", 4)
+			r.eng.EmitScalarStore("mov", int64(h*64), 8)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tb l2.TransportBlock
+	var tbsBytes int
+	r.section("l2", func() {
+		pdcp := &l2.PDCP{Eng: r.eng}
+		rlc := l2.NewRLC(9000)
+		pdu := pdcp.Encapsulate(arrived)
+		var rlcPDUs [][]byte
+		for _, s := range rlc.Segment(pdu) {
+			rlcPDUs = append(rlcPDUs, s.Marshal())
+		}
+		for _, p := range rlcPDUs {
+			tbsBytes += l2.MACHeaderLen + len(p)
+		}
+		mac := l2.NewMAC(tbsBytes)
+		var used int
+		tb, used = mac.BuildTB(rlcPDUs)
+		if used != len(rlcPDUs) {
+			err = fmt.Errorf("pipeline: MAC packed %d/%d PDUs", used, len(rlcPDUs))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// DCI for the downlink assignment.
+	r.section("dci", func() {
+		dci := phy.DCI{Payload: make([]byte, 31)}
+		coded := phy.EncodeDCI(dci)
+		_ = coded
+		r.eng.EmitScalar("xor", 3*(31+16))
+		r.eng.EmitScalarStore("mov", 0, 8)
+	})
+
+	// Channel coding.
+	withCRC := phy.AppendCRC(tb.Bits, phy.CRC24APoly, 24)
+	seg, err := phy.Segment(len(withCRC))
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := seg.Split(withCRC)
+	if err != nil {
+		return nil, err
+	}
+	code, err := turbo.NewCode(seg.K)
+	if err != nil {
+		return nil, err
+	}
+	ePerBlock := 3 * seg.K
+	d := seg.K + 4
+	rm := phy.NewRateMatcher(d)
+	res := &Result{TBBytes: tb.Bytes, CodeBlocks: seg.C, InfoBits: seg.C * seg.K}
+
+	var coded []byte
+	rm.Eng = r.eng
+	for _, blk := range blocks {
+		var cw *turbo.Codeword
+		r.section("turboenc", func() {
+			cw, err = code.EncodeTraced(r.eng, blk)
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.section("ratematch", func() {
+			s0, s1, s2 := padStreams(cw, d)
+			sel, err2 := rm.Match(s0, s1, s2, ePerBlock, 0)
+			if err2 != nil {
+				err = err2
+				return
+			}
+			coded = append(coded, sel...)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Scrambling.
+	var scrambled []byte
+	r.section("scramble", func() {
+		scr := phy.NewScrambler(phy.ScrambleInit(0x4321, 0, 4, 9), len(coded))
+		scr.Eng = r.eng
+		scrambled = scr.Apply(append([]byte(nil), coded...))
+	})
+
+	// Modulation + OFDM (IFFT).
+	bps := cfg.Mod.BitsPerSymbol()
+	padBits := (-len(scrambled)%bps + bps) % bps
+	scrambled = append(scrambled, make([]byte, padBits)...)
+	var syms []phy.IQ
+	r.section("mod", func() {
+		out, err2 := phy.Modulate(scrambled, cfg.Mod)
+		if err2 != nil {
+			err = err2
+			return
+		}
+		syms = out
+		// Mapping cost: table lookup + store per symbol.
+		for i := 0; i < len(out); i += 4 {
+			r.eng.EmitScalarLoad("mov", int64(i%4096), 8)
+			r.eng.EmitScalarStore("mov", int64(i%4096), 8)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	ofdm, err := phy.NewOFDM(512, 300, 36)
+	if err != nil {
+		return nil, err
+	}
+	txOFDM := *ofdm
+	txOFDM.Eng = r.eng
+	var txSamples [][]phy.IQ
+	r.section("ofdm", func() {
+		for off := 0; off < len(syms); off += ofdm.UsedCarriers {
+			grid := make([]phy.IQ, ofdm.UsedCarriers)
+			end := off + ofdm.UsedCarriers
+			if end > len(syms) {
+				copy(grid, syms[off:])
+			} else {
+				copy(grid, syms[off:end])
+			}
+			tx, err2 := txOFDM.Modulate(grid)
+			if err2 != nil {
+				err = err2
+				return
+			}
+			txSamples = append(txSamples, tx)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- UE receive side (functional, untraced) ----
+	ch := phy.NewAWGNChannel(cfg.SNRdB, cfg.Seed+23)
+	var rxSyms []phy.IQ
+	for _, s := range txSamples {
+		out, err2 := ofdm.Demodulate(ch.Apply(s))
+		if err2 != nil {
+			return nil, err2
+		}
+		rxSyms = append(rxSyms, out...)
+	}
+	dem := phy.Demodulator{M: cfg.Mod, NoiseVar: ofdm.SubcarrierNoiseVar(ch.NoiseVar()), Scale: 8}
+	llr := dem.Demodulate(rxSyms)[:len(coded)]
+	scr := phy.NewScrambler(phy.ScrambleInit(0x4321, 0, 4, 9), len(llr))
+	scr.ApplyLLR(llr)
+	clampLLRs(llr, turbo.LLRLimit-1)
+
+	decAll := make([][]byte, seg.C)
+	sc := turbo.NewDecoder(code)
+	sc.MaxIters = cfg.Iters + 2
+	rmRx := phy.NewRateMatcher(d)
+	for i := 0; i < seg.C; i++ {
+		d0, d1, d2 := rmRx.Dematch(llr[i*ePerBlock:(i+1)*ePerBlock], 0)
+		w := turbo.NewLLRWord(seg.K)
+		copy(w.Sys, d0[:seg.K])
+		copy(w.P1, d1[:seg.K])
+		copy(w.P2, d2[:seg.K])
+		for j := 0; j < 3; j++ {
+			w.TailSys[j] = d0[seg.K+j]
+			w.TailP1[j] = d1[seg.K+j]
+		}
+		bits, _, err2 := sc.Decode(w)
+		if err2 != nil {
+			return nil, err2
+		}
+		decAll[i] = bits
+	}
+	joined, blocksOK, err := seg.Join(decAll)
+	if err != nil {
+		return nil, err
+	}
+	res.CRCOK = blocksOK && phy.CheckCRC(joined, phy.CRC24APoly, 24)
+	rxMAC := l2.NewMAC(tb.Bytes)
+	pdus, err := rxMAC.ParseTB(l2.TransportBlock{Bits: joined[:len(joined)-24], Bytes: tb.Bytes})
+	if err != nil {
+		return nil, err
+	}
+	rxRLC := l2.NewRLC(9000)
+	var sdu []byte
+	for _, p := range pdus {
+		segp, err2 := l2.UnmarshalRLC(p)
+		if err2 != nil {
+			return nil, err2
+		}
+		if out := rxRLC.Deliver(segp); out != nil {
+			sdu = out
+		}
+	}
+	rxPDCP := &l2.PDCP{}
+	ip, _, err := rxPDCP.Decapsulate(sdu)
+	if err != nil {
+		return nil, err
+	}
+	res.PayloadOK = bytesEqual(ip, ipPacket)
+	r.finish(res, epc.PathLatencyUs())
+	return res, nil
+}

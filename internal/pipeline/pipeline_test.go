@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"testing"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/transport"
+)
+
+func TestUplinkPacketSurvives(t *testing.T) {
+	for _, proto := range []transport.Proto{transport.UDP, transport.TCP} {
+		cfg := DefaultConfig(simd.W128, core.StrategyAPCM, proto, 128)
+		res, err := RunUplink(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if !res.CRCOK {
+			t.Errorf("%v: transport block CRC failed", proto)
+		}
+		if !res.PayloadOK {
+			t.Errorf("%v: delivered payload differs from sent packet", proto)
+		}
+		if res.TotalUs <= 0 {
+			t.Errorf("%v: nonpositive total time", proto)
+		}
+	}
+}
+
+func TestUplinkStagesPresent(t *testing.T) {
+	cfg := DefaultConfig(simd.W128, core.StrategyExtract, transport.UDP, 128)
+	res, err := RunUplink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ofdm", "demod", "descramble", "dci", "ratematch",
+		"arrangement", "gamma", "alpha", "beta+ext", "ext", "interleave", "l2", "gtp"} {
+		if _, ok := res.Stage(want); !ok {
+			t.Errorf("missing stage %q", want)
+		}
+	}
+	// OFDM runs scalar code: its IPC must be high (the paper's "do
+	// OFDM" observation); the extract arrangement must be store-bound
+	// with low IPC.
+	ofdm, _ := res.Stage("ofdm")
+	if ofdm.IPC < 3.0 {
+		t.Errorf("OFDM IPC = %.2f, want near 4 (scalar module)", ofdm.IPC)
+	}
+	arr, _ := res.Stage("arrangement")
+	if arr.IPC > 2.0 {
+		t.Errorf("extract arrangement IPC = %.2f, want < 2", arr.IPC)
+	}
+	if arr.TD.BackendBound < 0.3 {
+		t.Errorf("extract arrangement backend bound = %.2f, want high", arr.TD.BackendBound)
+	}
+}
+
+func TestUplinkAPCMFasterArrangement(t *testing.T) {
+	orig, err := RunUplink(DefaultConfig(simd.W128, core.StrategyExtract, transport.UDP, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	apcm, err := RunUplink(DefaultConfig(simd.W128, core.StrategyAPCM, transport.UDP, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao := orig.StageUs("arrangement")
+	aa := apcm.StageUs("arrangement")
+	if aa >= ao {
+		t.Errorf("APCM arrangement %.2fus not faster than original %.2fus", aa, ao)
+	}
+	reduction := 1 - aa/ao
+	if reduction < 0.4 {
+		t.Errorf("arrangement time reduction %.0f%%, want >= 40%%", reduction*100)
+	}
+	if apcm.Total.Cycles >= orig.Total.Cycles {
+		t.Errorf("APCM total %d cycles not below original %d", apcm.Total.Cycles, orig.Total.Cycles)
+	}
+}
+
+func TestDownlinkPacketSurvives(t *testing.T) {
+	cfg := DefaultConfig(simd.W128, core.StrategyAPCM, transport.UDP, 128)
+	res, err := RunDownlink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CRCOK || !res.PayloadOK {
+		t.Errorf("downlink delivery failed (crc=%v payload=%v)", res.CRCOK, res.PayloadOK)
+	}
+	for _, want := range []string{"gtp", "l2", "dci", "turboenc", "ratematch", "scramble", "mod", "ofdm"} {
+		if _, ok := res.Stage(want); !ok {
+			t.Errorf("missing downlink stage %q", want)
+		}
+	}
+}
+
+func TestUplinkLargerPacketsCostMore(t *testing.T) {
+	small, err := RunUplink(DefaultConfig(simd.W128, core.StrategyAPCM, transport.UDP, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RunUplink(DefaultConfig(simd.W128, core.StrategyAPCM, transport.UDP, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Total.Cycles <= small.Total.Cycles {
+		t.Errorf("512B packet (%d cycles) not costlier than 64B (%d cycles)",
+			large.Total.Cycles, small.Total.Cycles)
+	}
+	if large.TBBytes <= small.TBBytes {
+		t.Error("TB size did not grow with packet size")
+	}
+}
+
+func TestUplinkWidths(t *testing.T) {
+	for _, w := range simd.Widths {
+		res, err := RunUplink(DefaultConfig(w, core.StrategyAPCM, transport.UDP, 128))
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		if !res.PayloadOK {
+			t.Errorf("%v: payload corrupted", w)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package pipeline
+
+import "math"
+
+// TTIConfig describes the cell-level throughput question of Figure 16:
+// transport blocks arrive every TTI and a pool of identical cores
+// processes them; a block missing its HARQ deadline is lost.
+type TTIConfig struct {
+	// TTIUs is the transmission time interval (LTE: 1000 µs).
+	TTIUs float64
+	// ProcUs is the per-transport-block processing time on one core
+	// (measured by RunUplink).
+	ProcUs float64
+	// TBBits is the information payload per transport block.
+	TBBits int
+	// DeadlineUs is the processing deadline (the HARQ round-trip
+	// budget; LTE uplink leaves ~3 ms for eNB processing).
+	DeadlineUs float64
+	// Cores is the pool size.
+	Cores int
+}
+
+// DefaultTTI returns LTE-shaped timing around a measured per-TB cost.
+func DefaultTTI(procUs float64, tbBits, cores int) TTIConfig {
+	return TTIConfig{TTIUs: 1000, ProcUs: procUs, TBBits: tbBits, DeadlineUs: 3000, Cores: cores}
+}
+
+// Simulate runs nTTIs intervals with `perTTI` transport blocks arriving
+// each TTI, processed FIFO by the core pool, and returns the fraction of
+// blocks that met the deadline and the achieved goodput in Mbps.
+func (c TTIConfig) Simulate(perTTI, nTTIs int) (delivered float64, mbps float64) {
+	if perTTI <= 0 || nTTIs <= 0 || c.Cores <= 0 {
+		return 0, 0
+	}
+	// coreFree[i] is when core i next becomes idle (µs).
+	coreFree := make([]float64, c.Cores)
+	total := 0
+	ok := 0
+	for tti := 0; tti < nTTIs; tti++ {
+		arrive := float64(tti) * c.TTIUs
+		for j := 0; j < perTTI; j++ {
+			total++
+			// Earliest-free core.
+			best := 0
+			for i := 1; i < c.Cores; i++ {
+				if coreFree[i] < coreFree[best] {
+					best = i
+				}
+			}
+			start := math.Max(arrive, coreFree[best])
+			finish := start + c.ProcUs
+			coreFree[best] = finish
+			if finish-arrive <= c.DeadlineUs {
+				ok++
+			}
+		}
+	}
+	delivered = float64(ok) / float64(total)
+	horizon := float64(nTTIs) * c.TTIUs
+	mbps = float64(ok) * float64(c.TBBits) / horizon // bits/µs = Mbps
+	return delivered, mbps
+}
+
+// MaxStableLoad returns the largest per-TTI block count whose delivery
+// ratio stays at or above the target (e.g. 0.99), and the corresponding
+// goodput.
+func (c TTIConfig) MaxStableLoad(target float64, nTTIs int) (perTTI int, mbps float64) {
+	best, bestMbps := 0, 0.0
+	for load := 1; load <= 4*c.Cores+8; load++ {
+		d, m := c.Simulate(load, nTTIs)
+		if d >= target {
+			best, bestMbps = load, m
+		} else if load > best+2 {
+			break
+		}
+	}
+	return best, bestMbps
+}
+
+// CoresForTarget returns the smallest pool able to sustain targetMbps
+// with the given delivery ratio.
+func CoresForTarget(targetMbps float64, procUs float64, tbBits int, delivery float64) int {
+	for cores := 1; cores <= 256; cores++ {
+		cfg := DefaultTTI(procUs, tbBits, cores)
+		_, mbps := cfg.MaxStableLoad(delivery, 200)
+		if mbps >= targetMbps {
+			return cores
+		}
+	}
+	return -1
+}

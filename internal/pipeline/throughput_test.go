@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTTISimulateUnderload(t *testing.T) {
+	// One 500µs block per 1000µs TTI on one core: everything delivered.
+	cfg := DefaultTTI(500, 12000, 1)
+	d, mbps := cfg.Simulate(1, 100)
+	if d != 1 {
+		t.Errorf("delivery %f, want 1 under light load", d)
+	}
+	if mbps < 11.9 || mbps > 12.1 {
+		t.Errorf("goodput %f Mbps, want ~12", mbps)
+	}
+}
+
+func TestTTISimulateOverload(t *testing.T) {
+	// Four 800µs blocks per TTI on one core: the queue grows without
+	// bound and deadlines start failing.
+	cfg := DefaultTTI(800, 12000, 1)
+	d, _ := cfg.Simulate(4, 200)
+	if d > 0.5 {
+		t.Errorf("delivery %f under 3.2x overload, want low", d)
+	}
+}
+
+func TestTTIMoreCoresMoreGoodput(t *testing.T) {
+	one := DefaultTTI(700, 12000, 1)
+	four := DefaultTTI(700, 12000, 4)
+	_, m1 := one.MaxStableLoad(0.99, 200)
+	_, m4 := four.MaxStableLoad(0.99, 200)
+	if m4 < 3*m1 {
+		t.Errorf("4 cores sustain %f Mbps vs 1 core %f; want ~4x", m4, m1)
+	}
+}
+
+func TestCoresForTarget(t *testing.T) {
+	// 12 kb per TB at 600 µs/TB ⇒ one core sustains ~20 Mbps; 300 Mbps
+	// needs ~15-16 cores.
+	cores := CoresForTarget(300, 600, 12000, 0.99)
+	if cores < 14 || cores > 18 {
+		t.Errorf("cores for 300 Mbps = %d, want ~15-16", cores)
+	}
+	// A faster per-TB time must not need more cores.
+	faster := CoresForTarget(300, 450, 12000, 0.99)
+	if faster > cores {
+		t.Errorf("faster processing needs %d cores > %d", faster, cores)
+	}
+}
+
+// Property: delivery ratio never increases when load increases.
+func TestTTIDeliveryMonotone(t *testing.T) {
+	f := func(procRaw uint8, coresRaw uint8) bool {
+		cfg := DefaultTTI(float64(procRaw%200)*10+100, 10000, int(coresRaw%4)+1)
+		prev := 1.0
+		for load := 1; load <= 6; load++ {
+			d, _ := cfg.Simulate(load, 50)
+			if d > prev+1e-9 {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTTIEdgeCases(t *testing.T) {
+	cfg := DefaultTTI(100, 1000, 0)
+	if d, m := cfg.Simulate(1, 10); d != 0 || m != 0 {
+		t.Error("zero cores should deliver nothing")
+	}
+	cfg = DefaultTTI(100, 1000, 1)
+	if d, m := cfg.Simulate(0, 10); d != 0 || m != 0 {
+		t.Error("zero load should report zeros")
+	}
+}

@@ -1,0 +1,55 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse hardens the packet parser: arbitrary bytes must never panic,
+// and any packet Parse accepts must survive a marshal/parse round trip
+// with identical decoded fields (byte-level identity is not required:
+// the parser tolerates header fields Marshal normalizes, e.g. TCP
+// window/flags).
+func FuzzParse(f *testing.F) {
+	g := NewGenerator(UDP, 1)
+	for _, size := range []int{28, 64, 256} {
+		b, _ := g.Next(size)
+		f.Add(b)
+	}
+	gt := NewGenerator(TCP, 2)
+	b, _ := gt.Next(128)
+	f.Add(b)
+	f.Add([]byte{})
+	f.Add([]byte{0x45})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		p2, err := Parse(p.Marshal())
+		if err != nil {
+			t.Fatalf("re-parse of marshaled packet failed: %v", err)
+		}
+		if p2.Proto != p.Proto || p2.SrcIP != p.SrcIP || p2.DstIP != p.DstIP ||
+			p2.SrcPort != p.SrcPort || p2.DstPort != p.DstPort || p2.Seq != p.Seq ||
+			!bytes.Equal(p2.Payload, p.Payload) {
+			t.Fatal("decoded fields changed across a marshal/parse round trip")
+		}
+	})
+}
+
+// FuzzGTPDecap: arbitrary bytes must never panic; accepted tunnels
+// round-trip.
+func FuzzGTPDecap(f *testing.F) {
+	f.Add(GTPEncap(7, []byte("payload")))
+	f.Add([]byte{0x30, 0xff, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		teid, inner, err := GTPDecap(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(GTPEncap(teid, inner), data) {
+			t.Fatal("accepted GTP packet does not round-trip")
+		}
+	})
+}

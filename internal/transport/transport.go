@@ -1,0 +1,276 @@
+// Package transport builds and parses the packets that traverse the
+// vRAN: IPv4 with UDP or TCP payloads generated at the UE side, and the
+// GTP-U-style tunnel encapsulation the EPC applies between the S-GW and
+// P-GW hops of the paper's Figure 1 topology.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+)
+
+// Proto selects the transport protocol of a generated packet.
+type Proto int
+
+// Supported transport protocols.
+const (
+	UDP Proto = iota
+	TCP
+)
+
+// String names the protocol.
+func (p Proto) String() string {
+	if p == UDP {
+		return "UDP"
+	}
+	return "TCP"
+}
+
+// Header lengths in octets.
+const (
+	IPv4HeaderLen = 20
+	UDPHeaderLen  = 8
+	TCPHeaderLen  = 20
+	GTPHeaderLen  = 8
+)
+
+// checksum16 is the Internet ones'-complement checksum.
+func checksum16(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Packet describes one generated packet.
+type Packet struct {
+	Proto   Proto
+	SrcIP   [4]byte
+	DstIP   [4]byte
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Payload []byte
+}
+
+// Marshal renders the packet as IPv4 bytes with valid checksums.
+func (p *Packet) Marshal() []byte {
+	var l4 []byte
+	switch p.Proto {
+	case UDP:
+		l4 = make([]byte, UDPHeaderLen+len(p.Payload))
+		binary.BigEndian.PutUint16(l4[0:], p.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:], p.DstPort)
+		binary.BigEndian.PutUint16(l4[4:], uint16(len(l4)))
+		copy(l4[UDPHeaderLen:], p.Payload)
+		binary.BigEndian.PutUint16(l4[6:], p.l4Checksum(l4, 17))
+	case TCP:
+		l4 = make([]byte, TCPHeaderLen+len(p.Payload))
+		binary.BigEndian.PutUint16(l4[0:], p.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:], p.DstPort)
+		binary.BigEndian.PutUint32(l4[4:], p.Seq)
+		l4[12] = 5 << 4 // data offset
+		l4[13] = 0x18   // PSH|ACK
+		binary.BigEndian.PutUint16(l4[14:], 65535)
+		copy(l4[TCPHeaderLen:], p.Payload)
+		binary.BigEndian.PutUint16(l4[16:], p.l4Checksum(l4, 6))
+	}
+	ip := make([]byte, IPv4HeaderLen, IPv4HeaderLen+len(l4))
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:], uint16(IPv4HeaderLen+len(l4)))
+	ip[8] = 64 // TTL
+	if p.Proto == UDP {
+		ip[9] = 17
+	} else {
+		ip[9] = 6
+	}
+	copy(ip[12:16], p.SrcIP[:])
+	copy(ip[16:20], p.DstIP[:])
+	binary.BigEndian.PutUint16(ip[10:], checksum16(ip))
+	return append(ip, l4...)
+}
+
+// l4Checksum computes the UDP/TCP checksum with the IPv4 pseudo-header.
+func (p *Packet) l4Checksum(l4 []byte, proto byte) uint16 {
+	pseudo := make([]byte, 12+len(l4))
+	copy(pseudo[0:4], p.SrcIP[:])
+	copy(pseudo[4:8], p.DstIP[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(l4)))
+	copy(pseudo[12:], l4)
+	return checksum16(pseudo)
+}
+
+// Parse validates an IPv4 packet and returns its decoded form.
+func Parse(b []byte) (*Packet, error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, fmt.Errorf("transport: short IP packet (%d)", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return nil, fmt.Errorf("transport: not IPv4")
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total != len(b) {
+		return nil, fmt.Errorf("transport: IP length %d != %d", total, len(b))
+	}
+	if checksum16(b[:IPv4HeaderLen]) != 0 {
+		return nil, fmt.Errorf("transport: IP header checksum failed")
+	}
+	p := &Packet{}
+	copy(p.SrcIP[:], b[12:16])
+	copy(p.DstIP[:], b[16:20])
+	l4 := b[IPv4HeaderLen:]
+	switch b[9] {
+	case 17:
+		p.Proto = UDP
+		if len(l4) < UDPHeaderLen {
+			return nil, fmt.Errorf("transport: short UDP")
+		}
+		p.SrcPort = binary.BigEndian.Uint16(l4[0:])
+		p.DstPort = binary.BigEndian.Uint16(l4[2:])
+		if int(binary.BigEndian.Uint16(l4[4:])) != len(l4) {
+			return nil, fmt.Errorf("transport: UDP length field %d != %d", binary.BigEndian.Uint16(l4[4:]), len(l4))
+		}
+		if p.l4Checksum(zeroChecksum(l4, 6), 17) != binary.BigEndian.Uint16(l4[6:]) {
+			return nil, fmt.Errorf("transport: UDP checksum failed")
+		}
+		p.Payload = l4[UDPHeaderLen:]
+	case 6:
+		p.Proto = TCP
+		if len(l4) < TCPHeaderLen {
+			return nil, fmt.Errorf("transport: short TCP")
+		}
+		p.SrcPort = binary.BigEndian.Uint16(l4[0:])
+		p.DstPort = binary.BigEndian.Uint16(l4[2:])
+		p.Seq = binary.BigEndian.Uint32(l4[4:])
+		if p.l4Checksum(zeroChecksum(l4, 16), 6) != binary.BigEndian.Uint16(l4[16:]) {
+			return nil, fmt.Errorf("transport: TCP checksum failed")
+		}
+		p.Payload = l4[TCPHeaderLen:]
+	default:
+		return nil, fmt.Errorf("transport: protocol %d unsupported", b[9])
+	}
+	return p, nil
+}
+
+// zeroChecksum returns a copy of l4 with the checksum field at off
+// zeroed, for verification.
+func zeroChecksum(l4 []byte, off int) []byte {
+	c := append([]byte(nil), l4...)
+	c[off] = 0
+	c[off+1] = 0
+	return c
+}
+
+// ------------------------------------------------------------- GTP-U
+
+// GTPEncap wraps an IP packet in a GTP-U-style tunnel header with the
+// given tunnel endpoint id, as the S-GW/P-GW hops do.
+func GTPEncap(teid uint32, inner []byte) []byte {
+	out := make([]byte, GTPHeaderLen+len(inner))
+	out[0] = 0x30 // version 1, PT=1
+	out[1] = 0xff // G-PDU
+	binary.BigEndian.PutUint16(out[2:], uint16(len(inner)))
+	binary.BigEndian.PutUint32(out[4:], teid)
+	copy(out[GTPHeaderLen:], inner)
+	return out
+}
+
+// GTPDecap removes the tunnel header, returning the TEID and inner
+// packet.
+func GTPDecap(b []byte) (uint32, []byte, error) {
+	if len(b) < GTPHeaderLen {
+		return 0, nil, fmt.Errorf("transport: short GTP packet")
+	}
+	if b[0] != 0x30 || b[1] != 0xff {
+		return 0, nil, fmt.Errorf("transport: not a GTP-U G-PDU")
+	}
+	n := int(binary.BigEndian.Uint16(b[2:]))
+	if n != len(b)-GTPHeaderLen {
+		return 0, nil, fmt.Errorf("transport: GTP length %d != %d", n, len(b)-GTPHeaderLen)
+	}
+	return binary.BigEndian.Uint32(b[4:]), b[GTPHeaderLen:], nil
+}
+
+// ---------------------------------------------------------- generator
+
+// StandardPacketSizes is the sweep of Figure 13.
+var StandardPacketSizes = []int{64, 128, 256, 512, 1024, 1500}
+
+// Generator produces deterministic test traffic.
+type Generator struct {
+	Proto Proto
+	rng   *rand.Rand
+	seq   uint32
+}
+
+// NewGenerator builds a generator for the given protocol and seed.
+func NewGenerator(p Proto, seed int64) *Generator {
+	return &Generator{Proto: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns a marshaled packet whose total IP length is sizeBytes.
+func (g *Generator) Next(sizeBytes int) ([]byte, error) {
+	hdr := IPv4HeaderLen + UDPHeaderLen
+	if g.Proto == TCP {
+		hdr = IPv4HeaderLen + TCPHeaderLen
+	}
+	if sizeBytes < hdr {
+		return nil, fmt.Errorf("transport: size %d below header overhead %d", sizeBytes, hdr)
+	}
+	payload := make([]byte, sizeBytes-hdr)
+	for i := range payload {
+		payload[i] = byte(g.rng.Intn(256))
+	}
+	g.seq++
+	p := &Packet{
+		Proto:   g.Proto,
+		SrcIP:   [4]byte{10, 0, 0, 2},
+		DstIP:   [4]byte{10, 0, 0, 1},
+		SrcPort: 40000,
+		DstPort: 5001,
+		Seq:     g.seq,
+		Payload: payload,
+	}
+	return p.Marshal(), nil
+}
+
+// EPCPath models the core-network hops of Figure 1: eNB -> S-GW -> P-GW.
+// Each hop decapsulates/re-encapsulates the GTP tunnel; PathLatency
+// returns the fixed processing delay the hops add.
+type EPCPath struct {
+	// SGWTEID and PGWTEID are the tunnel ids of the two hops.
+	SGWTEID, PGWTEID uint32
+	// HopDelayUs is the per-hop processing delay in microseconds (the
+	// EPC runs on its own wimpy node in the testbed).
+	HopDelayUs float64
+}
+
+// Traverse carries an uplink IP packet through the tunnel hops,
+// returning the packet as delivered to the external network.
+func (e *EPCPath) Traverse(ip []byte) ([]byte, error) {
+	// eNB -> S-GW
+	t1 := GTPEncap(e.SGWTEID, ip)
+	teid, inner, err := GTPDecap(t1)
+	if err != nil || teid != e.SGWTEID {
+		return nil, fmt.Errorf("transport: S-GW decap failed: %v", err)
+	}
+	// S-GW -> P-GW
+	t2 := GTPEncap(e.PGWTEID, inner)
+	teid, inner, err = GTPDecap(t2)
+	if err != nil || teid != e.PGWTEID {
+		return nil, fmt.Errorf("transport: P-GW decap failed: %v", err)
+	}
+	return inner, nil
+}
+
+// PathLatencyUs is the total EPC processing delay.
+func (e *EPCPath) PathLatencyUs() float64 { return 2 * e.HopDelayUs }

@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUDPPacketRoundTrip(t *testing.T) {
+	p := &Packet{
+		Proto: UDP, SrcIP: [4]byte{10, 0, 0, 2}, DstIP: [4]byte{10, 0, 0, 1},
+		SrcPort: 1234, DstPort: 5678, Payload: []byte("payload bytes"),
+	}
+	b := p.Marshal()
+	if len(b) != IPv4HeaderLen+UDPHeaderLen+len(p.Payload) {
+		t.Fatalf("marshaled length %d", len(b))
+	}
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Proto != UDP || got.SrcPort != 1234 || got.DstPort != 5678 || !bytes.Equal(got.Payload, p.Payload) {
+		t.Error("UDP roundtrip mismatch")
+	}
+}
+
+func TestTCPPacketRoundTrip(t *testing.T) {
+	p := &Packet{
+		Proto: TCP, SrcIP: [4]byte{192, 168, 0, 7}, DstIP: [4]byte{8, 8, 8, 8},
+		SrcPort: 40000, DstPort: 443, Seq: 0xdeadbeef, Payload: bytes.Repeat([]byte{7}, 100),
+	}
+	got, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Proto != TCP || got.Seq != 0xdeadbeef || !bytes.Equal(got.Payload, p.Payload) {
+		t.Error("TCP roundtrip mismatch")
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	p := &Packet{Proto: UDP, Payload: []byte{1, 2, 3, 4}}
+	b := p.Marshal()
+	for _, off := range []int{5, 12, 25, len(b) - 1} {
+		c := append([]byte(nil), b...)
+		c[off] ^= 0x40
+		if _, err := Parse(c); err == nil {
+			t.Errorf("corruption at byte %d accepted", off)
+		}
+	}
+	if _, err := Parse(b[:10]); err == nil {
+		t.Error("short packet accepted")
+	}
+	// Wrong total length.
+	if _, err := Parse(append(b, 0)); err == nil {
+		t.Error("padded packet accepted")
+	}
+}
+
+func TestGTPRoundTrip(t *testing.T) {
+	inner := []byte("inner ip packet")
+	enc := GTPEncap(0x11223344, inner)
+	teid, got, err := GTPDecap(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if teid != 0x11223344 || !bytes.Equal(got, inner) {
+		t.Error("GTP roundtrip mismatch")
+	}
+	if _, _, err := GTPDecap(enc[:4]); err == nil {
+		t.Error("short GTP accepted")
+	}
+	enc[1] = 0x01
+	if _, _, err := GTPDecap(enc); err == nil {
+		t.Error("non-G-PDU accepted")
+	}
+}
+
+func TestGeneratorSizes(t *testing.T) {
+	for _, proto := range []Proto{UDP, TCP} {
+		g := NewGenerator(proto, 1)
+		for _, size := range StandardPacketSizes {
+			b, err := g.Next(size)
+			if err != nil {
+				t.Fatalf("%v %d: %v", proto, size, err)
+			}
+			if len(b) != size {
+				t.Errorf("%v: generated %d bytes, want %d", proto, len(b), size)
+			}
+			if _, err := Parse(b); err != nil {
+				t.Errorf("%v %d: generated packet unparseable: %v", proto, size, err)
+			}
+		}
+		if _, err := g.Next(10); err == nil {
+			t.Error("sub-header size accepted")
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, _ := NewGenerator(UDP, 7).Next(256)
+	b, _ := NewGenerator(UDP, 7).Next(256)
+	if !bytes.Equal(a, b) {
+		t.Error("generator not deterministic for equal seeds")
+	}
+}
+
+func TestEPCPathTraverse(t *testing.T) {
+	g := NewGenerator(UDP, 2)
+	ip, _ := g.Next(512)
+	e := &EPCPath{SGWTEID: 100, PGWTEID: 200, HopDelayUs: 50}
+	out, err := e.Traverse(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, ip) {
+		t.Error("EPC path altered the packet")
+	}
+	if e.PathLatencyUs() != 100 {
+		t.Errorf("path latency %f, want 100", e.PathLatencyUs())
+	}
+}
+
+// Property: marshal/parse is the identity on payloads for both protocols.
+func TestPacketProperty(t *testing.T) {
+	f := func(payload []byte, tcp bool, sp, dp uint16) bool {
+		proto := UDP
+		if tcp {
+			proto = TCP
+		}
+		p := &Packet{Proto: proto, SrcPort: sp, DstPort: dp, Payload: payload}
+		got, err := Parse(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.SrcPort == sp && got.DstPort == dp && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if UDP.String() != "UDP" || TCP.String() != "TCP" {
+		t.Error("Proto names wrong")
+	}
+}

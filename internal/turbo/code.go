@@ -1,0 +1,138 @@
+package turbo
+
+import "fmt"
+
+// Code is a configured turbo code: block size plus interleaver.
+type Code struct {
+	K       int
+	qpp     *QPP
+	trellis *Trellis
+}
+
+// NewCode builds the turbo code for information block length k (which
+// must be a supported block size; see BlockSizes).
+func NewCode(k int) (*Code, error) {
+	if !ValidBlockSize(k) {
+		return nil, fmt.Errorf("turbo: unsupported block size %d (nearest: %d)", k, NearestBlockSize(k))
+	}
+	q, err := NewQPP(k)
+	if err != nil {
+		return nil, err
+	}
+	return &Code{K: k, qpp: q, trellis: NewTrellis()}, nil
+}
+
+// QPP exposes the interleaver.
+func (c *Code) QPP() *QPP { return c.qpp }
+
+// Trellis exposes the branch tables.
+func (c *Code) Trellis() *Trellis { return c.trellis }
+
+// Codeword is the encoder output: the three K-bit streams plus the
+// termination tail of the first constituent encoder. (The second
+// constituent is left unterminated and the decoder initializes its
+// backward recursion equiprobably — a standard simplification that
+// avoids the 3GPP tail-bit multiplexing; see DESIGN.md.)
+type Codeword struct {
+	Sys     []byte // systematic bits, length K
+	P1      []byte // parity of encoder 1 (natural order), length K
+	P2      []byte // parity of encoder 2 (interleaved order), length K
+	TailSys [3]byte
+	TailP1  [3]byte
+}
+
+// Bits returns the total number of transmitted bits.
+func (cw *Codeword) Bits() int { return 3*len(cw.Sys) + 6 }
+
+// Encode produces the codeword for K information bits (values 0/1).
+func (c *Code) Encode(bits []byte) (*Codeword, error) {
+	if len(bits) != c.K {
+		return nil, fmt.Errorf("turbo: got %d bits, code expects %d", len(bits), c.K)
+	}
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("turbo: bit %d has non-binary value %d", i, b)
+		}
+	}
+	cw := &Codeword{Sys: append([]byte(nil), bits...)}
+	var p1 []byte
+	p1, cw.TailSys, cw.TailP1 = EncodeRSC(bits)
+	cw.P1 = p1
+	perm := c.qpp.InterleaveBits(bits)
+	cw.P2, _, _ = EncodeRSC(perm)
+	return cw, nil
+}
+
+// EncodeTraced encodes like Encode and additionally emits a
+// representative scalar µop stream into e: per information bit, each of
+// the two constituent encoders performs a handful of table lookups,
+// XORs and stores, plus the interleaver's address computation. Turbo
+// encoding is one of the high-retiring scalar modules of the downlink
+// profile (Figure 4/6).
+func (c *Code) EncodeTraced(e interface {
+	EmitScalar(string, int)
+	EmitScalarLoad(string, int64, int)
+	EmitScalarStore(string, int64, int)
+	EmitBranch(string)
+}, bits []byte) (*Codeword, error) {
+	cw, err := c.Encode(bits)
+	if err != nil {
+		return nil, err
+	}
+	for i := range bits {
+		e.EmitScalar("xor", 4)
+		e.EmitScalarLoad("mov", int64(i*2%4096), 2)
+		e.EmitScalarStore("mov", int64(i*2%4096), 2)
+		if i%8 == 7 {
+			e.EmitBranch("jnz")
+		}
+	}
+	return cw, nil
+}
+
+// LLRWord carries the received soft values, one int16 LLR per
+// transmitted bit, with the convention LLR > 0 ⇒ bit 0 more likely.
+type LLRWord struct {
+	Sys     []int16
+	P1      []int16
+	P2      []int16
+	TailSys [3]int16
+	TailP1  [3]int16
+}
+
+// NewLLRWord allocates an LLR word for block size k.
+func NewLLRWord(k int) *LLRWord {
+	return &LLRWord{
+		Sys: make([]int16, k),
+		P1:  make([]int16, k),
+		P2:  make([]int16, k),
+	}
+}
+
+// FromHard fills the word with noiseless LLRs of amplitude amp for the
+// given codeword — the decoder's easiest input, used by tests.
+func (w *LLRWord) FromHard(cw *Codeword, amp int16) {
+	conv := func(dst []int16, src []byte) {
+		for i, b := range src {
+			if b == 0 {
+				dst[i] = amp
+			} else {
+				dst[i] = -amp
+			}
+		}
+	}
+	conv(w.Sys, cw.Sys)
+	conv(w.P1, cw.P1)
+	conv(w.P2, cw.P2)
+	for i := 0; i < 3; i++ {
+		w.TailSys[i] = hardLLR(cw.TailSys[i], amp)
+		w.TailP1[i] = hardLLR(cw.TailP1[i], amp)
+	}
+}
+
+func hardLLR(bit byte, amp int16) int16 {
+	if bit == 0 {
+		return amp
+	}
+	return -amp
+}

@@ -1,0 +1,566 @@
+package turbo
+
+import (
+	"fmt"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+)
+
+// MultiSIMDDecoder decodes several equal-size code blocks *in parallel
+// lanes*: the 8 trellis states of block b occupy lanes 8b..8b+7, so an
+// AVX256 register carries two blocks' recursions and an AVX512 register
+// four. This is the natural way wider SIMD accelerates the
+// calculation-heavy recursions (a transport block is segmented into
+// same-K code blocks precisely so they can be decoded together), and it
+// makes the decoder's calculation time scale with register width as in
+// the paper's Figure 9.
+//
+// Functionally each lane group is independent, so the result is
+// bit-identical to running SIMDDecoder on each block (tested).
+type MultiSIMDDecoder struct {
+	Code                 *Code
+	MaxIters             int
+	EarlyExit            bool
+	RearrangePerHalfIter bool
+
+	// Marks accumulates per-phase trace attribution like SIMDDecoder.
+	Marks []PhaseMark
+}
+
+// NewMultiSIMDDecoder builds a lane-parallel decoder for code c.
+func NewMultiSIMDDecoder(c *Code) *MultiSIMDDecoder {
+	return &MultiSIMDDecoder{Code: c, MaxIters: 6, EarlyExit: true, RearrangePerHalfIter: true}
+}
+
+// BlocksPerRegister returns how many code blocks width w decodes at
+// once.
+func BlocksPerRegister(w simd.Width) int { return w.Lanes16() / NumStates }
+
+// multiState carries the per-run working set.
+type multiState struct {
+	e   *simd.Engine
+	lay core.Layout
+	nb  int // blocks in flight
+
+	// Per-block arranged arrays and inputs.
+	in    []ArrangedInput
+	sPerm []int64
+	la1   []int64
+	la2   []int64
+	ext   []int64
+	g0    []int64
+	g1    []int64
+	dPost []int64
+	tailG []int64
+
+	alpha int64 // shared history: one full-width register per step
+
+	zero *simd.Vec
+	// Masks replicated across the nb blocks.
+	maskAlphaU0, maskAlphaU0N *simd.Vec
+	maskAlphaU1, maskAlphaU1N *simd.Vec
+	maskCurU0, maskCurU0N     *simd.Vec
+	maskCurU1, maskCurU1N     *simd.Vec
+	// blockMask[b] selects the lanes of lane group b (gamma packing).
+	blockMask []*simd.Vec
+	// Scratch registers for the gamma packing.
+	packT, packA *simd.Vec
+	// Permutation index tables, replicated per block.
+	prevIdx0, prevIdx1 []int
+	nextIdx0, nextIdx1 []int
+	lane0Idx           []int
+	spreadIdx          []int // lane 8b+s <- lane b (gamma spread)
+	hmaxIdx            [3][]int
+}
+
+func (st *multiState) elemAddr(base int64, k int) int64 {
+	g, jj := k/st.lay.GroupLanes, k%st.lay.GroupLanes
+	return base + 2*int64(g*st.lay.StrideLanes+st.lay.LanePos[jj])
+}
+
+func (st *multiState) vecAddr(base int64, g, rot int) int64 {
+	return base + 2*int64(g*st.lay.StrideLanes+rot)
+}
+
+// Decode decodes words (one per lane group, at most BlocksPerRegister)
+// with arrangement mechanism ar, returning the per-block hard decisions.
+// A partially filled batch pads the remaining lane groups with copies of
+// the first block (their results are discarded) — wasting lanes, exactly
+// as real lane-parallel decoders do on the tail of a transport block.
+func (d *MultiSIMDDecoder) Decode(e *simd.Engine, ar core.Arranger, words []*LLRWord) ([][]byte, int, error) {
+	nb := BlocksPerRegister(e.W)
+	if nb < 1 {
+		return nil, 0, fmt.Errorf("turbo: width %v too narrow for lane-parallel decode", e.W)
+	}
+	if len(words) < 1 || len(words) > nb {
+		return nil, 0, fmt.Errorf("turbo: got %d blocks, %v decodes 1..%d at once", len(words), e.W, nb)
+	}
+	requested := len(words)
+	for len(words) < nb {
+		words = append(words, words[0])
+	}
+	k := d.Code.K
+	qpp := d.Code.qpp
+	tr := d.Code.trellis
+	lay := ar.Layout(e.W)
+
+	st := &multiState{e: e, lay: lay, nb: nb}
+	d.Marks = d.Marks[:0]
+
+	// Arrangement per block (the arrangement process is per-stream;
+	// lane parallelism accelerates the recursions, not the packing).
+	arrBytes := lay.DstBytes(k)
+	for b := 0; b < nb; b++ {
+		src := e.Mem.Alloc(core.InterleavedBytes(k), 64)
+		core.WriteInterleaved(e.Mem, src, words[b].Sys, words[b].P1, words[b].P2)
+		dst := core.Dest{
+			S:  e.Mem.Alloc(arrBytes, 64),
+			P1: e.Mem.Alloc(arrBytes, 64),
+			P2: e.Mem.Alloc(arrBytes, 64),
+		}
+		m := d.mark(e, "arrangement")
+		ar.Arrange(e, src, dst, k)
+		d.Marks[m].Hi = e.TraceLen()
+		st.in = append(st.in, ArrangedInput{
+			Lay: lay, S: dst.S, P1: dst.P1, P2: dst.P2,
+			TailSys: words[b].TailSys, TailP1: words[b].TailP1,
+			Src: src, Arr: ar,
+		})
+		st.sPerm = append(st.sPerm, e.Mem.Alloc(arrBytes, 64))
+		st.la1 = append(st.la1, e.Mem.Alloc(arrBytes, 64))
+		st.la2 = append(st.la2, e.Mem.Alloc(arrBytes, 64))
+		st.ext = append(st.ext, e.Mem.Alloc(arrBytes, 64))
+		st.g0 = append(st.g0, e.Mem.Alloc(arrBytes, 64))
+		st.g1 = append(st.g1, e.Mem.Alloc(arrBytes, 64))
+		st.dPost = append(st.dPost, e.Mem.Alloc(arrBytes, 64))
+		st.tailG = append(st.tailG, e.Mem.Alloc(12, 64))
+	}
+	st.alpha = e.Mem.Alloc(int(e.W)*(k+4), 64)
+	d.initConstants(st, tr)
+
+	// One-time interleaved systematic gather, per block.
+	m := d.mark(e, "interleave")
+	for b := 0; b < nb; b++ {
+		for i := 0; i < k; i++ {
+			src := lay.ElementAddr(st.in[b].S, core.ClusterS, qpp.Perm(i))
+			dstA := st.elemAddr(st.sPerm[b], i)
+			e.Mem.WriteI16(dstA, e.Mem.ReadI16(src))
+			e.EmitScalarLoad("movzx", src, 2)
+			e.EmitScalarStore("mov", dstA, 2)
+		}
+	}
+	d.Marks[m].Hi = e.TraceLen()
+
+	m = d.mark(e, "init")
+	groups := (k + lay.GroupLanes - 1) / lay.GroupLanes
+	for b := 0; b < nb; b++ {
+		for g := 0; g < groups; g++ {
+			e.StoreVec(st.vecAddr(st.la1[b], g, 0), st.zero)
+		}
+	}
+	d.Marks[m].Hi = e.TraceLen()
+
+	bits := make([][]byte, nb)
+	prev := make([][]byte, nb)
+	for b := range bits {
+		bits[b] = make([]byte, k)
+		prev[b] = make([]byte, k)
+	}
+
+	firstArrange := true
+	rearrange := func() {
+		if !d.RearrangePerHalfIter {
+			return
+		}
+		if firstArrange {
+			firstArrange = false
+			return
+		}
+		mm := d.mark(e, "arrangement")
+		for b := 0; b < nb; b++ {
+			ar.Arrange(e, st.in[b].Src, core.Dest{S: st.in[b].S, P1: st.in[b].P1, P2: st.in[b].P2}, k)
+		}
+		d.Marks[mm].Hi = e.TraceLen()
+	}
+
+	iters := 0
+	for it := 0; it < d.MaxIters; it++ {
+		iters++
+		// Half 1: natural order, terminated.
+		rearrange()
+		for b := 0; b < nb; b++ {
+			d.gamma(st, b, st.in[b].S, st.in[b].P1, core.ClusterP1, st.la1[b], k)
+			d.tails(st, b)
+		}
+		d.alpha(st, k, true)
+		d.betaExt(st, k, true)
+		for b := 0; b < nb; b++ {
+			d.extFin(st, b, st.in[b].S, st.la1[b], k)
+		}
+		m = d.mark(e, "interleave")
+		for b := 0; b < nb; b++ {
+			for i := 0; i < k; i++ {
+				src := st.elemAddr(st.ext[b], qpp.Perm(i))
+				dstA := st.elemAddr(st.la2[b], i)
+				e.Mem.WriteI16(dstA, e.Mem.ReadI16(src))
+				e.EmitScalarLoad("movzx", src, 2)
+				e.EmitScalarStore("mov", dstA, 2)
+			}
+		}
+		d.Marks[m].Hi = e.TraceLen()
+
+		// Half 2: interleaved order, unterminated.
+		rearrange()
+		for b := 0; b < nb; b++ {
+			d.gamma(st, b, st.sPerm[b], st.in[b].P2, core.ClusterP2, st.la2[b], k)
+		}
+		d.alpha(st, k, false)
+		d.betaExt(st, k, false)
+		for b := 0; b < nb; b++ {
+			d.extFin(st, b, st.sPerm[b], st.la2[b], k)
+		}
+		m = d.mark(e, "interleave")
+		for b := 0; b < nb; b++ {
+			for i := 0; i < k; i++ {
+				src := st.elemAddr(st.ext[b], i)
+				dstA := st.elemAddr(st.la1[b], qpp.Perm(i))
+				e.Mem.WriteI16(dstA, e.Mem.ReadI16(src))
+				e.EmitScalarLoad("movzx", src, 2)
+				e.EmitScalarStore("mov", dstA, 2)
+				dAddr := st.elemAddr(st.dPost[b], i)
+				e.EmitScalarLoad("mov", dAddr, 2)
+				if e.Mem.ReadI16(dAddr) < 0 {
+					bits[b][qpp.Perm(i)] = 1
+				} else {
+					bits[b][qpp.Perm(i)] = 0
+				}
+			}
+		}
+		d.Marks[m].Hi = e.TraceLen()
+
+		if d.EarlyExit && it > 0 {
+			stable := true
+			for b := 0; b < nb; b++ {
+				if !equalBits(bits[b], prev[b]) {
+					stable = false
+					break
+				}
+			}
+			if stable {
+				break
+			}
+		}
+		for b := 0; b < nb; b++ {
+			copy(prev[b], bits[b])
+		}
+	}
+	return bits[:requested], iters, nil
+}
+
+func (d *MultiSIMDDecoder) mark(e *simd.Engine, name string) int {
+	d.Marks = append(d.Marks, PhaseMark{Name: name, Lo: e.TraceLen()})
+	return len(d.Marks) - 1
+}
+
+// initConstants mirrors SIMDDecoder's constants, replicated across the
+// nb lane groups.
+func (d *MultiSIMDDecoder) initConstants(st *multiState, tr *Trellis) {
+	e := st.e
+	nb := st.nb
+	lanes := e.W.Lanes16()
+	st.zero = e.NewVec()
+	e.PXor(st.zero, st.zero, st.zero)
+
+	pattern := func(sel func(lane int) bool) (m, n *simd.Vec) {
+		p := make([]int16, lanes)
+		q := make([]int16, lanes)
+		for b := 0; b < nb; b++ {
+			for s := 0; s < NumStates; s++ {
+				if sel(s) {
+					p[b*NumStates+s] = -1
+				} else {
+					q[b*NumStates+s] = -1
+				}
+			}
+		}
+		m, n = e.NewVec(), e.NewVec()
+		e.SetImm(m, p)
+		e.SetImm(n, q)
+		return m, n
+	}
+	st.maskAlphaU0, st.maskAlphaU0N = pattern(func(s int) bool { return tr.Parity[tr.Prev[s][0]][0] == 0 })
+	st.maskAlphaU1, st.maskAlphaU1N = pattern(func(s int) bool { return tr.Parity[tr.Prev[s][1]][1] == 0 })
+	st.maskCurU0, st.maskCurU0N = pattern(func(s int) bool { return tr.Parity[s][0] == 0 })
+	st.maskCurU1, st.maskCurU1N = pattern(func(s int) bool { return tr.Parity[s][1] == 0 })
+
+	rep := func(f func(s int) int) []int {
+		idx := make([]int, lanes)
+		for b := 0; b < nb; b++ {
+			for s := 0; s < NumStates; s++ {
+				idx[b*NumStates+s] = b*NumStates + f(s)
+			}
+		}
+		return idx
+	}
+	st.prevIdx0 = rep(func(s int) int { return tr.Prev[s][0] })
+	st.prevIdx1 = rep(func(s int) int { return tr.Prev[s][1] })
+	st.nextIdx0 = rep(func(s int) int { return tr.Next[s][0] })
+	st.nextIdx1 = rep(func(s int) int { return tr.Next[s][1] })
+	st.lane0Idx = rep(func(s int) int { return 0 })
+	st.blockMask = make([]*simd.Vec, nb)
+	for b := 0; b < nb; b++ {
+		pat := make([]int16, lanes)
+		for s := 0; s < NumStates; s++ {
+			pat[b*NumStates+s] = -1
+		}
+		st.blockMask[b] = e.NewVec()
+		e.SetImm(st.blockMask[b], pat)
+	}
+	st.packT, st.packA = e.NewVec(), e.NewVec()
+	st.hmaxIdx[0] = rep(func(s int) int { return (s + 4) % 8 })
+	st.hmaxIdx[1] = rep(func(s int) int { return s ^ 2 })
+	st.hmaxIdx[2] = rep(func(s int) int { return s ^ 1 })
+}
+
+// gamma runs the vectorized per-block gamma phase (identical to the
+// single-block decoder: the gamma computation is elementwise over each
+// block's arranged arrays and already uses the full register width).
+func (d *MultiSIMDDecoder) gamma(st *multiState, b int, sysBase, parBase int64, parC core.Cluster, laBase int64, k int) {
+	e := st.e
+	m := d.mark(e, "gamma")
+	L := st.lay.GroupLanes
+	groups := k / L
+	s, p, la, t, g0, g1 := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	for g := 0; g < groups; g++ {
+		e.LoadVec(s, st.vecAddr(sysBase, g, st.lay.Rot[core.ClusterS]))
+		e.LoadVec(p, st.vecAddr(parBase, g, st.lay.Rot[parC]))
+		e.LoadVec(la, st.vecAddr(laBase, g, 0))
+		e.PAddSW(t, s, la)
+		e.PAddSW(g0, t, p)
+		e.PSubSW(g1, t, p)
+		e.StoreVec(st.vecAddr(st.g0[b], g, 0), g0)
+		e.StoreVec(st.vecAddr(st.g1[b], g, 0), g1)
+	}
+	for i := groups * L; i < k; i++ {
+		sv := e.Mem.ReadI16(st.lay.ElementAddr(sysBase, core.ClusterS, i))
+		pv := e.Mem.ReadI16(st.lay.ElementAddr(parBase, parC, i))
+		lv := e.Mem.ReadI16(st.elemAddr(laBase, i))
+		sa := int32(sv) + int32(lv)
+		e.Mem.WriteI16(st.elemAddr(st.g0[b], i), sat16(sa+int32(pv)))
+		e.Mem.WriteI16(st.elemAddr(st.g1[b], i), sat16(sa-int32(pv)))
+		e.EmitScalar("add", 2)
+		e.EmitScalarLoad("mov", st.elemAddr(laBase, i), 2)
+		e.EmitScalarStore("mov", st.elemAddr(st.g0[b], i), 2)
+		e.EmitScalarStore("mov", st.elemAddr(st.g1[b], i), 2)
+	}
+	d.Marks[m].Hi = e.TraceLen()
+}
+
+func (d *MultiSIMDDecoder) tails(st *multiState, b int) {
+	e := st.e
+	m := d.mark(e, "gamma")
+	w := st.in[b]
+	for i := 0; i < 3; i++ {
+		sa, pp := int32(w.TailSys[i]), int32(w.TailP1[i])
+		e.Mem.WriteI16(st.tailG[b]+int64(4*i), sat16(sa+pp))
+		e.Mem.WriteI16(st.tailG[b]+int64(4*i+2), sat16(sa-pp))
+		e.EmitScalar("add", 2)
+		e.EmitScalarStore("mov", st.tailG[b]+int64(4*i), 4)
+	}
+	d.Marks[m].Hi = e.TraceLen()
+}
+
+func (st *multiState) gammaAddrs(b, k, blockK int) (int64, int64) {
+	if k < blockK {
+		return st.elemAddr(st.g0[b], k), st.elemAddr(st.g1[b], k)
+	}
+	t := int64(4 * (k - blockK))
+	return st.tailG[b] + t, st.tailG[b] + t + 2
+}
+
+// packGammas assembles the per-block g0[k] (and g1[k]) branch-metric
+// values into full-width registers: each block's value is broadcast from
+// memory (independent loads), masked to its lane group and OR-combined —
+// the step that amortizes the recursion over blocks without a serial
+// partial-register merge chain.
+func (d *MultiSIMDDecoder) packGammas(st *multiState, k, blockK int, bg0, bg1 *simd.Vec) {
+	e := st.e
+	for gi, dst := range []*simd.Vec{bg0, bg1} {
+		for b := 0; b < st.nb; b++ {
+			a0, a1 := st.gammaAddrs(b, k, blockK)
+			addr := a0
+			if gi == 1 {
+				addr = a1
+			}
+			if st.nb == 1 {
+				e.Broadcast16FromMem(dst, addr)
+				continue
+			}
+			e.Broadcast16FromMem(st.packA, addr)
+			if b == 0 {
+				e.PAnd(dst, st.packA, st.blockMask[b])
+			} else {
+				e.PAnd(st.packT, st.packA, st.blockMask[b])
+				e.POr(dst, dst, st.packT)
+			}
+		}
+	}
+}
+
+func (st *multiState) bmVecs(bg0, bg1, ng0, ng1, t1, t2, bm0, bm1 *simd.Vec, m0, m0n, m1, m1n *simd.Vec) {
+	e := st.e
+	e.PAnd(t1, bg0, m0)
+	e.PAnd(t2, bg1, m0n)
+	e.POr(bm0, t1, t2)
+	e.PAnd(t1, ng1, m1)
+	e.PAnd(t2, ng0, m1n)
+	e.POr(bm1, t1, t2)
+}
+
+// alpha runs the forward recursion for all blocks at once; steps is the
+// longest trellis (terminated blocks include 3 tail steps; the shared
+// loop runs them for every lane group, and unterminated halves ignore
+// the tail lanes — tail steps only exist when terminated is true, which
+// applies to every block simultaneously since they share K).
+func (d *MultiSIMDDecoder) alpha(st *multiState, blockK int, terminated bool) {
+	e := st.e
+	m := d.mark(e, "alpha")
+	steps := blockK
+	if terminated {
+		steps += 3
+	}
+	lanes := e.W.Lanes16()
+
+	alpha := e.NewVec()
+	init := make([]int16, lanes)
+	for b := 0; b < st.nb; b++ {
+		for s := 1; s < NumStates; s++ {
+			init[b*NumStates+s] = negInf16
+		}
+	}
+	e.SetImm(alpha, init)
+	e.StoreVec(st.alpha, alpha)
+
+	bg0, bg1 := e.NewVec(), e.NewVec()
+	ng0, ng1 := e.NewVec(), e.NewVec()
+	t1, t2, bm0, bm1 := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	a0, a1, c0, c1, norm := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+
+	for k := 0; k < steps; k++ {
+		d.packGammas(st, k, blockK, bg0, bg1)
+		e.PSubSW(ng0, st.zero, bg0)
+		e.PSubSW(ng1, st.zero, bg1)
+		st.bmVecs(bg0, bg1, ng0, ng1, t1, t2, bm0, bm1,
+			st.maskAlphaU0, st.maskAlphaU0N, st.maskAlphaU1, st.maskAlphaU1N)
+		e.PermuteW(a0, alpha, st.prevIdx0)
+		e.PermuteW(a1, alpha, st.prevIdx1)
+		e.PAddSW(c0, a0, bm0)
+		e.PAddSW(c1, a1, bm1)
+		e.PMaxSW(alpha, c0, c1)
+		e.PermuteW(norm, alpha, st.lane0Idx)
+		e.PSubSW(alpha, alpha, norm)
+		e.StoreVec(st.alpha+int64(int(e.W))*int64(k+1), alpha)
+	}
+	d.Marks[m].Hi = e.TraceLen()
+}
+
+// betaExt runs the fused backward recursion + posterior extraction for
+// all blocks.
+func (d *MultiSIMDDecoder) betaExt(st *multiState, blockK int, terminated bool) {
+	e := st.e
+	m := d.mark(e, "beta+ext")
+	steps := blockK
+	lanes := e.W.Lanes16()
+	beta := e.NewVec()
+	if terminated {
+		steps += 3
+		init := make([]int16, lanes)
+		for b := 0; b < st.nb; b++ {
+			for s := 1; s < NumStates; s++ {
+				init[b*NumStates+s] = negInf16
+			}
+		}
+		e.SetImm(beta, init)
+	} else {
+		e.PXor(beta, beta, beta)
+	}
+
+	bg0, bg1 := e.NewVec(), e.NewVec()
+	ng0, ng1 := e.NewVec(), e.NewVec()
+	t1, t2, bm0, bm1 := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	b0, b1, v0, v1 := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	alpha, e0, e1, m0, m1, dv, norm := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+
+	for k := steps - 1; k >= 0; k-- {
+		d.packGammas(st, k, blockK, bg0, bg1)
+		e.PSubSW(ng0, st.zero, bg0)
+		e.PSubSW(ng1, st.zero, bg1)
+		st.bmVecs(bg0, bg1, ng0, ng1, t1, t2, bm0, bm1,
+			st.maskCurU0, st.maskCurU0N, st.maskCurU1, st.maskCurU1N)
+		e.PermuteW(b0, beta, st.nextIdx0)
+		e.PermuteW(b1, beta, st.nextIdx1)
+		e.PAddSW(v0, b0, bm0)
+		e.PAddSW(v1, b1, bm1)
+
+		if k < blockK {
+			e.LoadVec(alpha, st.alpha+int64(int(e.W))*int64(k))
+			e.PAddSW(e0, alpha, v0)
+			e.PAddSW(e1, alpha, v1)
+			d.hmaxBlocks(st, e0, m0, t1)
+			d.hmaxBlocks(st, e1, m1, t1)
+			e.PSubSW(dv, m0, m1)
+			for b := 0; b < st.nb; b++ {
+				e.PExtrWToMem(st.elemAddr(st.dPost[b], k), dv, b*NumStates)
+			}
+		}
+
+		e.PMaxSW(beta, v0, v1)
+		e.PermuteW(norm, beta, st.lane0Idx)
+		e.PSubSW(beta, beta, norm)
+	}
+	d.Marks[m].Hi = e.TraceLen()
+}
+
+// hmaxBlocks reduces the maximum within each 8-lane block group.
+func (d *MultiSIMDDecoder) hmaxBlocks(st *multiState, v, dst, tmp *simd.Vec) {
+	e := st.e
+	e.PermuteW(tmp, v, st.hmaxIdx[0])
+	e.PMaxSW(dst, v, tmp)
+	e.PermuteW(tmp, dst, st.hmaxIdx[1])
+	e.PMaxSW(dst, dst, tmp)
+	e.PermuteW(tmp, dst, st.hmaxIdx[2])
+	e.PMaxSW(dst, dst, tmp)
+}
+
+// extFin is the per-block vectorized extrinsic finalization.
+func (d *MultiSIMDDecoder) extFin(st *multiState, b int, sysBase, laBase int64, k int) {
+	e := st.e
+	m := d.mark(e, "ext")
+	L := st.lay.GroupLanes
+	groups := k / L
+	dvec, s, la, t, half, lim, nlim := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	e.Broadcast16(lim, extClamp)
+	e.Broadcast16(nlim, -extClamp)
+	for g := 0; g < groups; g++ {
+		e.LoadVec(dvec, st.vecAddr(st.dPost[b], g, 0))
+		e.LoadVec(s, st.vecAddr(sysBase, g, st.lay.Rot[core.ClusterS]))
+		e.LoadVec(la, st.vecAddr(laBase, g, 0))
+		e.PAddSW(t, s, la)
+		e.PSraW(half, dvec, 1)
+		e.PSubSW(half, half, t)
+		e.PMinSW(half, half, lim)
+		e.PMaxSW(half, half, nlim)
+		e.StoreVec(st.vecAddr(st.ext[b], g, 0), half)
+	}
+	for i := groups * L; i < k; i++ {
+		sv := e.Mem.ReadI16(st.lay.ElementAddr(sysBase, core.ClusterS, i))
+		lv := e.Mem.ReadI16(st.elemAddr(laBase, i))
+		dV := e.Mem.ReadI16(st.elemAddr(st.dPost[b], i))
+		e.Mem.WriteI16(st.elemAddr(st.ext[b], i), clampExt(int32(dV>>1)-int32(sv)-int32(lv)))
+		e.EmitScalar("sub", 2)
+		e.EmitScalarLoad("mov", st.elemAddr(st.dPost[b], i), 2)
+		e.EmitScalarStore("mov", st.elemAddr(st.ext[b], i), 2)
+	}
+	d.Marks[m].Hi = e.TraceLen()
+}

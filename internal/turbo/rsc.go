@@ -1,0 +1,86 @@
+// Package turbo implements the LTE-shaped rate-1/3 parallel concatenated
+// convolutional code (turbo code): two 8-state recursive systematic
+// convolutional encoders with transfer function G(D) = [1, g1(D)/g0(D)],
+// g0(D) = 1 + D² + D³ (octal 13) and g1(D) = 1 + D + D³ (octal 15),
+// coupled by a quadratic permutation polynomial (QPP) interleaver, plus
+// max-log-MAP decoders in two builds: a plain-Go scalar reference and a
+// SIMD-engine implementation whose gamma inputs come from the data
+// arrangement process of internal/core — the code path the paper
+// optimizes.
+//
+// Turbo decoding is the vRAN module the paper identifies as consuming
+// more than 50% of pipeline CPU time, with the data arrangement feeding
+// its gamma/alpha/beta/extrinsic kernels.
+package turbo
+
+// NumStates is the number of trellis states of each constituent encoder.
+const NumStates = 8
+
+// rscStep advances one constituent-encoder step: given the 3-bit state
+// and the information bit u, it returns the next state and the parity
+// bit. The recursion follows g0 = 1+D²+D³ (feedback taps on the last two
+// registers) and g1 = 1+D+D³.
+func rscStep(state, u int) (next, parity int) {
+	d1, d2, d3 := (state>>2)&1, (state>>1)&1, state&1
+	a := u ^ d2 ^ d3         // feedback: u XOR (D² + D³) taps
+	parity = a ^ d1 ^ d3     // g1 = 1 + D + D³
+	next = a<<2 | d1<<1 | d2 // shift register advance
+	return next, parity
+}
+
+// rscFeedback returns the feedback bit of state: feeding u = feedback
+// drives the register input a to zero, which is how the trellis is
+// terminated.
+func rscFeedback(state int) int {
+	return (state>>1)&1 ^ state&1
+}
+
+// Trellis tabulates the branch structure used by the decoders. Branches
+// are indexed by the *information bit* u.
+type Trellis struct {
+	// Next[s][u] is the successor of state s for information bit u.
+	Next [NumStates][2]int
+	// Parity[s][u] is the parity bit emitted on that branch.
+	Parity [NumStates][2]int
+	// Prev[s'][u] is the predecessor of s' reached with bit u; every
+	// state has exactly one u=0 and one u=1 predecessor.
+	Prev [NumStates][2]int
+}
+
+// NewTrellis builds the branch tables for the LTE constituent code.
+func NewTrellis() *Trellis {
+	t := &Trellis{}
+	for s := 0; s < NumStates; s++ {
+		for u := 0; u < 2; u++ {
+			next, p := rscStep(s, u)
+			t.Next[s][u] = next
+			t.Parity[s][u] = p
+			t.Prev[next][u] = s
+		}
+	}
+	return t
+}
+
+// EncodeRSC runs one constituent encoder over bits (in-order), returning
+// the parity sequence and, after trellis termination, the three
+// (systematic, parity) tail bit pairs. The final state is always zero.
+func EncodeRSC(bits []byte) (parity []byte, tailSys, tailPar [3]byte) {
+	parity = make([]byte, len(bits))
+	state := 0
+	for i, u := range bits {
+		var p int
+		state, p = rscStep(state, int(u))
+		parity[i] = byte(p)
+	}
+	for i := 0; i < 3; i++ {
+		u := rscFeedback(state)
+		var p int
+		state, p = rscStep(state, u)
+		tailSys[i] = byte(u)
+		tailPar[i] = byte(p)
+	}
+	if state != 0 {
+		panic("turbo: termination failed to reach state 0")
+	}
+	return parity, tailSys, tailPar
+}

@@ -1,0 +1,546 @@
+package turbo
+
+import (
+	"fmt"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+)
+
+// negInf16 marks unreachable trellis states in the SIMD build. It is far
+// enough below any reachable metric (inputs are bounded by LLRLimit) that
+// unreachable states can never win a max, yet far enough above the int16
+// saturation floor that saturating subtracts keep the ordering.
+const negInf16 = -12288
+
+// LLRLimit bounds the channel LLR magnitude accepted by the SIMD
+// decoder; within it the int16 saturating arithmetic is exact and the
+// SIMD build matches the int32 scalar reference bit for bit.
+const LLRLimit = 256
+
+// PhaseMark labels a half-open µop range [Lo, Hi) of the engine trace
+// with the decoder submodule that produced it; the experiment harness
+// uses the marks to attribute cycles to arrangement / gamma / alpha /
+// beta / extrinsic, as the paper's Figures 9 and 14 do.
+type PhaseMark struct {
+	Name   string
+	Lo, Hi int
+}
+
+// ArrangedInput is the decoder's view of the arranged LLR arrays living
+// in engine memory.
+type ArrangedInput struct {
+	Lay     core.Layout
+	S       int64 // systematic, natural bit order
+	P1      int64 // parity 1, natural order
+	P2      int64 // parity 2, interleaved order
+	TailSys [3]int16
+	TailP1  [3]int16
+
+	// Src is the interleaved [S P1 P2] stream and Arr the arranger that
+	// produced the arrays above; set by PrepareInput so Decode can
+	// re-run the arrangement per half-iteration (RearrangePerHalfIter).
+	// With Arr nil the arrays are used as-is.
+	Src int64
+	Arr core.Arranger
+}
+
+// SIMDDecoder is the max-log-MAP turbo decoder built on the emulated
+// SIMD engine. Its gamma stage is vectorized at the full engine width
+// over the arranged arrays (reading yparity at the rotate-mimic offsets)
+// and its alpha/beta/extrinsic recursions run state-parallel on 8 lanes,
+// mirroring the structure of the OAI decoder the paper profiles.
+type SIMDDecoder struct {
+	Code      *Code
+	MaxIters  int
+	EarlyExit bool
+
+	// RearrangePerHalfIter re-runs the data arrangement before each
+	// constituent (MAP) invocation, matching the OAI structure the
+	// paper profiles, where the arrangement "generates the input values
+	// systematic1, yparity1 and yparity2 for the gamma, alpha, beta and
+	// ext calculations" on every decoder call. This is what makes the
+	// arrangement 13-19.5% of decode time (Figure 9); disable it for
+	// the one-shot-arrangement ablation.
+	RearrangePerHalfIter bool
+
+	// Marks accumulates the per-phase trace attribution of the last
+	// Decode call.
+	Marks []PhaseMark
+}
+
+// NewSIMDDecoder builds a SIMD decoder for code c.
+func NewSIMDDecoder(c *Code) *SIMDDecoder {
+	return &SIMDDecoder{Code: c, MaxIters: 6, EarlyExit: true, RearrangePerHalfIter: true}
+}
+
+// PrepareInput writes w as an interleaved [S P1 P2] stream into engine
+// memory and runs arranger ar over it (emitting the arrangement µops, so
+// the returned marks-to-come include the arrangement phase), yielding the
+// decoder input.
+func (d *SIMDDecoder) PrepareInput(e *simd.Engine, ar core.Arranger, w *LLRWord) ArrangedInput {
+	k := d.Code.K
+	src := e.Mem.Alloc(core.InterleavedBytes(k), 64)
+	core.WriteInterleaved(e.Mem, src, w.Sys, w.P1, w.P2)
+	lay := ar.Layout(e.W)
+	dst := core.Dest{
+		S:  e.Mem.Alloc(lay.DstBytes(k), 64),
+		P1: e.Mem.Alloc(lay.DstBytes(k), 64),
+		P2: e.Mem.Alloc(lay.DstBytes(k), 64),
+	}
+	lo := e.TraceLen()
+	ar.Arrange(e, src, dst, k)
+	d.Marks = append(d.Marks[:0], PhaseMark{Name: "arrangement", Lo: lo, Hi: e.TraceLen()})
+	return ArrangedInput{
+		Lay: lay, S: dst.S, P1: dst.P1, P2: dst.P2,
+		TailSys: w.TailSys, TailP1: w.TailP1,
+		Src: src, Arr: ar,
+	}
+}
+
+// decodeState bundles the memory regions and constant registers one
+// Decode call works with.
+type decodeState struct {
+	e   *simd.Engine
+	lay core.Layout
+
+	// arranged-layout arrays (element addressing via elemAddr)
+	sPerm, la1, la2, ext, g0, g1, dPost int64
+	// tail gammas for the terminated first constituent, natural order
+	tailG int64
+	// alpha history, 16 bytes per trellis step
+	alpha int64
+
+	zero               *simd.Vec
+	maskAlphaU0        *simd.Vec // parity==0 pattern over next-state lanes, u=0
+	maskAlphaU0N       *simd.Vec
+	maskAlphaU1        *simd.Vec
+	maskAlphaU1N       *simd.Vec
+	maskCurU0          *simd.Vec // parity==0 pattern over current-state lanes
+	maskCurU0N         *simd.Vec
+	maskCurU1          *simd.Vec
+	maskCurU1N         *simd.Vec
+	prevIdx0, prevIdx1 []int
+	nextIdx0, nextIdx1 []int
+	lane0Idx           []int
+}
+
+// elemAddr returns the address of element k of an arranged-layout array
+// based at base (rot-0 view: the lane order shared by every derived
+// array).
+func (st *decodeState) elemAddr(base int64, k int) int64 {
+	g, jj := k/st.lay.GroupLanes, k%st.lay.GroupLanes
+	return base + 2*int64(g*st.lay.StrideLanes+st.lay.LanePos[jj])
+}
+
+// vecAddr returns the address for a full-width vector access to group g
+// of an array based at base, at lane offset rot (the rotate-mimic read).
+func (st *decodeState) vecAddr(base int64, g, rot int) int64 {
+	return base + 2*int64(g*st.lay.StrideLanes+rot)
+}
+
+// Decode runs iterative SIMD decoding over in, returning hard bits and
+// iterations used. The µop stream is appended to e's trace and Marks is
+// rebuilt (keeping any arrangement mark from PrepareInput).
+func (d *SIMDDecoder) Decode(e *simd.Engine, in ArrangedInput) ([]byte, int, error) {
+	k := d.Code.K
+	tr := d.Code.trellis
+	qpp := d.Code.qpp
+	lay := in.Lay
+	if lay.GroupLanes != e.W.Lanes16() {
+		return nil, 0, fmt.Errorf("turbo: layout lanes %d != engine width lanes %d", lay.GroupLanes, e.W.Lanes16())
+	}
+
+	st := &decodeState{e: e, lay: lay}
+	arrBytes := lay.DstBytes(k)
+	st.sPerm = e.Mem.Alloc(arrBytes, 64)
+	st.la1 = e.Mem.Alloc(arrBytes, 64)
+	st.la2 = e.Mem.Alloc(arrBytes, 64)
+	st.ext = e.Mem.Alloc(arrBytes, 64)
+	st.g0 = e.Mem.Alloc(arrBytes, 64)
+	st.g1 = e.Mem.Alloc(arrBytes, 64)
+	st.dPost = e.Mem.Alloc(arrBytes, 64)
+	st.tailG = e.Mem.Alloc(2*2*3, 64)
+	st.alpha = e.Mem.Alloc(16*(k+4), 64)
+	d.initConstants(st, tr)
+
+	// The second constituent reads the systematic stream interleaved:
+	// a one-time scalar gather (matching the OAI code structure).
+	mark := d.markFrom(e, "interleave")
+	for i := 0; i < k; i++ {
+		src := in.Lay.ElementAddr(in.S, core.ClusterS, qpp.Perm(i))
+		dstA := st.elemAddr(st.sPerm, i)
+		e.Mem.WriteI16(dstA, e.Mem.ReadI16(src))
+		e.EmitScalarLoad("movzx", src, 2)
+		e.EmitScalarStore("mov", dstA, 2)
+	}
+	d.closeMark(e, mark)
+
+	// Zero the a-priori array for the first half-iteration.
+	mark = d.markFrom(e, "init")
+	zeroGroups := (k + lay.GroupLanes - 1) / lay.GroupLanes
+	for g := 0; g < zeroGroups; g++ {
+		e.StoreVec(st.vecAddr(st.la1, g, 0), st.zero)
+	}
+	d.closeMark(e, mark)
+
+	// rearrange re-runs the data arrangement over the interleaved
+	// source, refreshing the S/P1/P2 arrays (idempotent functionally;
+	// its µop stream is what the paper's Figure 9/14 measure).
+	firstArrange := true
+	rearrange := func() {
+		if !d.RearrangePerHalfIter || in.Arr == nil {
+			return
+		}
+		if firstArrange {
+			// PrepareInput already arranged once for this call.
+			firstArrange = false
+			return
+		}
+		m := d.markFrom(e, "arrangement")
+		in.Arr.Arrange(e, in.Src, core.Dest{S: in.S, P1: in.P1, P2: in.P2}, k)
+		d.closeMark(e, m)
+	}
+
+	bits := make([]byte, k)
+	prev := make([]byte, k)
+	iters := 0
+	for it := 0; it < d.MaxIters; it++ {
+		iters++
+		// Half-iteration 1: natural order, terminated.
+		rearrange()
+		d.gammaPhase(st, in.S, core.ClusterS, in.P1, core.ClusterP1, st.la1, k)
+		d.tailGammas(st, in.TailSys, in.TailP1)
+		d.alphaPhase(st, tr, k, true)
+		d.betaExtPhase(st, tr, k, true)
+		d.extFinalize(st, in.S, core.ClusterS, st.la1, k)
+		// ext -> la2, interleaved.
+		mark = d.markFrom(e, "interleave")
+		for i := 0; i < k; i++ {
+			src := st.elemAddr(st.ext, qpp.Perm(i))
+			dstA := st.elemAddr(st.la2, i)
+			e.Mem.WriteI16(dstA, e.Mem.ReadI16(src))
+			e.EmitScalarLoad("movzx", src, 2)
+			e.EmitScalarStore("mov", dstA, 2)
+		}
+		d.closeMark(e, mark)
+
+		// Half-iteration 2: interleaved order, unterminated.
+		rearrange()
+		d.gammaPhase(st, st.sPerm, core.ClusterS, in.P2, core.ClusterP2, st.la2, k)
+		d.alphaPhase(st, tr, k, false)
+		d.betaExtPhase(st, tr, k, false)
+		d.extFinalize(st, st.sPerm, core.ClusterS, st.la2, k)
+		// ext -> la1, deinterleaved; decisions from the posterior.
+		mark = d.markFrom(e, "interleave")
+		for i := 0; i < k; i++ {
+			src := st.elemAddr(st.ext, i)
+			dstA := st.elemAddr(st.la1, qpp.Perm(i))
+			e.Mem.WriteI16(dstA, e.Mem.ReadI16(src))
+			e.EmitScalarLoad("movzx", src, 2)
+			e.EmitScalarStore("mov", dstA, 2)
+			dAddr := st.elemAddr(st.dPost, i)
+			e.EmitScalarLoad("mov", dAddr, 2)
+			if e.Mem.ReadI16(dAddr) < 0 {
+				bits[qpp.Perm(i)] = 1
+			} else {
+				bits[qpp.Perm(i)] = 0
+			}
+		}
+		d.closeMark(e, mark)
+
+		if d.EarlyExit && it > 0 && equalBits(bits, prev) {
+			break
+		}
+		copy(prev, bits)
+	}
+	return bits, iters, nil
+}
+
+// markFrom opens a phase mark; closeMark completes it.
+func (d *SIMDDecoder) markFrom(e *simd.Engine, name string) int {
+	d.Marks = append(d.Marks, PhaseMark{Name: name, Lo: e.TraceLen()})
+	return len(d.Marks) - 1
+}
+
+func (d *SIMDDecoder) closeMark(e *simd.Engine, idx int) {
+	d.Marks[idx].Hi = e.TraceLen()
+}
+
+// initConstants loads the zero register, the trellis mask constants and
+// the permutation index tables.
+func (d *SIMDDecoder) initConstants(st *decodeState, tr *Trellis) {
+	e := st.e
+	st.zero = e.NewVec()
+	e.PXor(st.zero, st.zero, st.zero)
+
+	pattern := func(sel func(lane int) bool) (m, n *simd.Vec) {
+		p := make([]int16, 8)
+		q := make([]int16, 8)
+		for l := 0; l < 8; l++ {
+			if sel(l) {
+				p[l] = -1
+			} else {
+				q[l] = -1
+			}
+		}
+		m, n = e.NewVec(), e.NewVec()
+		e.SetImm(m, p)
+		e.SetImm(n, q)
+		return m, n
+	}
+	// Alpha-side masks are indexed by the *next* state lane.
+	st.maskAlphaU0, st.maskAlphaU0N = pattern(func(s int) bool { return tr.Parity[tr.Prev[s][0]][0] == 0 })
+	st.maskAlphaU1, st.maskAlphaU1N = pattern(func(s int) bool { return tr.Parity[tr.Prev[s][1]][1] == 0 })
+	// Beta/ext-side masks are indexed by the *current* state lane.
+	st.maskCurU0, st.maskCurU0N = pattern(func(s int) bool { return tr.Parity[s][0] == 0 })
+	st.maskCurU1, st.maskCurU1N = pattern(func(s int) bool { return tr.Parity[s][1] == 0 })
+
+	st.prevIdx0 = make([]int, 8)
+	st.prevIdx1 = make([]int, 8)
+	st.nextIdx0 = make([]int, 8)
+	st.nextIdx1 = make([]int, 8)
+	st.lane0Idx = make([]int, e.W.Lanes16())
+	for s := 0; s < 8; s++ {
+		st.prevIdx0[s] = tr.Prev[s][0]
+		st.prevIdx1[s] = tr.Prev[s][1]
+		st.nextIdx0[s] = tr.Next[s][0]
+		st.nextIdx1[s] = tr.Next[s][1]
+	}
+}
+
+// gammaPhase computes g0[k] = (sys+la)+par and g1[k] = (sys+la)-par for
+// all k, vectorized at the full engine width over the arranged arrays —
+// the SIMD calculation stage whose inputs the arrangement feeds.
+func (d *SIMDDecoder) gammaPhase(st *decodeState, sysBase int64, sysC core.Cluster, parBase int64, parC core.Cluster, laBase int64, k int) {
+	e := st.e
+	mark := d.markFrom(e, "gamma")
+	L := st.lay.GroupLanes
+	groups := k / L
+	s, p, la, t, g0, g1 := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	for g := 0; g < groups; g++ {
+		e.LoadVec(s, st.vecAddr(sysBase, g, st.lay.Rot[sysC]))
+		e.LoadVec(p, st.vecAddr(parBase, g, st.lay.Rot[parC]))
+		e.LoadVec(la, st.vecAddr(laBase, g, 0))
+		e.PAddSW(t, s, la)
+		e.PAddSW(g0, t, p)
+		e.PSubSW(g1, t, p)
+		e.StoreVec(st.vecAddr(st.g0, g, 0), g0)
+		e.StoreVec(st.vecAddr(st.g1, g, 0), g1)
+	}
+	// Tail of the block (k not a multiple of the group size): scalar.
+	lay := st.lay
+	for i := groups * L; i < k; i++ {
+		sv := e.Mem.ReadI16(lay.ElementAddr(sysBase, sysC, i))
+		pv := e.Mem.ReadI16(lay.ElementAddr(parBase, parC, i))
+		lv := e.Mem.ReadI16(st.elemAddr(laBase, i))
+		sa := int32(sv) + int32(lv)
+		e.Mem.WriteI16(st.elemAddr(st.g0, i), sat16(sa+int32(pv)))
+		e.Mem.WriteI16(st.elemAddr(st.g1, i), sat16(sa-int32(pv)))
+		e.EmitScalar("add", 2)
+		e.EmitScalarLoad("mov", lay.ElementAddr(sysBase, sysC, i), 2)
+		e.EmitScalarLoad("mov", lay.ElementAddr(parBase, parC, i), 2)
+		e.EmitScalarLoad("mov", st.elemAddr(laBase, i), 2)
+		e.EmitScalarStore("mov", st.elemAddr(st.g0, i), 2)
+		e.EmitScalarStore("mov", st.elemAddr(st.g1, i), 2)
+	}
+	d.closeMark(e, mark)
+}
+
+func sat16(x int32) int16 {
+	if x > 32767 {
+		return 32767
+	}
+	if x < -32768 {
+		return -32768
+	}
+	return int16(x)
+}
+
+// tailGammas writes the three termination-step gammas for the first
+// constituent (scalar: three elements).
+func (d *SIMDDecoder) tailGammas(st *decodeState, tailSys, tailP1 [3]int16) {
+	e := st.e
+	mark := d.markFrom(e, "gamma")
+	for i := 0; i < 3; i++ {
+		sa, pp := int32(tailSys[i]), int32(tailP1[i])
+		e.Mem.WriteI16(st.tailG+int64(4*i), sat16(sa+pp))
+		e.Mem.WriteI16(st.tailG+int64(4*i+2), sat16(sa-pp))
+		e.EmitScalar("add", 2)
+		e.EmitScalarStore("mov", st.tailG+int64(4*i), 4)
+	}
+	d.closeMark(e, mark)
+}
+
+// gammaAddrs returns the addresses of g0[k], g1[k], covering the tail
+// region of the terminated constituent.
+func (st *decodeState) gammaAddrs(k, blockK int) (a0, a1 int64) {
+	if k < blockK {
+		return st.elemAddr(st.g0, k), st.elemAddr(st.g1, k)
+	}
+	t := int64(4 * (k - blockK))
+	return st.tailG + t, st.tailG + t + 2
+}
+
+// bmVecs builds the two branch-metric vectors for one trellis step from
+// the broadcast g0/g1 registers: bm0 selects +g0/+g1 by the u=0 parity
+// mask, bm1 selects -g1/-g0 by the u=1 parity mask.
+func (st *decodeState) bmVecs(bg0, bg1, ng0, ng1, t1, t2, bm0, bm1 *simd.Vec, m0, m0n, m1, m1n *simd.Vec) {
+	e := st.e
+	e.PAnd(t1, bg0, m0)
+	e.PAnd(t2, bg1, m0n)
+	e.POr(bm0, t1, t2)
+	e.PAnd(t1, ng1, m1)
+	e.PAnd(t2, ng0, m1n)
+	e.POr(bm1, t1, t2)
+}
+
+// alphaPhase runs the forward recursion over steps trellis steps,
+// storing each normalized alpha vector (8 int16 states, one xmm) to the
+// alpha history.
+func (d *SIMDDecoder) alphaPhase(st *decodeState, tr *Trellis, blockK int, terminated bool) {
+	e := st.e
+	mark := d.markFrom(e, "alpha")
+	steps := blockK
+	if terminated {
+		steps += 3
+	}
+
+	alpha := e.NewVec()
+	init := make([]int16, 8)
+	for s := 1; s < 8; s++ {
+		init[s] = negInf16
+	}
+	e.SetImm(alpha, init)
+	e.StoreVec128(st.alpha, alpha)
+
+	bg0, bg1 := e.NewVec(), e.NewVec()
+	ng0, ng1 := e.NewVec(), e.NewVec()
+	t1, t2, bm0, bm1 := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	a0, a1, c0, c1, norm := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+
+	for k := 0; k < steps; k++ {
+		g0a, g1a := st.gammaAddrs(k, blockK)
+		e.Broadcast16FromMem(bg0, g0a)
+		e.Broadcast16FromMem(bg1, g1a)
+		e.PSubSW(ng0, st.zero, bg0)
+		e.PSubSW(ng1, st.zero, bg1)
+		st.bmVecs(bg0, bg1, ng0, ng1, t1, t2, bm0, bm1,
+			st.maskAlphaU0, st.maskAlphaU0N, st.maskAlphaU1, st.maskAlphaU1N)
+		e.PermuteW(a0, alpha, st.prevIdx0)
+		e.PermuteW(a1, alpha, st.prevIdx1)
+		e.PAddSW(c0, a0, bm0)
+		e.PAddSW(c1, a1, bm1)
+		e.PMaxSW(alpha, c0, c1)
+		// Normalize by state 0 (lane-0 broadcast + subtract), the same
+		// rule the scalar reference applies.
+		e.PermuteW(norm, alpha, st.lane0Idx)
+		e.PSubSW(alpha, alpha, norm)
+		e.StoreVec128(st.alpha+16*int64(k+1), alpha)
+	}
+	d.closeMark(e, mark)
+}
+
+// betaExtPhase runs the backward recursion and, fused with it, the
+// extrinsic/posterior computation: at step k it has beta[k+1] in a
+// register, computes the branch sums v_u = bm_u + beta[next], derives
+// beta[k] = max_u v_u, and for information steps loads alpha[k] to form
+// the posterior difference D[k] = max(alpha+v0) - max(alpha+v1).
+func (d *SIMDDecoder) betaExtPhase(st *decodeState, tr *Trellis, blockK int, terminated bool) {
+	e := st.e
+	markBeta := d.markFrom(e, "beta+ext")
+	steps := blockK
+	beta := e.NewVec()
+	if terminated {
+		steps += 3
+		init := make([]int16, 8)
+		for s := 1; s < 8; s++ {
+			init[s] = negInf16
+		}
+		e.SetImm(beta, init)
+	} else {
+		e.PXor(beta, beta, beta)
+	}
+
+	bg0, bg1 := e.NewVec(), e.NewVec()
+	ng0, ng1 := e.NewVec(), e.NewVec()
+	t1, t2, bm0, bm1 := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	b0, b1, v0, v1 := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	alpha, e0, e1, m0, m1, dv, norm := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+
+	for k := steps - 1; k >= 0; k-- {
+		g0a, g1a := st.gammaAddrs(k, blockK)
+		e.Broadcast16FromMem(bg0, g0a)
+		e.Broadcast16FromMem(bg1, g1a)
+		e.PSubSW(ng0, st.zero, bg0)
+		e.PSubSW(ng1, st.zero, bg1)
+		st.bmVecs(bg0, bg1, ng0, ng1, t1, t2, bm0, bm1,
+			st.maskCurU0, st.maskCurU0N, st.maskCurU1, st.maskCurU1N)
+		e.PermuteW(b0, beta, st.nextIdx0)
+		e.PermuteW(b1, beta, st.nextIdx1)
+		e.PAddSW(v0, b0, bm0)
+		e.PAddSW(v1, b1, bm1)
+
+		if k < blockK {
+			// Posterior for the information step.
+			e.LoadVec128(alpha, st.alpha+16*int64(k))
+			e.PAddSW(e0, alpha, v0)
+			e.PAddSW(e1, alpha, v1)
+			hmax(e, e0, m0, t1)
+			hmax(e, e1, m1, t1)
+			e.PSubSW(dv, m0, m1)
+			e.PExtrWToMem(st.elemAddr(st.dPost, k), dv, 0)
+		}
+
+		e.PMaxSW(beta, v0, v1)
+		e.PermuteW(norm, beta, st.lane0Idx)
+		e.PSubSW(beta, beta, norm)
+	}
+	d.closeMark(e, markBeta)
+}
+
+// hmax reduces the maximum of lanes 0-7 of v into every one of its low 8
+// lanes (3 shuffle+max rounds), leaving the result in dst. tmp is
+// scratch.
+func hmax(e *simd.Engine, v, dst, tmp *simd.Vec) {
+	e.PermuteW(tmp, v, []int{4, 5, 6, 7, 0, 1, 2, 3})
+	e.PMaxSW(dst, v, tmp)
+	e.PermuteW(tmp, dst, []int{2, 3, 0, 1, 6, 7, 4, 5})
+	e.PMaxSW(dst, dst, tmp)
+	e.PermuteW(tmp, dst, []int{1, 0, 3, 2, 5, 4, 7, 6})
+	e.PMaxSW(dst, dst, tmp)
+}
+
+// extFinalize converts the stored posteriors into clamped extrinsics:
+// ext[k] = clamp(D[k]>>1 - (sys[k]+la[k])), vectorized at full width.
+func (d *SIMDDecoder) extFinalize(st *decodeState, sysBase int64, sysC core.Cluster, laBase int64, k int) {
+	e := st.e
+	mark := d.markFrom(e, "ext")
+	L := st.lay.GroupLanes
+	groups := k / L
+	dvec, s, la, t, half, lim, nlim := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	e.Broadcast16(lim, extClamp)
+	e.Broadcast16(nlim, -extClamp)
+	for g := 0; g < groups; g++ {
+		e.LoadVec(dvec, st.vecAddr(st.dPost, g, 0))
+		e.LoadVec(s, st.vecAddr(sysBase, g, st.lay.Rot[sysC]))
+		e.LoadVec(la, st.vecAddr(laBase, g, 0))
+		e.PAddSW(t, s, la)
+		e.PSraW(half, dvec, 1)
+		e.PSubSW(half, half, t)
+		e.PMinSW(half, half, lim)
+		e.PMaxSW(half, half, nlim)
+		e.StoreVec(st.vecAddr(st.ext, g, 0), half)
+	}
+	for i := groups * L; i < k; i++ {
+		dAddr := st.elemAddr(st.dPost, i)
+		sv := e.Mem.ReadI16(st.lay.ElementAddr(sysBase, sysC, i))
+		lv := e.Mem.ReadI16(st.elemAddr(laBase, i))
+		dV := e.Mem.ReadI16(dAddr)
+		e.Mem.WriteI16(st.elemAddr(st.ext, i), clampExt(int32(dV>>1)-int32(sv)-int32(lv)))
+		e.EmitScalar("sub", 2)
+		e.EmitScalarLoad("mov", dAddr, 2)
+		e.EmitScalarStore("mov", st.elemAddr(st.ext, i), 2)
+	}
+	d.closeMark(e, mark)
+}

@@ -1,0 +1,107 @@
+package uarch
+
+import (
+	"fmt"
+
+	"vransim/internal/trace"
+)
+
+// TopDown holds Intel top-down pipeline-slot fractions. The four
+// first-level categories sum to 1; backend bound is further split into
+// core bound and memory bound (which sum to BackendBound).
+type TopDown struct {
+	Retiring      float64
+	FrontendBound float64
+	BadSpec       float64
+	BackendBound  float64
+	CoreBound     float64
+	MemoryBound   float64
+}
+
+// String formats the breakdown as percentages.
+func (t TopDown) String() string {
+	return fmt.Sprintf("ret=%.1f%% fe=%.1f%% bs=%.1f%% be=%.1f%% (core=%.1f%% mem=%.1f%%)",
+		100*t.Retiring, 100*t.FrontendBound, 100*t.BadSpec,
+		100*t.BackendBound, 100*t.CoreBound, 100*t.MemoryBound)
+}
+
+// Result is the outcome of simulating one instruction trace.
+type Result struct {
+	// Cycles is the total simulated cycle count; Insts the number of
+	// µops retired.
+	Cycles int64
+	Insts  int64
+
+	TopDown TopDown
+
+	// PortBusy counts, per port, the cycles the port executed a µop.
+	PortBusy [NumPorts]int64
+
+	// LoadBytes / StoreBytes are total bytes moved between registers
+	// and L1 by Load/Store µops.
+	LoadBytes  int64
+	StoreBytes int64
+
+	// L1Hits etc. summarize the cache replay when a hierarchy was
+	// attached.
+	L1Hits, L1Misses int64
+	L2Hits, L2Misses int64
+	L3Hits, L3Misses int64
+
+	// FrequencyGHz is copied from the config for time conversion.
+	FrequencyGHz float64
+
+	Mix trace.Mix
+}
+
+// IPC returns retired µops per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// Seconds converts the cycle count to wall-clock seconds at the
+// configured frequency.
+func (r Result) Seconds() float64 {
+	if r.FrequencyGHz == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / (r.FrequencyGHz * 1e9)
+}
+
+// Microseconds is Seconds in µs.
+func (r Result) Microseconds() float64 { return r.Seconds() * 1e6 }
+
+// StoreBitsPerCycle is the average register->L1 store bandwidth, the
+// metric behind the paper's Figure 8b and its "4X-16X" bandwidth claim.
+func (r Result) StoreBitsPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.StoreBytes*8) / float64(r.Cycles)
+}
+
+// BandwidthUtilization is StoreBitsPerCycle divided by the peak store
+// bandwidth of one register width per cycle.
+func (r Result) BandwidthUtilization(regBits int) float64 {
+	if regBits == 0 {
+		return 0
+	}
+	return r.StoreBitsPerCycle() / float64(regBits)
+}
+
+// PortUtilization returns the busy fraction of port p.
+func (r Result) PortUtilization(p int) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.PortBusy[p]) / float64(r.Cycles)
+}
+
+// String gives a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("cycles=%d insts=%d ipc=%.2f %s bw=%.1f bits/cyc",
+		r.Cycles, r.Insts, r.IPC(), r.TopDown.String(), r.StoreBitsPerCycle())
+}

@@ -13,58 +13,36 @@ import (
 	"fmt"
 	"os"
 
+	"vransim/internal/cliutil"
 	"vransim/internal/core"
 	"vransim/internal/pipeline"
-	"vransim/internal/simd"
-	"vransim/internal/transport"
 )
 
 func main() {
 	dir := flag.String("dir", "uplink", "uplink or downlink")
 	bytes := flag.Int("bytes", 512, "IP packet size")
-	proto := flag.String("proto", "udp", "udp or tcp")
-	width := flag.Int("width", 128, "SIMD width in bits: 128, 256 or 512")
-	mech := flag.String("mech", "apcm", "arrangement mechanism: original, apcm, apcm+shuffle, apcm+rotate, shuffle, scalar")
+	proto := flag.String("proto", "udp", cliutil.ProtoHelp)
+	width := flag.Int("width", 128, cliutil.WidthHelp)
+	mech := flag.String("mech", "apcm", cliutil.MechHelp)
 	iters := flag.Int("iters", 2, "turbo decoder iterations")
 	flag.Parse()
 
-	var w simd.Width
-	switch *width {
-	case 128:
-		w = simd.W128
-	case 256:
-		w = simd.W256
-	case 512:
-		w = simd.W512
-	default:
-		fatal("width must be 128, 256 or 512")
+	w, err := cliutil.ParseWidth(*width)
+	if err != nil {
+		fatal("%v", err)
 	}
-	var s core.Strategy
-	switch *mech {
-	case "original":
-		s = core.StrategyExtract
-	case "apcm":
-		s = core.StrategyAPCM
-	case "apcm+shuffle":
-		s = core.StrategyAPCMShuffle
-	case "apcm+rotate":
-		s = core.StrategyAPCMRotate
-	case "shuffle":
-		s = core.StrategyShuffle
-	case "scalar":
-		s = core.StrategyScalar
-	default:
-		fatal("unknown mechanism %q", *mech)
+	s, err := cliutil.ParseStrategy(*mech)
+	if err != nil {
+		fatal("%v", err)
 	}
-	p := transport.UDP
-	if *proto == "tcp" {
-		p = transport.TCP
+	p, err := cliutil.ParseProto(*proto)
+	if err != nil {
+		fatal("%v", err)
 	}
 
 	cfg := pipeline.DefaultConfig(w, s, p, *bytes)
 	cfg.Iters = *iters
 	var res *pipeline.Result
-	var err error
 	switch *dir {
 	case "uplink":
 		res, err = pipeline.RunUplink(cfg)

@@ -1,0 +1,54 @@
+package cliutil
+
+import (
+	"testing"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/transport"
+)
+
+func TestParseWidth(t *testing.T) {
+	for bits, want := range map[int]simd.Width{128: simd.W128, 256: simd.W256, 512: simd.W512} {
+		got, err := ParseWidth(bits)
+		if err != nil || got != want {
+			t.Errorf("ParseWidth(%d) = %v, %v", bits, got, err)
+		}
+	}
+	if _, err := ParseWidth(64); err == nil {
+		t.Error("ParseWidth(64) should fail")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]core.Strategy{
+		"original":     core.StrategyExtract,
+		"apcm":         core.StrategyAPCM,
+		"APCM":         core.StrategyAPCM, // case-insensitive
+		"apcm+shuffle": core.StrategyAPCMShuffle,
+		"apcm+rotate":  core.StrategyAPCMRotate,
+		"shuffle":      core.StrategyShuffle,
+		"scalar":       core.StrategyScalar,
+	}
+	for name, want := range cases {
+		got, err := ParseStrategy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseStrategy("avx1024"); err == nil {
+		t.Error("unknown mechanism should fail")
+	}
+}
+
+func TestParseProto(t *testing.T) {
+	if p, err := ParseProto("udp"); err != nil || p != transport.UDP {
+		t.Errorf("udp: %v, %v", p, err)
+	}
+	if p, err := ParseProto("TCP"); err != nil || p != transport.TCP {
+		t.Errorf("TCP: %v, %v", p, err)
+	}
+	if _, err := ParseProto("sctp"); err == nil {
+		t.Error("sctp should fail")
+	}
+}

@@ -32,6 +32,10 @@ type CellConfig struct {
 	Cores int
 	// Seed makes the run deterministic.
 	Seed int64
+	// Rng, when non-nil, supplies the arrival randomness explicitly so
+	// concurrent runs are race-free and independently reproducible; when
+	// nil a private source is seeded from Seed.
+	Rng *rand.Rand
 }
 
 // CellResult aggregates the run.
@@ -72,7 +76,10 @@ func RunCell(cfg CellConfig) (*CellResult, error) {
 	}
 	res := &CellResult{PerPacketUs: ref.TotalUs, PerUE: make([]int, cfg.UEs)}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	queues := make([]int, cfg.UEs) // backlog per UE (packet count)
 	coreFree := make([]float64, cfg.Cores)
 	deadline := 3 * cfg.TTIUs

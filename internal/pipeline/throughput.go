@@ -29,16 +29,31 @@ func DefaultTTI(procUs float64, tbBits, cores int) TTIConfig {
 // each TTI, processed FIFO by the core pool, and returns the fraction of
 // blocks that met the deadline and the achieved goodput in Mbps.
 func (c TTIConfig) Simulate(perTTI, nTTIs int) (delivered float64, mbps float64) {
-	if perTTI <= 0 || nTTIs <= 0 || c.Cores <= 0 {
+	if perTTI <= 0 || nTTIs <= 0 {
+		return 0, 0
+	}
+	arrivals := make([]int, nTTIs)
+	for i := range arrivals {
+		arrivals[i] = perTTI
+	}
+	return c.SimulateArrivals(arrivals)
+}
+
+// SimulateArrivals generalizes Simulate to an arbitrary per-TTI arrival
+// pattern (bursts, silences), which is what the serving runtime's
+// synthetic traffic actually produces; arrivals[t] blocks arrive at the
+// start of TTI t.
+func (c TTIConfig) SimulateArrivals(arrivals []int) (delivered float64, mbps float64) {
+	if len(arrivals) == 0 || c.Cores <= 0 {
 		return 0, 0
 	}
 	// coreFree[i] is when core i next becomes idle (µs).
 	coreFree := make([]float64, c.Cores)
 	total := 0
 	ok := 0
-	for tti := 0; tti < nTTIs; tti++ {
+	for tti, n := range arrivals {
 		arrive := float64(tti) * c.TTIUs
-		for j := 0; j < perTTI; j++ {
+		for j := 0; j < n; j++ {
 			total++
 			// Earliest-free core.
 			best := 0
@@ -50,13 +65,16 @@ func (c TTIConfig) Simulate(perTTI, nTTIs int) (delivered float64, mbps float64)
 			start := math.Max(arrive, coreFree[best])
 			finish := start + c.ProcUs
 			coreFree[best] = finish
-			if finish-arrive <= c.DeadlineUs {
+			if c.DeadlineUs > 0 && finish-arrive <= c.DeadlineUs {
 				ok++
 			}
 		}
 	}
+	if total == 0 {
+		return 0, 0
+	}
 	delivered = float64(ok) / float64(total)
-	horizon := float64(nTTIs) * c.TTIUs
+	horizon := float64(len(arrivals)) * c.TTIUs
 	mbps = float64(ok) * float64(c.TBBits) / horizon // bits/µs = Mbps
 	return delivered, mbps
 }

@@ -80,3 +80,57 @@ func TestTTIEdgeCases(t *testing.T) {
 		t.Error("zero load should report zeros")
 	}
 }
+
+func TestTTIZeroDeadline(t *testing.T) {
+	// A zero deadline budget means nothing is deliverable, even with
+	// instant processing: the serving layer treats it as "shed all".
+	cfg := TTIConfig{TTIUs: 1000, ProcUs: 0, TBBits: 1000, DeadlineUs: 0, Cores: 4}
+	if d, m := cfg.Simulate(2, 50); d != 0 || m != 0 {
+		t.Errorf("zero deadline delivered %.2f (%.2f Mbps), want nothing", d, m)
+	}
+}
+
+func TestTTIBurstArrival(t *testing.T) {
+	// One giant burst followed by silence: the pool drains the backlog,
+	// and only the blocks within the deadline horizon survive. Capacity
+	// within the 3000µs deadline: first block starts at 0, each core
+	// finishes floor(3000/500)=6 blocks in budget -> 12 of 20 delivered.
+	cfg := TTIConfig{TTIUs: 1000, ProcUs: 500, TBBits: 12000, DeadlineUs: 3000, Cores: 2}
+	arrivals := make([]int, 20)
+	arrivals[0] = 20
+	d, mbps := cfg.SimulateArrivals(arrivals)
+	want := 12.0 / 20.0
+	if d < want-1e-9 || d > want+1e-9 {
+		t.Errorf("burst delivery %.3f, want %.3f", d, want)
+	}
+	if mbps <= 0 {
+		t.Error("burst goodput should be positive")
+	}
+
+	// The same blocks spread evenly are all deliverable.
+	even := make([]int, 20)
+	for i := range even {
+		even[i] = 1
+	}
+	dEven, _ := cfg.SimulateArrivals(even)
+	if dEven != 1 {
+		t.Errorf("even delivery %.3f, want 1", dEven)
+	}
+	if dEven <= d {
+		t.Error("bursts must hurt delivery relative to even arrivals")
+	}
+}
+
+func TestTTISimulateMatchesArrivals(t *testing.T) {
+	// Simulate(perTTI, n) must be exactly SimulateArrivals(flat pattern).
+	cfg := DefaultTTI(700, 8000, 2)
+	arr := make([]int, 40)
+	for i := range arr {
+		arr[i] = 3
+	}
+	d1, m1 := cfg.Simulate(3, 40)
+	d2, m2 := cfg.SimulateArrivals(arr)
+	if d1 != d2 || m1 != m2 {
+		t.Errorf("Simulate (%.3f, %.3f) != SimulateArrivals (%.3f, %.3f)", d1, m1, d2, m2)
+	}
+}

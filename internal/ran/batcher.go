@@ -1,0 +1,91 @@
+package ran
+
+import "time"
+
+// batch is one unit of worker work: up to `lanes` same-K blocks decoded
+// in parallel register lane groups.
+type batch struct {
+	k      int
+	blocks []*Block
+}
+
+// laneBatcher aggregates same-K code blocks across UEs and cells until
+// a batch fills every width/128 lane group of the decoder, or until the
+// oldest pending block has waited `window` — whichever comes first.
+// Filling lanes is what makes wide registers pay (an AVX512 register
+// decoding one block wastes 3/4 of its lanes); the window bounds the
+// latency cost of waiting for co-travelers.
+//
+// The batcher is owned by the single dispatcher goroutine and needs no
+// locking.
+type laneBatcher struct {
+	lanes  int
+	window time.Duration
+	// pending holds under-filled groups by K; entered[k] is when the
+	// oldest pending block of that K arrived at the batcher.
+	pending map[int][]*Block
+	entered map[int]time.Time
+}
+
+func newLaneBatcher(lanes int, window time.Duration) *laneBatcher {
+	return &laneBatcher{
+		lanes:   lanes,
+		window:  window,
+		pending: make(map[int][]*Block),
+		entered: make(map[int]time.Time),
+	}
+}
+
+// add stages b and returns a full batch if b completed one.
+func (lb *laneBatcher) add(b *Block, now time.Time) (batch, bool) {
+	p := lb.pending[b.K]
+	if len(p) == 0 {
+		lb.entered[b.K] = now
+	}
+	p = append(p, b)
+	if len(p) >= lb.lanes {
+		delete(lb.pending, b.K)
+		delete(lb.entered, b.K)
+		return batch{k: b.K, blocks: p}, true
+	}
+	lb.pending[b.K] = p
+	return batch{}, false
+}
+
+// flushDue returns the under-filled batches whose oldest block has
+// waited at least the window (all of them when force is set, e.g. at
+// shutdown).
+func (lb *laneBatcher) flushDue(now time.Time, force bool) []batch {
+	var out []batch
+	for k, p := range lb.pending {
+		if force || now.Sub(lb.entered[k]) >= lb.window {
+			out = append(out, batch{k: k, blocks: p})
+			delete(lb.pending, k)
+			delete(lb.entered, k)
+		}
+	}
+	return out
+}
+
+// nextDue reports the earliest instant a pending group becomes
+// flushable, if any group is pending.
+func (lb *laneBatcher) nextDue() (time.Time, bool) {
+	var due time.Time
+	found := false
+	for _, t := range lb.entered {
+		d := t.Add(lb.window)
+		if !found || d.Before(due) {
+			due, found = d, true
+		}
+	}
+	return due, found
+}
+
+// pendingBlocks counts staged blocks (for tests and shutdown checks).
+func (lb *laneBatcher) pendingBlocks() int {
+	n := 0
+	for _, p := range lb.pending {
+		n += len(p)
+	}
+	return n
+}

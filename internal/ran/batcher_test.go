@@ -1,0 +1,109 @@
+package ran
+
+import (
+	"testing"
+	"time"
+
+	"vransim/internal/simd"
+)
+
+func mkBlock(k int) *Block { return &Block{K: k} }
+
+func TestBatcherFillsLaneGroups(t *testing.T) {
+	lb := newLaneBatcher(4, time.Second)
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, full := lb.add(mkBlock(104), now); full {
+			t.Fatalf("batch full after %d of 4 blocks", i+1)
+		}
+	}
+	bt, full := lb.add(mkBlock(104), now)
+	if !full || len(bt.blocks) != 4 || bt.k != 104 {
+		t.Fatalf("4th block should complete the batch, got full=%v len=%d", full, len(bt.blocks))
+	}
+	if lb.pendingBlocks() != 0 {
+		t.Error("batch emission left blocks pending")
+	}
+}
+
+func TestBatcherKeepsKsApart(t *testing.T) {
+	lb := newLaneBatcher(2, time.Second)
+	now := time.Now()
+	lb.add(mkBlock(40), now)
+	if _, full := lb.add(mkBlock(104), now); full {
+		t.Fatal("different-K blocks must not share a batch")
+	}
+	bt, full := lb.add(mkBlock(40), now)
+	if !full || bt.k != 40 {
+		t.Fatalf("same-K pair should batch, got full=%v k=%d", full, bt.k)
+	}
+	if lb.pendingBlocks() != 1 {
+		t.Errorf("the K=104 block should still be pending, have %d", lb.pendingBlocks())
+	}
+}
+
+func TestBatcherFlushOnTimeout(t *testing.T) {
+	lb := newLaneBatcher(4, 10*time.Millisecond)
+	t0 := time.Now()
+	lb.add(mkBlock(40), t0)
+
+	if got := lb.flushDue(t0.Add(5*time.Millisecond), false); len(got) != 0 {
+		t.Fatalf("flushed %d batches before the window elapsed", len(got))
+	}
+	due, ok := lb.nextDue()
+	if !ok || due.Sub(t0) != 10*time.Millisecond {
+		t.Fatalf("nextDue = %v after t0, want 10ms", due.Sub(t0))
+	}
+	got := lb.flushDue(t0.Add(11*time.Millisecond), false)
+	if len(got) != 1 || len(got[0].blocks) != 1 {
+		t.Fatalf("want one under-filled batch after the window, got %v", got)
+	}
+	if _, ok := lb.nextDue(); ok {
+		t.Error("nextDue still set after flush")
+	}
+}
+
+func TestBatcherForceFlush(t *testing.T) {
+	lb := newLaneBatcher(4, time.Hour)
+	now := time.Now()
+	lb.add(mkBlock(40), now)
+	lb.add(mkBlock(104), now)
+	got := lb.flushDue(now, true)
+	if len(got) != 2 {
+		t.Fatalf("force flush returned %d batches, want 2", len(got))
+	}
+	if lb.pendingBlocks() != 0 {
+		t.Error("force flush left blocks pending")
+	}
+}
+
+// TestRuntimeFlushOnTimeout covers the wired-up path: a single block in
+// a 4-lane build must still be decoded once the batch window elapses,
+// with the waste showing up in the lane-occupancy metric.
+func TestRuntimeFlushOnTimeout(t *testing.T) {
+	cfg := testConfig(simd.W512)
+	cfg.BatchWindow = 15 * time.Millisecond
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mustPool(t, 40, 1, 6)
+	w, _ := pool.Get(0)
+	if a := rt.Submit(0, 0, pool.K, w); a != Admitted {
+		t.Fatalf("not admitted: %v", a)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if rt.Snapshot().Delivered == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := rt.Stop()
+	if s.Delivered != 1 {
+		t.Fatalf("lone block never flushed: delivered=%d", s.Delivered)
+	}
+	if s.Batches != 1 || s.LaneOccupancy > 0.26 {
+		t.Errorf("batches=%d occupancy=%.2f, want one quarter-full batch", s.Batches, s.LaneOccupancy)
+	}
+}

@@ -1,0 +1,252 @@
+package ran
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// DropCause enumerates why a block failed to be delivered.
+type DropCause int
+
+// Drop causes, in pipeline order: backlog (ingress queue full),
+// admission (deadline infeasible on arrival), expired (deadline passed
+// while queued or batching), late (decoded, but after the deadline).
+const (
+	DropBacklog DropCause = iota
+	DropAdmission
+	DropExpired
+	DropLate
+	numDropCauses
+)
+
+// String names the cause.
+func (c DropCause) String() string {
+	switch c {
+	case DropBacklog:
+		return "backlog"
+	case DropAdmission:
+		return "admission"
+	case DropExpired:
+		return "expired"
+	case DropLate:
+		return "late"
+	}
+	return "unknown"
+}
+
+// latencyHist is a lock-free HDR-style histogram: one atomic counter
+// per (octave, 1/8-octave sub-bucket) of a nanosecond value. Relative
+// error of a reconstructed percentile is bounded by one sub-bucket
+// (~12.5 %), plenty for serving dashboards.
+type latencyHist struct {
+	buckets [64 * 8]atomic.Uint64
+	count   atomic.Uint64
+}
+
+func histIndex(ns int64) int {
+	if ns < 8 {
+		return 0
+	}
+	e := bits.Len64(uint64(ns)) // 2^(e-1) <= ns < 2^e, e >= 4
+	sub := (uint64(ns) >> (e - 4)) & 7
+	return (e-4)*8 + int(sub)
+}
+
+// histValue returns the representative (midpoint) value of bucket idx.
+func histValue(idx int) int64 {
+	e := idx / 8
+	sub := idx % 8
+	if e == 0 && sub == 0 {
+		return 4
+	}
+	return int64((float64(8+sub) + 0.5) * float64(uint64(1)<<e))
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	h.buckets[histIndex(d.Nanoseconds())].Add(1)
+	h.count.Add(1)
+}
+
+// percentile reconstructs quantile q (0..1) from the live counters.
+func (h *latencyHist) percentile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum > target {
+			return time.Duration(histValue(i))
+		}
+	}
+	return time.Duration(histValue(len(h.buckets) - 1))
+}
+
+// cellCounters is the per-cell slice of the metrics, all atomics so the
+// hot path never takes a lock.
+type cellCounters struct {
+	accepted  atomic.Uint64
+	delivered atomic.Uint64
+	drops     [numDropCauses]atomic.Uint64
+	bits      atomic.Uint64 // delivered information bits
+}
+
+// Metrics is the runtime's atomic-counter metrics layer. All methods
+// are safe for concurrent use from any number of goroutines.
+type Metrics struct {
+	start time.Time
+	cells []cellCounters
+
+	laneSlotsUsed  atomic.Uint64 // lane groups carrying a real block
+	laneSlotsTotal atomic.Uint64 // lane groups available across batches
+	batches        atomic.Uint64
+
+	decodedBlocks atomic.Uint64
+	decodeBusyNs  atomic.Int64
+
+	latency latencyHist
+}
+
+// NewMetrics builds a metrics layer for nCells cells.
+func NewMetrics(nCells int) *Metrics {
+	return &Metrics{start: time.Now(), cells: make([]cellCounters, nCells)}
+}
+
+func (m *Metrics) accept(cell int)                { m.cells[cell].accepted.Add(1) }
+func (m *Metrics) drop(cell int, cause DropCause) { m.cells[cell].drops[cause].Add(1) }
+
+func (m *Metrics) deliver(cell, bits int, latency time.Duration) {
+	c := &m.cells[cell]
+	c.delivered.Add(1)
+	c.bits.Add(uint64(bits))
+	m.latency.observe(latency)
+}
+
+func (m *Metrics) batchDone(used, lanes int, busy time.Duration) {
+	m.batches.Add(1)
+	m.laneSlotsUsed.Add(uint64(used))
+	m.laneSlotsTotal.Add(uint64(lanes))
+	m.decodedBlocks.Add(uint64(used))
+	m.decodeBusyNs.Add(busy.Nanoseconds())
+}
+
+// CellSnapshot is one cell's view in a Snapshot.
+type CellSnapshot struct {
+	Accepted   uint64
+	Delivered  uint64
+	Drops      [numDropCauses]uint64
+	QueueDepth int
+	Mbps       float64
+}
+
+// Dropped totals the cell's drops across causes.
+func (c CellSnapshot) Dropped() uint64 {
+	var n uint64
+	for _, d := range c.Drops {
+		n += d
+	}
+	return n
+}
+
+// Snapshot is a consistent-enough point-in-time view of the metrics
+// (individual counters are read atomically; cross-counter skew is at
+// most one in-flight block).
+type Snapshot struct {
+	Elapsed time.Duration
+	Cells   []CellSnapshot
+
+	Accepted  uint64
+	Delivered uint64
+	Drops     [numDropCauses]uint64
+
+	Batches       uint64
+	DecodedBlocks uint64
+	// LaneOccupancy is the fraction of register lane groups that carried
+	// a real block (1.0 = every decode used the full width).
+	LaneOccupancy float64
+	// AvgDecodeUs is the mean per-block decode cost in microseconds.
+	AvgDecodeUs float64
+	// WorkerUtilization is decode busy time over workers*elapsed.
+	WorkerUtilization float64
+	// GoodputMbps is delivered information bits over elapsed time.
+	GoodputMbps float64
+
+	LatencyP50 time.Duration
+	LatencyP90 time.Duration
+	LatencyP99 time.Duration
+}
+
+// Dropped totals drops across cells and causes.
+func (s *Snapshot) Dropped() uint64 {
+	var n uint64
+	for _, d := range s.Drops {
+		n += d
+	}
+	return n
+}
+
+// DropsByCause renders the drop breakdown as a name->count map.
+func (s *Snapshot) DropsByCause() map[string]uint64 {
+	out := make(map[string]uint64, int(numDropCauses))
+	for c := DropCause(0); c < numDropCauses; c++ {
+		out[c.String()] = s.Drops[c]
+	}
+	return out
+}
+
+// snapshot assembles the exported view. queueDepths and workers come
+// from the runtime (the metrics layer itself has no queue handle).
+func (m *Metrics) snapshot(queueDepths []int, workers int) *Snapshot {
+	s := &Snapshot{
+		Elapsed: time.Since(m.start),
+		Cells:   make([]CellSnapshot, len(m.cells)),
+	}
+	elapsedUs := float64(s.Elapsed.Nanoseconds()) / 1e3
+	var totalBits uint64
+	for i := range m.cells {
+		c := &m.cells[i]
+		cs := CellSnapshot{
+			Accepted:  c.accepted.Load(),
+			Delivered: c.delivered.Load(),
+		}
+		for d := DropCause(0); d < numDropCauses; d++ {
+			cs.Drops[d] = c.drops[d].Load()
+			s.Drops[d] += cs.Drops[d]
+		}
+		if i < len(queueDepths) {
+			cs.QueueDepth = queueDepths[i]
+		}
+		bits := c.bits.Load()
+		totalBits += bits
+		if elapsedUs > 0 {
+			cs.Mbps = float64(bits) / elapsedUs
+		}
+		s.Accepted += cs.Accepted
+		s.Delivered += cs.Delivered
+		s.Cells[i] = cs
+	}
+	if elapsedUs > 0 {
+		s.GoodputMbps = float64(totalBits) / elapsedUs
+	}
+	s.Batches = m.batches.Load()
+	s.DecodedBlocks = m.decodedBlocks.Load()
+	if tot := m.laneSlotsTotal.Load(); tot > 0 {
+		s.LaneOccupancy = float64(m.laneSlotsUsed.Load()) / float64(tot)
+	}
+	if s.DecodedBlocks > 0 {
+		s.AvgDecodeUs = float64(m.decodeBusyNs.Load()) / 1e3 / float64(s.DecodedBlocks)
+	}
+	if workers > 0 && s.Elapsed > 0 {
+		s.WorkerUtilization = float64(m.decodeBusyNs.Load()) / (float64(workers) * float64(s.Elapsed.Nanoseconds()))
+	}
+	s.LatencyP50 = m.latency.percentile(0.50)
+	s.LatencyP90 = m.latency.percentile(0.90)
+	s.LatencyP99 = m.latency.percentile(0.99)
+	return s
+}

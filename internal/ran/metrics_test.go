@@ -1,0 +1,81 @@
+package ran
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h latencyHist
+	// 100 observations: 1..100 ms.
+	for i := 1; i <= 100; i++ {
+		h.observe(time.Duration(i) * time.Millisecond)
+	}
+	check := func(q float64, want time.Duration) {
+		got := h.percentile(q)
+		lo, hi := want*85/100, want*115/100
+		if got < lo || got > hi {
+			t.Errorf("p%.0f = %v, want %v +/- 15%%", q*100, got, want)
+		}
+	}
+	check(0.50, 50*time.Millisecond)
+	check(0.90, 90*time.Millisecond)
+	check(0.99, 99*time.Millisecond)
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h latencyHist
+	if h.percentile(0.99) != 0 {
+		t.Error("empty histogram should report 0")
+	}
+}
+
+func TestDropCauseNames(t *testing.T) {
+	want := map[DropCause]string{
+		DropBacklog: "backlog", DropAdmission: "admission",
+		DropExpired: "expired", DropLate: "late",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("cause %d named %q, want %q", c, c.String(), name)
+		}
+	}
+}
+
+func TestSnapshotAggregation(t *testing.T) {
+	m := NewMetrics(2)
+	m.accept(0)
+	m.accept(0)
+	m.accept(1)
+	m.drop(0, DropBacklog)
+	m.drop(1, DropExpired)
+	m.deliver(0, 104, 2*time.Millisecond)
+	m.deliver(1, 104, 4*time.Millisecond)
+	m.batchDone(2, 4, 300*time.Microsecond)
+
+	s := m.snapshot([]int{3, 0}, 2)
+	if s.Accepted != 3 || s.Delivered != 2 {
+		t.Errorf("accepted=%d delivered=%d, want 3/2", s.Accepted, s.Delivered)
+	}
+	if s.Drops[DropBacklog] != 1 || s.Drops[DropExpired] != 1 {
+		t.Errorf("drop counters wrong: %v", s.DropsByCause())
+	}
+	if s.Cells[0].QueueDepth != 3 || s.Cells[1].QueueDepth != 0 {
+		t.Error("queue depths not threaded through")
+	}
+	if s.LaneOccupancy != 0.5 {
+		t.Errorf("lane occupancy %.2f, want 0.5", s.LaneOccupancy)
+	}
+	if s.DecodedBlocks != 2 || s.Batches != 1 {
+		t.Errorf("decoded=%d batches=%d, want 2/1", s.DecodedBlocks, s.Batches)
+	}
+	if s.AvgDecodeUs < 149 || s.AvgDecodeUs > 151 {
+		t.Errorf("avg decode %.1fus, want ~150", s.AvgDecodeUs)
+	}
+	if s.GoodputMbps <= 0 {
+		t.Error("goodput should be positive")
+	}
+	if s.Cells[0].Dropped() != 1 {
+		t.Errorf("cell 0 dropped %d, want 1", s.Cells[0].Dropped())
+	}
+}

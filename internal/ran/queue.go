@@ -1,0 +1,47 @@
+package ran
+
+import "sync"
+
+// cellQueue is one cell's bounded ingress queue. Admission control
+// lives in Runtime.Submit; the queue itself only enforces the bound —
+// an offer against a full queue fails immediately (backpressure to the
+// radio front-end) instead of buffering without limit.
+type cellQueue struct {
+	mu  sync.Mutex
+	buf []*Block
+	max int
+}
+
+func newCellQueue(depth int) *cellQueue {
+	return &cellQueue{max: depth}
+}
+
+// offer appends b unless the queue is at capacity.
+func (q *cellQueue) offer(b *Block) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) >= q.max {
+		return false
+	}
+	q.buf = append(q.buf, b)
+	return true
+}
+
+// drain removes and returns all queued blocks in arrival order.
+func (q *cellQueue) drain() []*Block {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) == 0 {
+		return nil
+	}
+	out := q.buf
+	q.buf = nil
+	return out
+}
+
+// depth reports the current backlog.
+func (q *cellQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}

@@ -1,0 +1,358 @@
+// Package ran is the concurrent multi-cell serving runtime: the layer
+// that turns the repo's lane-parallel SIMD decoder into something that
+// serves traffic instead of answering an analytic model's question
+// (pipeline.TTIConfig).
+//
+// Transport blocks arrive per cell and are sharded across per-cell
+// bounded ingress queues with deadline-aware admission: a block whose
+// HARQ deadline is already infeasible is rejected at the door, and a
+// full queue pushes back instead of buffering without bound. A single
+// dispatcher drains the cells round-robin into a lane-fill batcher that
+// aggregates same-K code blocks across UEs and cells — the point is to
+// fill all width/128 lane groups of turbo.MultiSIMDDecoder, because an
+// AVX512 register carrying one block wastes three quarters of the
+// silicon the paper's APCM mechanism fought to feed. Batches go to a
+// worker pool where every worker owns its own simd.Engine (engines are
+// not goroutine-safe, and per-worker state is what makes the pool scale
+// without locks). An atomic metrics layer counts everything: per-cell
+// goodput, drops by cause, lane occupancy, latency percentiles, worker
+// utilization.
+package ran
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/turbo"
+)
+
+// Block is one code block travelling through the runtime.
+type Block struct {
+	// Cell and UE identify the source (Cell indexes Config.Cells).
+	Cell, UE int
+	// K is the turbo information block size; blocks batch only with
+	// equal K.
+	K int
+	// Word is the received soft information.
+	Word *turbo.LLRWord
+	// Arrived and Deadline are stamped by Submit.
+	Arrived  time.Time
+	Deadline time.Time
+}
+
+// Admit is the outcome of Submit.
+type Admit int
+
+// Submit outcomes.
+const (
+	// Admitted: the block entered its cell's queue.
+	Admitted Admit = iota
+	// RejectedBacklog: the cell queue was full (backpressure).
+	RejectedBacklog
+	// RejectedDeadline: the deadline was infeasible at admission.
+	RejectedDeadline
+	// RejectedStopped: the runtime is shut down.
+	RejectedStopped
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Cells is the number of served cells (each gets its own queue).
+	Cells int
+	// QueueDepth bounds each cell's ingress queue.
+	QueueDepth int
+	// Workers sizes the decode pool; each worker owns an engine.
+	Workers int
+	// Width and Strategy configure the per-worker decoder build.
+	Width    simd.Width
+	Strategy core.Strategy
+	// MaxIters is the turbo iteration budget.
+	MaxIters int
+	// BatchWindow is how long the batcher waits for lane co-travelers
+	// before dispatching an under-filled batch.
+	BatchWindow time.Duration
+	// Deadline is the per-block HARQ processing budget; blocks older
+	// than this are dropped, not decoded.
+	Deadline time.Duration
+	// AdmissionGuard enables the deadline feasibility check at Submit:
+	// reject immediately when the remaining slack cannot cover the batch
+	// window plus the measured decode cost, so hopeless blocks don't
+	// occupy queue space. Off, they are still dropped later as expired.
+	AdmissionGuard bool
+	// MemBytes sizes each worker's emulated memory arena (default 32 MiB).
+	MemBytes int
+	// OnDecoded, when non-nil, is called from worker goroutines with
+	// every decoded block and its hard decisions (including blocks that
+	// finished past deadline). It must be safe for concurrent use.
+	OnDecoded func(b *Block, bits []byte)
+}
+
+// DefaultConfig returns an LTE-shaped serving configuration.
+func DefaultConfig(w simd.Width, s core.Strategy) Config {
+	return Config{
+		Cells:          3,
+		QueueDepth:     64,
+		Workers:        4,
+		Width:          w,
+		Strategy:       s,
+		MaxIters:       4,
+		BatchWindow:    500 * time.Microsecond,
+		Deadline:       3 * time.Millisecond,
+		AdmissionGuard: true,
+	}
+}
+
+// Runtime is the serving runtime. Construct with New, feed with Submit,
+// finish with Stop.
+type Runtime struct {
+	cfg    Config
+	met    *Metrics
+	queues []*cellQueue
+
+	notify   chan struct{}
+	batches  chan batch
+	stop     chan struct{}
+	dispDone chan struct{}
+	workerWG sync.WaitGroup
+
+	stopped atomic.Bool
+	// estDecodeNs is an EWMA of per-block decode cost, feeding the
+	// admission guard.
+	estDecodeNs atomic.Int64
+}
+
+// New validates cfg and starts the dispatcher and worker goroutines.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Cells <= 0 || cfg.Workers <= 0 || cfg.QueueDepth <= 0 {
+		return nil, fmt.Errorf("ran: config needs cells, workers and queue depth")
+	}
+	if cfg.Deadline <= 0 {
+		return nil, fmt.Errorf("ran: config needs a positive deadline")
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 4
+	}
+	if cfg.MemBytes <= 0 {
+		cfg.MemBytes = 32 << 20
+	}
+	if turbo.BlocksPerRegister(cfg.Width) < 1 {
+		return nil, fmt.Errorf("ran: width %v too narrow for lane-parallel decode", cfg.Width)
+	}
+	r := &Runtime{
+		cfg:      cfg,
+		met:      NewMetrics(cfg.Cells),
+		queues:   make([]*cellQueue, cfg.Cells),
+		notify:   make(chan struct{}, 1),
+		batches:  make(chan batch, 2*cfg.Workers),
+		stop:     make(chan struct{}),
+		dispDone: make(chan struct{}),
+	}
+	for i := range r.queues {
+		r.queues[i] = newCellQueue(cfg.QueueDepth)
+	}
+	go r.dispatch()
+	r.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go r.worker()
+	}
+	return r, nil
+}
+
+// Lanes returns the batch width (blocks per decode) of this build.
+func (r *Runtime) Lanes() int { return turbo.BlocksPerRegister(r.cfg.Width) }
+
+// Submit offers one block for cell/UE with soft input word. It stamps
+// arrival and deadline, runs admission, and returns the outcome. Safe
+// for concurrent use; callers must stop submitting before Stop.
+func (r *Runtime) Submit(cell, ue, k int, word *turbo.LLRWord) Admit {
+	if r.stopped.Load() {
+		return RejectedStopped
+	}
+	if cell < 0 || cell >= r.cfg.Cells {
+		return RejectedStopped
+	}
+	now := time.Now()
+	b := &Block{
+		Cell: cell, UE: ue, K: k, Word: word,
+		Arrived:  now,
+		Deadline: now.Add(r.cfg.Deadline),
+	}
+	if r.cfg.AdmissionGuard {
+		// Feasibility: the block must survive the batch window plus one
+		// decode. The estimate is the workers' own EWMA; before the
+		// first measurement (est==0) everything is feasible.
+		need := r.cfg.BatchWindow + time.Duration(r.estDecodeNs.Load())
+		if r.cfg.Deadline < need {
+			r.met.drop(cell, DropAdmission)
+			return RejectedDeadline
+		}
+	}
+	if !r.queues[cell].offer(b) {
+		r.met.drop(cell, DropBacklog)
+		return RejectedBacklog
+	}
+	r.met.accept(cell)
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+	return Admitted
+}
+
+// Stop flushes pending work, waits for the workers to drain, and
+// returns the final metrics snapshot. Blocks already admitted are still
+// decoded (or dropped against their deadline); Submit calls racing Stop
+// may be rejected.
+func (r *Runtime) Stop() *Snapshot {
+	if !r.stopped.CompareAndSwap(false, true) {
+		<-r.dispDone
+		r.workerWG.Wait()
+		return r.Snapshot()
+	}
+	close(r.stop)
+	<-r.dispDone
+	r.workerWG.Wait()
+	return r.Snapshot()
+}
+
+// Snapshot returns the current metrics view.
+func (r *Runtime) Snapshot() *Snapshot {
+	depths := make([]int, len(r.queues))
+	for i, q := range r.queues {
+		depths[i] = q.depth()
+	}
+	return r.met.snapshot(depths, r.cfg.Workers)
+}
+
+// dispatch is the single goroutine that moves blocks from the cell
+// queues into the lane-fill batcher and full/due batches to the worker
+// channel. Single ownership of the batcher is what keeps the lane
+// accounting lock-free.
+func (r *Runtime) dispatch() {
+	defer close(r.dispDone)
+	lb := newLaneBatcher(r.Lanes(), r.cfg.BatchWindow)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerArmed := false
+	for {
+		// Arm the flush timer for the oldest pending group.
+		if timerArmed {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timerArmed = false
+		}
+		var timerC <-chan time.Time
+		if due, ok := lb.nextDue(); ok {
+			d := time.Until(due)
+			if d < 0 {
+				d = 0
+			}
+			timer.Reset(d)
+			timerArmed = true
+			timerC = timer.C
+		}
+		select {
+		case <-r.stop:
+			// Final sweep: queued blocks still get their chance.
+			r.sweep(lb)
+			for _, bt := range lb.flushDue(time.Now(), true) {
+				r.batches <- bt
+			}
+			close(r.batches)
+			return
+		case <-r.notify:
+		case <-timerC:
+			timerArmed = false
+		}
+		r.sweep(lb)
+		for _, bt := range lb.flushDue(time.Now(), false) {
+			r.batches <- bt
+		}
+	}
+}
+
+// sweep drains every cell queue round-robin into the batcher,
+// forwarding batches as they fill.
+func (r *Runtime) sweep(lb *laneBatcher) {
+	for _, q := range r.queues {
+		for _, b := range q.drain() {
+			if bt, full := lb.add(b, time.Now()); full {
+				r.batches <- bt
+			}
+		}
+	}
+}
+
+// worker pulls batches, drops expired blocks, decodes the rest on its
+// private engine, and records the outcome.
+func (r *Runtime) worker() {
+	defer r.workerWG.Done()
+	bd := turbo.NewBatchDecoder(r.cfg.Width, r.cfg.Strategy, r.cfg.MemBytes)
+	bd.MaxIters = r.cfg.MaxIters
+	lanes := bd.Lanes()
+	for bt := range r.batches {
+		now := time.Now()
+		live := bt.blocks[:0]
+		for _, b := range bt.blocks {
+			if now.After(b.Deadline) {
+				r.met.drop(b.Cell, DropExpired)
+				continue
+			}
+			live = append(live, b)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		words := make([]*turbo.LLRWord, len(live))
+		for i, b := range live {
+			words[i] = b.Word
+		}
+		t0 := time.Now()
+		bits, _, err := bd.Decode(bt.k, words)
+		busy := time.Since(t0)
+		r.met.batchDone(len(live), lanes, busy)
+		r.updateEstimate(busy, len(live))
+		if err != nil {
+			// A decode error (bad K reaching the pool) wastes the whole
+			// batch; account it as expired-equivalent drops.
+			for _, b := range live {
+				r.met.drop(b.Cell, DropExpired)
+			}
+			continue
+		}
+		end := time.Now()
+		for i, b := range live {
+			if end.After(b.Deadline) {
+				r.met.drop(b.Cell, DropLate)
+			} else {
+				r.met.deliver(b.Cell, b.K, end.Sub(b.Arrived))
+			}
+			if r.cfg.OnDecoded != nil {
+				r.cfg.OnDecoded(b, bits[i])
+			}
+		}
+	}
+}
+
+// updateEstimate folds a measured batch cost into the per-block EWMA
+// the admission guard consults.
+func (r *Runtime) updateEstimate(busy time.Duration, blocks int) {
+	per := busy.Nanoseconds() / int64(blocks)
+	old := r.estDecodeNs.Load()
+	if old == 0 {
+		r.estDecodeNs.Store(per)
+		return
+	}
+	// 1/8 EWMA; a stale CAS just means another worker's sample won.
+	r.estDecodeNs.CompareAndSwap(old, old+(per-old)/8)
+}

@@ -1,0 +1,270 @@
+package ran
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/turbo"
+)
+
+func testConfig(w simd.Width) Config {
+	cfg := DefaultConfig(w, core.StrategyAPCM)
+	cfg.Cells = 2
+	cfg.Workers = 2
+	cfg.QueueDepth = 256
+	cfg.MaxIters = 4
+	cfg.Deadline = 30 * time.Second // correctness tests never race the clock
+	cfg.BatchWindow = 2 * time.Millisecond
+	cfg.AdmissionGuard = false
+	return cfg
+}
+
+func mustPool(t testing.TB, k, n int, seed int64) *WordPool {
+	t.Helper()
+	pool, err := NewWordPool(k, n, 24, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+// TestConcurrentSubmitConservation floods the runtime from many
+// goroutines and checks the accounting invariants: every offered block
+// is exactly one of {delivered, dropped-with-cause, rejected}.
+func TestConcurrentSubmitConservation(t *testing.T) {
+	cfg := testConfig(simd.W256)
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mustPool(t, 40, 32, 1)
+
+	const goroutines = 8
+	const perG = 25
+	var wg sync.WaitGroup
+	var rejected sync.Map // goroutine -> count
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			rej := 0
+			for i := 0; i < perG; i++ {
+				w, _ := pool.Get(g*perG + i)
+				if rt.Submit(g%cfg.Cells, g, pool.K, w) != Admitted {
+					rej++
+				}
+			}
+			rejected.Store(g, rej)
+		}(g)
+	}
+	wg.Wait()
+	s := rt.Stop()
+
+	totalRej := 0
+	rejected.Range(func(_, v interface{}) bool { totalRej += v.(int); return true })
+	offered := uint64(goroutines * perG)
+	if s.Accepted+s.Drops[DropBacklog]+s.Drops[DropAdmission] != offered {
+		t.Errorf("offered %d != accepted %d + backlog %d + admission %d",
+			offered, s.Accepted, s.Drops[DropBacklog], s.Drops[DropAdmission])
+	}
+	if s.Accepted != s.Delivered+s.Drops[DropExpired]+s.Drops[DropLate] {
+		t.Errorf("accepted %d != delivered %d + expired %d + late %d",
+			s.Accepted, s.Delivered, s.Drops[DropExpired], s.Drops[DropLate])
+	}
+	if uint64(totalRej) != s.Drops[DropBacklog]+s.Drops[DropAdmission] {
+		t.Errorf("caller saw %d rejections, metrics say %d", totalRej, s.Drops[DropBacklog]+s.Drops[DropAdmission])
+	}
+	if s.Delivered == 0 {
+		t.Error("nothing delivered under a 30s deadline")
+	}
+}
+
+// TestDecodeMatchesSingleAndTruth is the end-to-end lane-independence
+// property: blocks decoded through the batching runtime must be
+// bit-identical to per-block single decoding — and, for noiseless
+// words, to the encoded payloads.
+func TestDecodeMatchesSingleAndTruth(t *testing.T) {
+	cfg := testConfig(simd.W512)
+	pool := mustPool(t, 64, 24, 2)
+
+	var mu sync.Mutex
+	got := make(map[*Block][]byte)
+	cfg.OnDecoded = func(b *Block, bits []byte) {
+		mu.Lock()
+		got[b] = append([]byte(nil), bits...)
+		mu.Unlock()
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		word  *turbo.LLRWord
+		truth []byte
+	}
+	wants := make([]want, pool.Len())
+	for i := 0; i < pool.Len(); i++ {
+		w, truth := pool.Get(i)
+		wants[i] = want{w, truth}
+		if a := rt.Submit(i%cfg.Cells, i, pool.K, w); a != Admitted {
+			t.Fatalf("block %d not admitted: %v", i, a)
+		}
+	}
+	s := rt.Stop()
+	if s.Delivered != uint64(pool.Len()) {
+		t.Fatalf("delivered %d of %d", s.Delivered, pool.Len())
+	}
+
+	// Reference: single-block SIMD decode at the same width/settings.
+	c, err := turbo.NewCode(pool.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := make(map[*turbo.LLRWord][]byte)
+	for _, w := range wants {
+		mem := simd.NewMemory(32 << 20)
+		e := simd.NewEngine(simd.W512, mem, nil)
+		sd := turbo.NewSIMDDecoder(c)
+		sd.MaxIters = cfg.MaxIters
+		in := sd.PrepareInput(e, core.ByStrategy(cfg.Strategy), w.word)
+		bits, _, err := sd.Decode(e, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single[w.word] = bits
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	checked := 0
+	for b, bits := range got {
+		ref := single[b.Word]
+		if !bitsEqual(bits, ref) {
+			t.Errorf("runtime decode differs from single-block decode")
+		}
+		for _, w := range wants {
+			if w.word == b.Word && !bitsEqual(bits, w.truth) {
+				t.Errorf("runtime decode differs from encoded truth")
+			}
+		}
+		checked++
+	}
+	if checked != pool.Len() {
+		t.Errorf("OnDecoded saw %d blocks, want %d", checked, pool.Len())
+	}
+}
+
+// TestDeadlineDropsUnderOverload drives an expensive-K flood at one
+// worker with a deadline far below the service capacity: the runtime
+// must shed load (by any cause) rather than deliver everything late,
+// and must never deliver more than it accepted.
+func TestDeadlineDropsUnderOverload(t *testing.T) {
+	cfg := testConfig(simd.W256)
+	cfg.Workers = 1
+	cfg.QueueDepth = 8
+	cfg.Deadline = 2 * time.Millisecond
+	cfg.BatchWindow = 100 * time.Microsecond
+	cfg.AdmissionGuard = true
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mustPool(t, 512, 16, 3)
+	const offered = 300
+	for i := 0; i < offered; i++ {
+		w, _ := pool.Get(i)
+		rt.Submit(i%cfg.Cells, i, pool.K, w)
+	}
+	s := rt.Stop()
+	if s.Dropped() == 0 {
+		t.Fatalf("no drops under 150x overload (delivered=%d accepted=%d)", s.Delivered, s.Accepted)
+	}
+	if s.Delivered+s.Dropped() != offered {
+		t.Errorf("delivered %d + dropped %d != offered %d", s.Delivered, s.Dropped(), offered)
+	}
+	if s.Delivered > s.Accepted {
+		t.Errorf("delivered %d > accepted %d", s.Delivered, s.Accepted)
+	}
+}
+
+// TestGracefulShutdown checks Stop semantics: pending admitted work is
+// drained (not leaked), repeated Stop is safe, and Submit after Stop is
+// rejected.
+func TestGracefulShutdown(t *testing.T) {
+	cfg := testConfig(simd.W512)
+	cfg.BatchWindow = time.Hour // nothing flushes on its own...
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mustPool(t, 40, 7, 4)
+	for i := 0; i < pool.Len(); i++ {
+		w, _ := pool.Get(i)
+		if a := rt.Submit(0, i, pool.K, w); a != Admitted {
+			t.Fatalf("block %d not admitted: %v", i, a)
+		}
+	}
+	s := rt.Stop() // ...so Stop must force the partial batches out.
+	if s.Delivered+s.Drops[DropExpired]+s.Drops[DropLate] != uint64(pool.Len()) {
+		t.Errorf("shutdown leaked blocks: delivered %d, expired %d, late %d of %d",
+			s.Delivered, s.Drops[DropExpired], s.Drops[DropLate], pool.Len())
+	}
+	if s.Delivered != uint64(pool.Len()) {
+		t.Errorf("delivered %d of %d under infinite deadline", s.Delivered, pool.Len())
+	}
+	s2 := rt.Stop()
+	if s2.Delivered != s.Delivered {
+		t.Error("second Stop changed the snapshot")
+	}
+	w, _ := pool.Get(0)
+	if a := rt.Submit(0, 0, pool.K, w); a != RejectedStopped {
+		t.Errorf("Submit after Stop returned %v", a)
+	}
+}
+
+// TestSaturatingLoadFillsLanes floods a W512 build and checks the lane
+// batcher actually fills registers: occupancy must clear the 75% bar
+// the serving layer is designed around.
+func TestSaturatingLoadFillsLanes(t *testing.T) {
+	cfg := testConfig(simd.W512)
+	cfg.Cells = 4
+	cfg.Workers = 2
+	cfg.QueueDepth = 1024
+	cfg.BatchWindow = 20 * time.Millisecond
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mustPool(t, 40, 64, 5)
+	const offered = 480
+	for i := 0; i < offered; i++ {
+		w, _ := pool.Get(i)
+		for rt.Submit(i%cfg.Cells, i, pool.K, w) == RejectedBacklog {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	s := rt.Stop()
+	if s.LaneOccupancy <= 0.75 {
+		t.Errorf("lane occupancy %.2f under saturating load, want > 0.75 (batches=%d)",
+			s.LaneOccupancy, s.Batches)
+	}
+	if s.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func bitsEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

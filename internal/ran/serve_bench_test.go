@@ -1,0 +1,57 @@
+package ran
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+)
+
+// BenchmarkServeThroughput is the serving-layer perf baseline: goodput
+// (Mbps of delivered information bits) and p99 latency versus worker
+// count under a saturating flood. Future PRs regress against these
+// numbers; the 1-vs-8 ratio is the scalability acceptance check.
+func BenchmarkServeThroughput(b *testing.B) {
+	pool, err := NewWordPool(104, 64, 24, rand.New(rand.NewSource(11)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := DefaultConfig(simd.W512, core.StrategyAPCM)
+			cfg.Cells = 4
+			cfg.Workers = workers
+			cfg.QueueDepth = 512
+			cfg.MaxIters = 2
+			cfg.Deadline = time.Hour // throughput, not shedding
+			cfg.BatchWindow = 5 * time.Millisecond
+			cfg.AdmissionGuard = false
+			rt, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				w, _ := pool.Get(i)
+				for rt.Submit(i%cfg.Cells, i, pool.K, w) == RejectedBacklog {
+					runtime.Gosched()
+				}
+			}
+			s := rt.Stop()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if s.Delivered != uint64(b.N) {
+				b.Fatalf("delivered %d of %d", s.Delivered, b.N)
+			}
+			mbps := float64(s.Delivered) * float64(pool.K) / float64(elapsed.Microseconds())
+			b.ReportMetric(mbps, "Mbps")
+			b.ReportMetric(float64(s.LatencyP99.Microseconds()), "p99-µs")
+			b.ReportMetric(s.LaneOccupancy*100, "lane-%")
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package ran
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"vransim/internal/transport"
+	"vransim/internal/turbo"
+)
+
+// WordPool pre-encodes a set of random code blocks so the hot serving
+// path hands out ready-made LLR words instead of paying the encoder per
+// arrival. Words are read-only once built, so one pool safely feeds any
+// number of generator goroutines and decode workers.
+type WordPool struct {
+	K     int
+	words []*turbo.LLRWord
+	truth [][]byte
+}
+
+// NewWordPool encodes n random K-bit blocks at LLR amplitude amp using
+// the caller's rng (explicit so concurrent pools never share a source).
+func NewWordPool(k, n int, amp int16, rng *rand.Rand) (*WordPool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ran: word pool needs n > 0")
+	}
+	c, err := turbo.NewCode(k)
+	if err != nil {
+		return nil, err
+	}
+	p := &WordPool{K: k}
+	for i := 0; i < n; i++ {
+		bits := make([]byte, k)
+		for j := range bits {
+			bits[j] = byte(rng.Intn(2))
+		}
+		cw, err := c.Encode(bits)
+		if err != nil {
+			return nil, err
+		}
+		w := turbo.NewLLRWord(k)
+		w.FromHard(cw, 24)
+		p.words = append(p.words, w)
+		p.truth = append(p.truth, bits)
+	}
+	return p, nil
+}
+
+// Get returns word i (mod pool size) and its true payload bits.
+func (p *WordPool) Get(i int) (*turbo.LLRWord, []byte) {
+	j := i % len(p.words)
+	return p.words[j], p.truth[j]
+}
+
+// Len reports the pool size.
+func (p *WordPool) Len() int { return len(p.words) }
+
+// LoadConfig shapes the synthetic traffic the generator offers.
+type LoadConfig struct {
+	// UEsPerCell spreads arrivals across UE ids (round-robin).
+	UEsPerCell int
+	// TTI is the arrival clock period (LTE: 1 ms).
+	TTI time.Duration
+	// MeanPerTTI is the per-cell Poisson arrival mean.
+	MeanPerTTI float64
+	// Bursty switches each cell to a two-state on/off arrival process
+	// with the same long-run mean but BurstFactor× the rate while on.
+	Bursty      bool
+	BurstFactor float64
+	// TTIs is the run horizon.
+	TTIs int
+	// Seed derives one private rng per cell.
+	Seed int64
+}
+
+// LoadReport summarizes what a generator run actually offered.
+type LoadReport struct {
+	// Offered counts Submit attempts; Arrivals records the per-TTI
+	// aggregate arrival counts (for the analytic cross-check).
+	Offered  int
+	Arrivals []int
+}
+
+// OfferLoad drives rt with synthetic traffic from pool: one goroutine
+// per cell, each with its own arrival process and rng, paced by the
+// TTI clock. It blocks until the horizon elapses and returns what was
+// offered. Pass paced=false to disable pacing (saturation mode: every
+// cell submits its arrivals as fast as the runtime admits them).
+func OfferLoad(rt *Runtime, pool *WordPool, cfg LoadConfig, paced bool) *LoadReport {
+	nCells := rt.cfg.Cells
+	if cfg.UEsPerCell <= 0 {
+		cfg.UEsPerCell = 1
+	}
+	if cfg.TTI <= 0 {
+		cfg.TTI = time.Millisecond
+	}
+	perCell := make([][]int, nCells)
+	var wg sync.WaitGroup
+	wg.Add(nCells)
+	for cell := 0; cell < nCells; cell++ {
+		go func(cell int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(cell)*7919))
+			var proc transport.ArrivalProcess
+			if cfg.Bursty {
+				bf := cfg.BurstFactor
+				if bf <= 1 {
+					bf = 4
+				}
+				// On/off dwell split keeping the long-run mean at
+				// MeanPerTTI: on 1/bf of the time at bf× the rate.
+				proc = transport.NewBurstyProcess(bf*cfg.MeanPerTTI, 0, 8, 8*(bf-1), rng)
+			} else {
+				proc = transport.NewPoissonProcess(cfg.MeanPerTTI, rng)
+			}
+			arrivals := make([]int, cfg.TTIs)
+			next := time.Now()
+			wordIdx := cell // stagger pool starts across cells
+			for t := 0; t < cfg.TTIs; t++ {
+				n := proc.Next()
+				arrivals[t] = n
+				for j := 0; j < n; j++ {
+					w, _ := pool.Get(wordIdx)
+					wordIdx++
+					rt.Submit(cell, j%cfg.UEsPerCell, pool.K, w)
+				}
+				if paced {
+					next = next.Add(cfg.TTI)
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+				}
+			}
+			perCell[cell] = arrivals
+		}(cell)
+	}
+	wg.Wait()
+	rep := &LoadReport{Arrivals: make([]int, cfg.TTIs)}
+	for _, arr := range perCell {
+		for t, n := range arr {
+			rep.Arrivals[t] += n
+			rep.Offered += n
+		}
+	}
+	return rep
+}

@@ -1,0 +1,72 @@
+package turbo
+
+import (
+	"fmt"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+)
+
+// BatchDecoder is the serving-side entry point for lane-parallel
+// decoding: it owns one untraced engine (and its memory arena) and a
+// per-K code cache, so a long-lived worker can decode an unbounded
+// stream of batches without re-allocating the emulator state. Each
+// Decode call rewinds the arena, making the decoder safe to reuse
+// indefinitely; it is NOT safe for concurrent use — give each worker
+// goroutine its own BatchDecoder.
+type BatchDecoder struct {
+	eng   *simd.Engine
+	ar    core.Arranger
+	codes map[int]*Code
+
+	// MaxIters and EarlyExit configure every decode (defaults: 6, true).
+	MaxIters  int
+	EarlyExit bool
+}
+
+// NewBatchDecoder builds a decoder for width w and arrangement strategy
+// s with a memBytes emulated-memory arena (32 MiB comfortably fits the
+// largest supported K at W512).
+func NewBatchDecoder(w simd.Width, s core.Strategy, memBytes int) *BatchDecoder {
+	return &BatchDecoder{
+		eng:       simd.NewEngine(w, simd.NewMemory(memBytes), nil),
+		ar:        core.ByStrategy(s),
+		codes:     make(map[int]*Code),
+		MaxIters:  6,
+		EarlyExit: true,
+	}
+}
+
+// Lanes returns how many same-K blocks one Decode call carries.
+func (bd *BatchDecoder) Lanes() int { return BlocksPerRegister(bd.eng.W) }
+
+// Code returns the cached turbo code for block size k.
+func (bd *BatchDecoder) Code(k int) (*Code, error) {
+	if c, ok := bd.codes[k]; ok {
+		return c, nil
+	}
+	c, err := NewCode(k)
+	if err != nil {
+		return nil, err
+	}
+	bd.codes[k] = c
+	return c, nil
+}
+
+// Decode lane-decodes 1..Lanes() same-K words and returns the per-block
+// hard decisions plus the iteration count. Results are bit-identical to
+// single-block decoding of each word.
+func (bd *BatchDecoder) Decode(k int, words []*LLRWord) ([][]byte, int, error) {
+	if len(words) == 0 {
+		return nil, 0, fmt.Errorf("turbo: empty batch")
+	}
+	c, err := bd.Code(k)
+	if err != nil {
+		return nil, 0, err
+	}
+	bd.eng.Mem.AllocReset()
+	d := NewMultiSIMDDecoder(c)
+	d.MaxIters = bd.MaxIters
+	d.EarlyExit = bd.EarlyExit
+	return d.Decode(bd.eng, bd.ar, words)
+}

@@ -5,10 +5,16 @@
 // Usage:
 //
 //	vranpipe [-dir uplink|downlink] [-bytes 1500] [-proto udp|tcp]
-//	         [-width 128|256|512] [-mech original|apcm] [-iters 2]
+//	         [-width 128|256|512] [-mech original|apcm] [-iters 2] [-json]
+//
+// With -json the per-stage report is emitted as machine-readable JSON
+// using the same stage names the serving telemetry exports, so an
+// offline run can be diffed against a live /metrics or /snapshot
+// scrape.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +31,7 @@ func main() {
 	width := flag.Int("width", 128, cliutil.WidthHelp)
 	mech := flag.String("mech", "apcm", cliutil.MechHelp)
 	iters := flag.Int("iters", 2, "turbo decoder iterations")
+	asJSON := flag.Bool("json", false, "emit the report as JSON (stage names shared with the live telemetry)")
 	flag.Parse()
 
 	w, err := cliutil.ParseWidth(*width)
@@ -55,6 +62,11 @@ func main() {
 		fatal("%v", err)
 	}
 
+	if *asJSON {
+		emitJSON(*dir, p.String(), *bytes, w.String(), core.ByStrategy(s).Name(), *iters, res)
+		return
+	}
+
 	fmt.Printf("%s %s %dB packet, %s, %s mechanism, %d iterations\n",
 		*dir, p, *bytes, w, core.ByStrategy(s).Name(), *iters)
 	fmt.Printf("transport block: %d bytes, %d code block(s), %d info bits\n",
@@ -67,6 +79,71 @@ func main() {
 	}
 	fmt.Printf("\ntotal: %d cycles, %.2f µs end-to-end (incl. EPC path)\n",
 		res.Total.Cycles, res.TotalUs)
+}
+
+// jsonStage is one stage row of the JSON report. Stage names match the
+// text report and the serving tracer's vocabulary exactly.
+type jsonStage struct {
+	Stage   string  `json:"stage"`
+	Uops    int     `json:"uops"`
+	Cycles  int64   `json:"cycles"`
+	Us      float64 `json:"us"`
+	IPC     float64 `json:"ipc"`
+	StoreBW float64 `json:"store_bits_per_cycle"`
+
+	Retiring      float64 `json:"retiring"`
+	FrontendBound float64 `json:"frontend_bound"`
+	BadSpec       float64 `json:"bad_speculation"`
+	BackendBound  float64 `json:"backend_bound"`
+	CoreBound     float64 `json:"core_bound"`
+	MemoryBound   float64 `json:"memory_bound"`
+}
+
+// jsonReport is the machine-readable mirror of the text report.
+type jsonReport struct {
+	Dir       string `json:"dir"`
+	Proto     string `json:"proto"`
+	Bytes     int    `json:"packet_bytes"`
+	Width     string `json:"width"`
+	Mechanism string `json:"mechanism"`
+	Iters     int    `json:"iters"`
+
+	TBBytes    int  `json:"tb_bytes"`
+	CodeBlocks int  `json:"code_blocks"`
+	InfoBits   int  `json:"info_bits"`
+	CRCOK      bool `json:"crc_ok"`
+	PayloadOK  bool `json:"payload_ok"`
+
+	Stages      []jsonStage `json:"stages"`
+	TotalCycles int64       `json:"total_cycles"`
+	TotalUs     float64     `json:"total_us"`
+	TotalIPC    float64     `json:"total_ipc"`
+}
+
+func emitJSON(dir, proto string, bytes int, width, mech string, iters int, res *pipeline.Result) {
+	rep := jsonReport{
+		Dir: dir, Proto: proto, Bytes: bytes, Width: width, Mechanism: mech, Iters: iters,
+		TBBytes: res.TBBytes, CodeBlocks: res.CodeBlocks, InfoBits: res.InfoBits,
+		CRCOK: res.CRCOK, PayloadOK: res.PayloadOK,
+		TotalCycles: res.Total.Cycles, TotalUs: res.TotalUs, TotalIPC: res.Total.IPC(),
+	}
+	for _, st := range res.Stages {
+		rep.Stages = append(rep.Stages, jsonStage{
+			Stage: st.Name, Uops: st.Insts, Cycles: st.Cycles, Us: st.Us, IPC: st.IPC,
+			StoreBW:       st.StoreBW,
+			Retiring:      st.TD.Retiring,
+			FrontendBound: st.TD.FrontendBound,
+			BadSpec:       st.TD.BadSpec,
+			BackendBound:  st.TD.BackendBound,
+			CoreBound:     st.TD.CoreBound,
+			MemoryBound:   st.TD.MemoryBound,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal("%v", err)
+	}
 }
 
 func fatal(format string, args ...interface{}) {

@@ -9,10 +9,16 @@
 //	vranserve [-cells 3] [-ues 8] [-workers 4] [-width 512] [-mech apcm]
 //	          [-k 104] [-iters 4] [-rate 2.0] [-burst] [-ttis 2000]
 //	          [-tti 1ms] [-deadline 3ms] [-window 500µs] [-queue 64]
-//	          [-saturate] [-stats 1s] [-seed 1]
+//	          [-saturate] [-stats 1s] [-seed 1] [-admin :9090] [-notrace]
+//
+// With -admin an HTTP endpoint exposes the runtime while it serves:
+// /metrics (Prometheus text, ?format=json for JSON), /snapshot,
+// /spans, /healthz, and /debug/pprof. Span tracing is on by default
+// when the admin endpoint is mounted; -notrace disables it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -22,6 +28,8 @@ import (
 	"vransim/internal/cliutil"
 	"vransim/internal/pipeline"
 	"vransim/internal/ran"
+	"vransim/internal/telemetry"
+	"vransim/internal/uarch"
 )
 
 func main() {
@@ -42,6 +50,8 @@ func main() {
 	saturate := flag.Bool("saturate", false, "submit without TTI pacing (saturating load)")
 	stats := flag.Duration("stats", time.Second, "live stats interval (0 disables)")
 	seed := flag.Int64("seed", 1, "traffic seed")
+	admin := flag.String("admin", "", "admin HTTP listen address (e.g. :9090; empty disables)")
+	notrace := flag.Bool("notrace", false, "disable span tracing even when -admin is set")
 	flag.Parse()
 
 	w, err := cliutil.ParseWidth(*width)
@@ -60,6 +70,13 @@ func main() {
 	cfg.MaxIters = *iters
 	cfg.BatchWindow = *window
 	cfg.Deadline = *deadline
+
+	var tracer *telemetry.Tracer
+	if *admin != "" && !*notrace {
+		tracer = telemetry.NewTracer(512, 16)
+	}
+	cfg.Tracer = tracer
+
 	rt, err := ran.New(cfg)
 	if err != nil {
 		fatal("%v", err)
@@ -67,6 +84,28 @@ func main() {
 	pool, err := ran.NewWordPool(*k, 128, 24, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		fatal("%v", err)
+	}
+
+	var adminSrv *telemetry.AdminServer
+	if *admin != "" {
+		// One traced full-lane decode calibrates the uarch gauges; the
+		// serving workers themselves run untraced.
+		var cal *uarch.Result
+		if c, err := ran.CalibrateUarch(cfg, *k); err == nil {
+			cal = &c
+		} else {
+			fmt.Fprintf(os.Stderr, "vranserve: uarch calibration skipped: %v\n", err)
+		}
+		adminSrv = ran.MountAdmin(rt, tracer, cal, *admin, ran.HealthPolicy{})
+		if err := adminSrv.Start(); err != nil {
+			fatal("admin endpoint: %v", err)
+		}
+		fmt.Printf("admin endpoint on %s (/metrics /snapshot /spans /healthz /debug/pprof)\n", adminSrv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			adminSrv.Shutdown(ctx)
+		}()
 	}
 
 	fmt.Printf("vranserve: %d cells x %d UEs, %d workers, %v/%s, K=%d, %s arrivals at %.2f blocks/cell/TTI\n",

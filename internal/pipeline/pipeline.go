@@ -16,6 +16,7 @@ import (
 	"vransim/internal/l2"
 	"vransim/internal/phy"
 	"vransim/internal/simd"
+	"vransim/internal/telemetry"
 	"vransim/internal/trace"
 	"vransim/internal/transport"
 	"vransim/internal/turbo"
@@ -318,29 +319,40 @@ func RunUplink(cfg Config) (*Result, error) {
 	// code blocks per register, AVX512 four — the way wider SIMD
 	// actually accelerates the recursion-heavy calculation (DESIGN.md).
 	// The decoder emits its own arrangement/gamma/alpha/beta/ext marks.
+	// The whole decode is additionally wrapped in one umbrella section
+	// named with the serving runtime's shared stage vocabulary
+	// (telemetry.StageDecode), so an offline vranpipe per-stage report
+	// and a live vranserve /metrics scrape can be diffed stage-by-stage;
+	// the decoder's own sub-phase marks keep their finer attribution.
 	decoded := make([][]byte, 0, seg.C)
 	crcAll := true
 	batch := turbo.BlocksPerRegister(cfg.W)
-	for i := 0; i < seg.C; i += batch {
-		end := i + batch
-		if end > seg.C {
-			end = seg.C
+	r.section(telemetry.StageDecode, func() {
+		for i := 0; i < seg.C; i += batch {
+			end := i + batch
+			if end > seg.C {
+				end = seg.C
+			}
+			words := make([]*turbo.LLRWord, 0, end-i)
+			for j := i; j < end; j++ {
+				words = append(words, blockWords[j].w)
+			}
+			dec := turbo.NewMultiSIMDDecoder(code)
+			dec.MaxIters = cfg.Iters
+			dec.RearrangePerHalfIter = cfg.RearrangePerHalfIter
+			bits, _, err2 := dec.Decode(r.eng, core.ByStrategy(cfg.Strategy), words)
+			if err2 != nil {
+				err = err2
+				return
+			}
+			decoded = append(decoded, bits...)
+			for _, m := range dec.Marks {
+				r.marks = append(r.marks, mark{name: m.Name, lo: m.Lo, hi: m.Hi})
+			}
 		}
-		words := make([]*turbo.LLRWord, 0, end-i)
-		for j := i; j < end; j++ {
-			words = append(words, blockWords[j].w)
-		}
-		dec := turbo.NewMultiSIMDDecoder(code)
-		dec.MaxIters = cfg.Iters
-		dec.RearrangePerHalfIter = cfg.RearrangePerHalfIter
-		bits, _, err2 := dec.Decode(r.eng, core.ByStrategy(cfg.Strategy), words)
-		if err2 != nil {
-			return nil, err2
-		}
-		decoded = append(decoded, bits...)
-		for _, m := range dec.Marks {
-			r.marks = append(r.marks, mark{name: m.Name, lo: m.Lo, hi: m.Hi})
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Reassemble the transport block, verify CRC24A, walk up the stack.

@@ -5,6 +5,7 @@ import (
 
 	"vransim/internal/core"
 	"vransim/internal/simd"
+	"vransim/internal/telemetry"
 	"vransim/internal/transport"
 )
 
@@ -34,10 +35,18 @@ func TestUplinkStagesPresent(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"ofdm", "demod", "descramble", "dci", "ratematch",
-		"arrangement", "gamma", "alpha", "beta+ext", "ext", "interleave", "l2", "gtp"} {
+		"arrangement", "gamma", "alpha", "beta+ext", "ext", "interleave", "l2", "gtp",
+		telemetry.StageDecode} {
 		if _, ok := res.Stage(want); !ok {
 			t.Errorf("missing stage %q", want)
 		}
+	}
+	// The umbrella decode stage (shared vocabulary with the serving
+	// tracer) must cover at least its largest sub-phase.
+	dec, _ := res.Stage(telemetry.StageDecode)
+	arrStage, _ := res.Stage("arrangement")
+	if dec.Us < arrStage.Us {
+		t.Errorf("decode stage %.2fµs smaller than arrangement %.2fµs", dec.Us, arrStage.Us)
 	}
 	// OFDM runs scalar code: its IPC must be high (the paper's "do
 	// OFDM" observation); the extract arrangement must be store-bound

@@ -36,8 +36,11 @@ func newLaneBatcher(lanes int, window time.Duration) *laneBatcher {
 	}
 }
 
-// add stages b and returns a full batch if b completed one.
+// add stages b and returns a full batch if b completed one. The entry
+// instant is stamped on the block: it opens the span tracer's
+// batch-wait stage (closed when a worker starts the decode).
 func (lb *laneBatcher) add(b *Block, now time.Time) (batch, bool) {
+	b.batched = now
 	p := lb.pending[b.K]
 	if len(p) == 0 {
 		lb.entered[b.K] = now

@@ -1,0 +1,51 @@
+package ran
+
+import (
+	"math/rand"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/trace"
+	"vransim/internal/turbo"
+	"vransim/internal/uarch"
+)
+
+// CalibrateUarch runs one full-lane batch decode of block size k on a
+// traced engine and simulates the trace on the wimpy platform,
+// producing the microarchitectural counters (IPC, top-down split, port
+// utilization, store bandwidth) the live /metrics exposition exports as
+// calibration gauges. The serving workers themselves run untraced — a
+// per-µop trace on the hot path would swamp the thing being measured —
+// so this one-shot decode is how the runtime anchors its exposition to
+// the paper's attribution methodology.
+func CalibrateUarch(cfg Config, k int) (uarch.Result, error) {
+	lanes := turbo.BlocksPerRegister(cfg.Width)
+	if lanes < 1 {
+		lanes = 1
+	}
+	iters := cfg.MaxIters
+	if iters <= 0 {
+		iters = 4
+	}
+	pool, err := NewWordPool(k, lanes, 24, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return uarch.Result{}, err
+	}
+	c, err := turbo.NewCode(k)
+	if err != nil {
+		return uarch.Result{}, err
+	}
+	rec := trace.NewRecorder(1 << 20)
+	eng := simd.NewEngine(cfg.Width, simd.NewMemory(64<<20), rec)
+	dec := turbo.NewMultiSIMDDecoder(c)
+	dec.MaxIters = iters
+	words := make([]*turbo.LLRWord, lanes)
+	for i := range words {
+		words[i], _ = pool.Get(i)
+	}
+	if _, _, err := dec.Decode(eng, core.ByStrategy(cfg.Strategy), words); err != nil {
+		return uarch.Result{}, err
+	}
+	p := uarch.WimpyPlatform()
+	return uarch.Simulate(rec.Insts(), p.Core, &p.Caches), nil
+}

@@ -1,9 +1,10 @@
 package ran
 
 import (
-	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"vransim/internal/telemetry"
 )
 
 // DropCause enumerates why a block failed to be delivered.
@@ -35,59 +36,6 @@ func (c DropCause) String() string {
 	return "unknown"
 }
 
-// latencyHist is a lock-free HDR-style histogram: one atomic counter
-// per (octave, 1/8-octave sub-bucket) of a nanosecond value. Relative
-// error of a reconstructed percentile is bounded by one sub-bucket
-// (~12.5 %), plenty for serving dashboards.
-type latencyHist struct {
-	buckets [64 * 8]atomic.Uint64
-	count   atomic.Uint64
-}
-
-func histIndex(ns int64) int {
-	if ns < 8 {
-		return 0
-	}
-	e := bits.Len64(uint64(ns)) // 2^(e-1) <= ns < 2^e, e >= 4
-	sub := (uint64(ns) >> (e - 4)) & 7
-	return (e-4)*8 + int(sub)
-}
-
-// histValue returns the representative (midpoint) value of bucket idx.
-func histValue(idx int) int64 {
-	e := idx / 8
-	sub := idx % 8
-	if e == 0 && sub == 0 {
-		return 4
-	}
-	return int64((float64(8+sub) + 0.5) * float64(uint64(1)<<e))
-}
-
-func (h *latencyHist) observe(d time.Duration) {
-	h.buckets[histIndex(d.Nanoseconds())].Add(1)
-	h.count.Add(1)
-}
-
-// percentile reconstructs quantile q (0..1) from the live counters.
-func (h *latencyHist) percentile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := uint64(q * float64(total))
-	if target >= total {
-		target = total - 1
-	}
-	var cum uint64
-	for i := range h.buckets {
-		cum += h.buckets[i].Load()
-		if cum > target {
-			return time.Duration(histValue(i))
-		}
-	}
-	return time.Duration(histValue(len(h.buckets) - 1))
-}
-
 // cellCounters is the per-cell slice of the metrics, all atomics so the
 // hot path never takes a lock.
 type cellCounters struct {
@@ -110,7 +58,10 @@ type Metrics struct {
 	decodedBlocks atomic.Uint64
 	decodeBusyNs  atomic.Int64
 
-	latency latencyHist
+	// latency is the delivered-block end-to-end latency histogram
+	// (telemetry.Hist: lock-free log-bucketed, ≤12.5 % relative error on
+	// reconstructed percentiles).
+	latency telemetry.Hist
 }
 
 // NewMetrics builds a metrics layer for nCells cells.
@@ -125,7 +76,7 @@ func (m *Metrics) deliver(cell, bits int, latency time.Duration) {
 	c := &m.cells[cell]
 	c.delivered.Add(1)
 	c.bits.Add(uint64(bits))
-	m.latency.observe(latency)
+	m.latency.Observe(latency)
 }
 
 func (m *Metrics) batchDone(used, lanes int, busy time.Duration) {
@@ -245,8 +196,8 @@ func (m *Metrics) snapshot(queueDepths []int, workers int) *Snapshot {
 	if workers > 0 && s.Elapsed > 0 {
 		s.WorkerUtilization = float64(m.decodeBusyNs.Load()) / (float64(workers) * float64(s.Elapsed.Nanoseconds()))
 	}
-	s.LatencyP50 = m.latency.percentile(0.50)
-	s.LatencyP90 = m.latency.percentile(0.90)
-	s.LatencyP99 = m.latency.percentile(0.99)
+	s.LatencyP50 = m.latency.Percentile(0.50)
+	s.LatencyP90 = m.latency.Percentile(0.90)
+	s.LatencyP99 = m.latency.Percentile(0.99)
 	return s
 }

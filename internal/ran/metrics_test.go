@@ -1,34 +1,12 @@
 package ran
 
 import (
+	"math"
 	"testing"
 	"time"
+
+	"vransim/internal/telemetry"
 )
-
-func TestHistogramPercentiles(t *testing.T) {
-	var h latencyHist
-	// 100 observations: 1..100 ms.
-	for i := 1; i <= 100; i++ {
-		h.observe(time.Duration(i) * time.Millisecond)
-	}
-	check := func(q float64, want time.Duration) {
-		got := h.percentile(q)
-		lo, hi := want*85/100, want*115/100
-		if got < lo || got > hi {
-			t.Errorf("p%.0f = %v, want %v +/- 15%%", q*100, got, want)
-		}
-	}
-	check(0.50, 50*time.Millisecond)
-	check(0.90, 90*time.Millisecond)
-	check(0.99, 99*time.Millisecond)
-}
-
-func TestHistogramEmpty(t *testing.T) {
-	var h latencyHist
-	if h.percentile(0.99) != 0 {
-		t.Error("empty histogram should report 0")
-	}
-}
 
 func TestDropCauseNames(t *testing.T) {
 	want := map[DropCause]string{
@@ -38,6 +16,92 @@ func TestDropCauseNames(t *testing.T) {
 	for c, name := range want {
 		if c.String() != name {
 			t.Errorf("cause %d named %q, want %q", c, c.String(), name)
+		}
+	}
+	if DropCause(99).String() != "unknown" {
+		t.Error("out-of-range cause should name itself unknown")
+	}
+}
+
+// TestSnapshotPercentileReconstruction feeds a known latency population
+// through the delivery path and asserts the log-bucketed histogram
+// reproduces its quantiles within the documented relative-error bound
+// of one 1/8-octave sub-bucket (12.5 %).
+func TestSnapshotPercentileReconstruction(t *testing.T) {
+	m := NewMetrics(1)
+	// 1..1000 µs uniform: p50=500µs, p90=900µs, p99=990µs.
+	for i := 1; i <= 1000; i++ {
+		m.deliver(0, 40, time.Duration(i)*time.Microsecond)
+	}
+	s := m.snapshot([]int{0}, 1)
+	check := func(name string, got, want time.Duration) {
+		t.Helper()
+		relErr := math.Abs(float64(got-want)) / float64(want)
+		if relErr > 0.125 {
+			t.Errorf("%s = %v, want %v within 12.5%% (rel err %.1f%%)", name, got, want, 100*relErr)
+		}
+	}
+	check("p50", s.LatencyP50, 500*time.Microsecond)
+	check("p90", s.LatencyP90, 900*time.Microsecond)
+	check("p99", s.LatencyP99, 990*time.Microsecond)
+}
+
+// TestSnapshotPercentileOverflowBucket drives the histogram into its
+// top bucket and asserts the index/value round-trip: a reconstructed
+// percentile of an enormous latency must come back as the
+// representative value of the bucket that latency indexes into.
+func TestSnapshotPercentileOverflowBucket(t *testing.T) {
+	m := NewMetrics(1)
+	huge := time.Duration(math.MaxInt64)
+	for i := 0; i < 10; i++ {
+		m.deliver(0, 40, huge)
+	}
+	s := m.snapshot([]int{0}, 1)
+	idx := telemetry.HistIndex(huge.Nanoseconds())
+	if idx >= telemetry.HistBuckets {
+		t.Fatalf("index %d out of range", idx)
+	}
+	want := time.Duration(telemetry.HistValue(idx))
+	if s.LatencyP99 != want {
+		t.Errorf("overflow p99 = %v, want bucket representative %v (idx %d)", s.LatencyP99, want, idx)
+	}
+	// Round-trip: the representative value must land back in its bucket.
+	if back := telemetry.HistIndex(telemetry.HistValue(idx)); back != idx {
+		t.Errorf("HistIndex(HistValue(%d)) = %d, want %d", idx, back, idx)
+	}
+}
+
+// TestDropsAcrossAllCauses exercises every DropCause through both the
+// per-cell and aggregate views: CellSnapshot.Dropped must total its
+// causes, Snapshot.DropsByCause must name every cause exactly once.
+func TestDropsAcrossAllCauses(t *testing.T) {
+	m := NewMetrics(2)
+	// Cell 0 gets 1,2,3,4 drops of the four causes; cell 1 gets 1 each.
+	for c := DropCause(0); c < numDropCauses; c++ {
+		for n := 0; n <= int(c); n++ {
+			m.drop(0, c)
+		}
+		m.drop(1, c)
+	}
+	s := m.snapshot([]int{0, 0}, 1)
+
+	if got := s.Cells[0].Dropped(); got != 1+2+3+4 {
+		t.Errorf("cell 0 dropped %d, want 10", got)
+	}
+	if got := s.Cells[1].Dropped(); got != uint64(numDropCauses) {
+		t.Errorf("cell 1 dropped %d, want %d", got, numDropCauses)
+	}
+	if got := s.Dropped(); got != 10+uint64(numDropCauses) {
+		t.Errorf("total dropped %d, want %d", got, 10+uint64(numDropCauses))
+	}
+	byCause := s.DropsByCause()
+	if len(byCause) != int(numDropCauses) {
+		t.Fatalf("DropsByCause has %d entries, want %d: %v", len(byCause), numDropCauses, byCause)
+	}
+	for c := DropCause(0); c < numDropCauses; c++ {
+		want := uint64(c) + 1 + 1 // cell 0 (c+1) + cell 1 (1)
+		if byCause[c.String()] != want {
+			t.Errorf("cause %s = %d, want %d", c, byCause[c.String()], want)
 		}
 	}
 }
@@ -77,5 +141,33 @@ func TestSnapshotAggregation(t *testing.T) {
 	}
 	if s.Cells[0].Dropped() != 1 {
 		t.Errorf("cell 0 dropped %d, want 1", s.Cells[0].Dropped())
+	}
+}
+
+// TestSnapshotFamilies checks the exposition rendering: every cell and
+// cause appears, and headline gauges carry the snapshot's values.
+func TestSnapshotFamilies(t *testing.T) {
+	m := NewMetrics(2)
+	m.accept(0)
+	m.deliver(0, 104, time.Millisecond)
+	m.drop(1, DropLate)
+	s := m.snapshot([]int{1, 2}, 2)
+	fams := s.Families()
+	byName := map[string]telemetry.Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f, ok := byName["vran_dropped_total"]; !ok {
+		t.Fatal("missing vran_dropped_total")
+	} else if len(f.Samples) != 2*int(numDropCauses) {
+		t.Errorf("dropped family has %d samples, want %d", len(f.Samples), 2*int(numDropCauses))
+	}
+	if f, ok := byName["vran_latency_seconds"]; !ok || len(f.Samples) != 3 {
+		t.Error("latency quantile family missing or wrong arity")
+	}
+	if f, ok := byName["vran_queue_depth"]; !ok {
+		t.Fatal("missing vran_queue_depth")
+	} else if f.Samples[1].Value != 2 {
+		t.Errorf("cell 1 queue depth sample = %v, want 2", f.Samples[1].Value)
 	}
 }

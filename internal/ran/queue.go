@@ -1,6 +1,9 @@
 package ran
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // cellQueue is one cell's bounded ingress queue. Admission control
 // lives in Runtime.Submit; the queue itself only enforces the bound —
@@ -27,7 +30,9 @@ func (q *cellQueue) offer(b *Block) bool {
 	return true
 }
 
-// drain removes and returns all queued blocks in arrival order.
+// drain removes and returns all queued blocks in arrival order, and
+// stamps each block's dequeue instant — the end of the span tracer's
+// queue-wait stage.
 func (q *cellQueue) drain() []*Block {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -36,6 +41,10 @@ func (q *cellQueue) drain() []*Block {
 	}
 	out := q.buf
 	q.buf = nil
+	now := time.Now()
+	for _, b := range out {
+		b.dequeued = now
+	}
 	return out
 }
 

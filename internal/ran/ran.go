@@ -27,6 +27,7 @@ import (
 
 	"vransim/internal/core"
 	"vransim/internal/simd"
+	"vransim/internal/telemetry"
 	"vransim/internal/turbo"
 )
 
@@ -42,6 +43,12 @@ type Block struct {
 	// Arrived and Deadline are stamped by Submit.
 	Arrived  time.Time
 	Deadline time.Time
+
+	// dequeued and batched are span-tracing stamps: when the dispatcher
+	// drained the block out of its cell queue, and when it entered the
+	// lane-fill batcher. Zero when tracing never saw the block.
+	dequeued time.Time
+	batched  time.Time
 }
 
 // Admit is the outcome of Submit.
@@ -89,6 +96,11 @@ type Config struct {
 	// every decoded block and its hard decisions (including blocks that
 	// finished past deadline). It must be safe for concurrent use.
 	OnDecoded func(b *Block, bits []byte)
+	// Tracer, when non-nil, records one telemetry span per block that
+	// reaches the decode pool (delivered, late or expired), attributing
+	// queue wait, batch wait and decode time separately. Nil disables
+	// tracing with zero hot-path cost.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig returns an LTE-shaped serving configuration.
@@ -299,6 +311,14 @@ func (r *Runtime) worker() {
 	defer r.workerWG.Done()
 	bd := turbo.NewBatchDecoder(r.cfg.Width, r.cfg.Strategy, r.cfg.MemBytes)
 	bd.MaxIters = r.cfg.MaxIters
+	// The decoder's own timing hook is the decode-stage attribution
+	// source: it measures exactly the lane-parallel decode (and reports
+	// the iteration count), excluding the worker's bookkeeping around it.
+	var decodeDur time.Duration
+	var decodeIters int
+	bd.OnDecode = func(k, blocks, iters int, d time.Duration) {
+		decodeDur, decodeIters = d, iters
+	}
 	lanes := bd.Lanes()
 	for bt := range r.batches {
 		now := time.Now()
@@ -306,6 +326,7 @@ func (r *Runtime) worker() {
 		for _, b := range bt.blocks {
 			if now.After(b.Deadline) {
 				r.met.drop(b.Cell, DropExpired)
+				r.recordSpan(b, now, 0, 0, "expired")
 				continue
 			}
 			live = append(live, b)
@@ -318,8 +339,12 @@ func (r *Runtime) worker() {
 			words[i] = b.Word
 		}
 		t0 := time.Now()
+		decodeDur, decodeIters = 0, 0
 		bits, _, err := bd.Decode(bt.k, words)
-		busy := time.Since(t0)
+		busy := decodeDur
+		if busy <= 0 {
+			busy = time.Since(t0)
+		}
 		r.met.batchDone(len(live), lanes, busy)
 		r.updateEstimate(busy, len(live))
 		if err != nil {
@@ -327,6 +352,7 @@ func (r *Runtime) worker() {
 			// batch; account it as expired-equivalent drops.
 			for _, b := range live {
 				r.met.drop(b.Cell, DropExpired)
+				r.recordSpan(b, time.Now(), 0, 0, "expired")
 			}
 			continue
 		}
@@ -334,14 +360,51 @@ func (r *Runtime) worker() {
 		for i, b := range live {
 			if end.After(b.Deadline) {
 				r.met.drop(b.Cell, DropLate)
+				r.recordSpan(b, end, busy, decodeIters, "late")
 			} else {
 				r.met.deliver(b.Cell, b.K, end.Sub(b.Arrived))
+				r.recordSpan(b, end, busy, decodeIters, "delivered")
 			}
 			if r.cfg.OnDecoded != nil {
 				r.cfg.OnDecoded(b, bits[i])
 			}
 		}
 	}
+}
+
+// recordSpan attributes a finished block's life to the tracing stages:
+// queue wait (Submit → dispatcher drain), batch wait (batcher entry →
+// decode start) and the decode itself. The whole batch decode cost is
+// attributed to each of its blocks — they occupied lanes of the same
+// register, so each one's wall-clock decode time really is the batch's.
+func (r *Runtime) recordSpan(b *Block, end time.Time, decode time.Duration, iters int, outcome string) {
+	tr := r.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	sp := telemetry.Span{
+		Cell: b.Cell, UE: b.UE, K: b.K,
+		Start: b.Arrived, Iters: iters, Outcome: outcome,
+	}
+	dq := b.dequeued
+	if dq.IsZero() {
+		dq = end
+	}
+	bt := b.batched
+	if bt.IsZero() {
+		bt = dq
+	}
+	sp.Stages[telemetry.SpanQueue] = clampDur(dq.Sub(b.Arrived))
+	sp.Stages[telemetry.SpanBatch] = clampDur(end.Sub(bt) - decode)
+	sp.Stages[telemetry.SpanDecode] = decode
+	tr.Record(sp)
+}
+
+func clampDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // updateEstimate folds a measured batch cost into the per-block EWMA

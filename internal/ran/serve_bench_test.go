@@ -9,6 +9,7 @@ import (
 
 	"vransim/internal/core"
 	"vransim/internal/simd"
+	"vransim/internal/telemetry"
 )
 
 // BenchmarkServeThroughput is the serving-layer perf baseline: goodput
@@ -52,6 +53,59 @@ func BenchmarkServeThroughput(b *testing.B) {
 			b.ReportMetric(mbps, "Mbps")
 			b.ReportMetric(float64(s.LatencyP99.Microseconds()), "p99-µs")
 			b.ReportMetric(s.LaneOccupancy*100, "lane-%")
+		})
+	}
+}
+
+// BenchmarkServeTracingOverhead measures the span tracer's cost on the
+// saturated serving path: the same flood with tracing off and on. The
+// telemetry acceptance bar is <5% goodput loss with the tracer mounted
+// (ring 512, slowest-16 — the vranserve -admin defaults).
+func BenchmarkServeTracingOverhead(b *testing.B) {
+	pool, err := NewWordPool(104, 64, 24, rand.New(rand.NewSource(11)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, traced := range []bool{false, true} {
+		name := "trace=off"
+		if traced {
+			name = "trace=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig(simd.W512, core.StrategyAPCM)
+			cfg.Cells = 4
+			cfg.Workers = 4
+			cfg.QueueDepth = 512
+			cfg.MaxIters = 2
+			cfg.Deadline = time.Hour
+			cfg.BatchWindow = 5 * time.Millisecond
+			cfg.AdmissionGuard = false
+			if traced {
+				cfg.Tracer = telemetry.NewTracer(512, 16)
+			}
+			rt, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				w, _ := pool.Get(i)
+				for rt.Submit(i%cfg.Cells, i, pool.K, w) == RejectedBacklog {
+					runtime.Gosched()
+				}
+			}
+			s := rt.Stop()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if s.Delivered != uint64(b.N) {
+				b.Fatalf("delivered %d of %d", s.Delivered, b.N)
+			}
+			if traced && cfg.Tracer.SpanCount() != uint64(b.N) {
+				b.Fatalf("tracer recorded %d spans of %d", cfg.Tracer.SpanCount(), b.N)
+			}
+			mbps := float64(s.Delivered) * float64(pool.K) / float64(elapsed.Microseconds())
+			b.ReportMetric(mbps, "Mbps")
 		})
 	}
 }

@@ -1,0 +1,174 @@
+package ran
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"vransim/internal/telemetry"
+	"vransim/internal/uarch"
+)
+
+// Families renders the snapshot in the vran_* metric naming scheme:
+// per-cell counters (accepted/delivered/dropped-by-cause, queue depth,
+// goodput) and runtime-wide gauges (lane occupancy, worker utilization,
+// latency quantiles). The same families back both the Prometheus text
+// and JSON expositions.
+func (s *Snapshot) Families() []telemetry.Family {
+	accepted := telemetry.Family{Name: "vran_accepted_total",
+		Help: "Blocks admitted into the cell ingress queue.", Type: telemetry.Counter}
+	delivered := telemetry.Family{Name: "vran_delivered_total",
+		Help: "Blocks decoded and delivered within deadline.", Type: telemetry.Counter}
+	dropped := telemetry.Family{Name: "vran_dropped_total",
+		Help: "Blocks dropped, by cell and cause.", Type: telemetry.Counter}
+	depth := telemetry.Family{Name: "vran_queue_depth",
+		Help: "Current per-cell ingress queue backlog.", Type: telemetry.Gauge}
+	cellMbps := telemetry.Family{Name: "vran_cell_goodput_mbps",
+		Help: "Per-cell delivered information bits over elapsed time.", Type: telemetry.Gauge}
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		cell := telemetry.L("cell", strconv.Itoa(i))
+		accepted.Samples = append(accepted.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{cell}, Value: float64(c.Accepted)})
+		delivered.Samples = append(delivered.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{cell}, Value: float64(c.Delivered)})
+		for d := DropCause(0); d < numDropCauses; d++ {
+			dropped.Samples = append(dropped.Samples, telemetry.Sample{
+				Labels: []telemetry.Label{cell, telemetry.L("cause", d.String())},
+				Value:  float64(c.Drops[d])})
+		}
+		depth.Samples = append(depth.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{cell}, Value: float64(c.QueueDepth)})
+		cellMbps.Samples = append(cellMbps.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{cell}, Value: c.Mbps})
+	}
+	lat := telemetry.Family{Name: "vran_latency_seconds",
+		Help: "Delivered-block end-to-end latency quantiles.", Type: telemetry.Gauge}
+	for _, q := range []struct {
+		v float64
+		s string
+	}{{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}} {
+		var d float64
+		switch q.s {
+		case "0.5":
+			d = s.LatencyP50.Seconds()
+		case "0.9":
+			d = s.LatencyP90.Seconds()
+		default:
+			d = s.LatencyP99.Seconds()
+		}
+		lat.Samples = append(lat.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{telemetry.L("quantile", q.s)}, Value: d})
+	}
+	return []telemetry.Family{
+		telemetry.F("vran_uptime_seconds", "Time since the metrics layer started.", telemetry.Gauge, s.Elapsed.Seconds()),
+		accepted, delivered, dropped, depth, cellMbps,
+		telemetry.F("vran_goodput_mbps", "Delivered information bits over elapsed time.", telemetry.Gauge, s.GoodputMbps),
+		telemetry.F("vran_batches_total", "Decode batches dispatched to the worker pool.", telemetry.Counter, float64(s.Batches)),
+		telemetry.F("vran_decoded_blocks_total", "Blocks decoded (delivered or late).", telemetry.Counter, float64(s.DecodedBlocks)),
+		telemetry.F("vran_lane_occupancy", "Fraction of register lane groups carrying a real block.", telemetry.Gauge, s.LaneOccupancy),
+		telemetry.F("vran_worker_utilization", "Decode busy time over workers x elapsed.", telemetry.Gauge, s.WorkerUtilization),
+		telemetry.F("vran_decode_cost_seconds", "Mean per-block decode cost.", telemetry.Gauge, s.AvgDecodeUs/1e6),
+		lat,
+	}
+}
+
+// HealthPolicy sets the /healthz thresholds. Zero values take the
+// defaults: unhealthy when more than 50 % of the interval's offered
+// blocks were dropped, or when any cell queue is ≥ 90 % full.
+type HealthPolicy struct {
+	MaxDropRate  float64
+	MaxQueueFrac float64
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.MaxDropRate <= 0 {
+		p.MaxDropRate = 0.5
+	}
+	if p.MaxQueueFrac <= 0 {
+		p.MaxQueueFrac = 0.9
+	}
+	return p
+}
+
+// Health returns a readiness check keyed on drop rate and queue
+// saturation. Drop rate is computed over the interval since the
+// previous call (the first call sees the whole run), so a recovered
+// runtime goes healthy again without a counter reset.
+func (r *Runtime) Health(pol HealthPolicy) func() telemetry.HealthStatus {
+	pol = pol.withDefaults()
+	var mu sync.Mutex
+	var prevOffered, prevDropped uint64
+	return func() telemetry.HealthStatus {
+		s := r.Snapshot()
+		offered := s.Accepted + s.Drops[DropBacklog] + s.Drops[DropAdmission]
+		dropped := s.Dropped()
+
+		mu.Lock()
+		dOff := offered - prevOffered
+		dDrop := dropped - prevDropped
+		prevOffered, prevDropped = offered, dropped
+		mu.Unlock()
+
+		st := telemetry.HealthStatus{Healthy: true}
+		if dOff > 0 {
+			st.DropRate = float64(dDrop) / float64(dOff)
+		}
+		for _, c := range s.Cells {
+			if f := float64(c.QueueDepth) / float64(r.cfg.QueueDepth); f > st.QueueFrac {
+				st.QueueFrac = f
+			}
+		}
+		if st.DropRate > pol.MaxDropRate {
+			st.Healthy = false
+			st.Reason = fmt.Sprintf("drop rate %.2f over threshold %.2f", st.DropRate, pol.MaxDropRate)
+		} else if st.QueueFrac >= pol.MaxQueueFrac {
+			st.Healthy = false
+			st.Reason = fmt.Sprintf("queue %.0f%% full (threshold %.0f%%)", 100*st.QueueFrac, 100*pol.MaxQueueFrac)
+		}
+		return st
+	}
+}
+
+// spansBody is the /spans JSON shape.
+type spansBody struct {
+	Recent  []telemetry.Span            `json:"recent"`
+	Slowest map[string][]telemetry.Span `json:"slowest"`
+}
+
+// snapshotBody is the /snapshot JSON shape.
+type snapshotBody struct {
+	Snapshot     *Snapshot                  `json:"snapshot"`
+	DropsByCause map[string]uint64          `json:"drops_by_cause"`
+	Stages       []telemetry.StageSummary   `json:"stages,omitempty"`
+}
+
+// MountAdmin wires a runtime, an optional tracer and an optional uarch
+// calibration result into an admin server on addr (not yet started).
+// All endpoint bodies are built from live Snapshot/tracer state at
+// request time.
+func MountAdmin(rt *Runtime, tr *telemetry.Tracer, cal *uarch.Result, addr string, pol HealthPolicy) *telemetry.AdminServer {
+	return telemetry.NewAdmin(telemetry.AdminConfig{
+		Addr: addr,
+		Metrics: func() []telemetry.Family {
+			fams := rt.Snapshot().Families()
+			fams = append(fams, tr.Families()...)
+			if cal != nil {
+				fams = append(fams, telemetry.UarchFamilies(*cal, "calibration")...)
+			}
+			return fams
+		},
+		Snapshot: func() any {
+			s := rt.Snapshot()
+			return snapshotBody{Snapshot: s, DropsByCause: s.DropsByCause(), Stages: tr.Summaries()}
+		},
+		Spans: func() any {
+			body := spansBody{Recent: tr.Recent(), Slowest: map[string][]telemetry.Span{}}
+			for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+				body.Slowest[st.Name()] = tr.Slowest(st)
+			}
+			return body
+		},
+		Health: rt.Health(pol),
+	})
+}

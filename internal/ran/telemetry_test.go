@@ -1,0 +1,229 @@
+package ran
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vransim/internal/simd"
+	"vransim/internal/telemetry"
+)
+
+// TestTracerSpansThroughRuntime drives traced traffic end to end and
+// checks the span accounting: one span per block reaching the pool,
+// stage dwell times populated, and outcomes matching the metrics.
+func TestTracerSpansThroughRuntime(t *testing.T) {
+	cfg := testConfig(simd.W512)
+	tr := telemetry.NewTracer(64, 4)
+	cfg.Tracer = tr
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mustPool(t, 40, 24, 7)
+	for i := 0; i < pool.Len(); i++ {
+		w, _ := pool.Get(i)
+		if a := rt.Submit(i%cfg.Cells, i, pool.K, w); a != Admitted {
+			t.Fatalf("block %d not admitted: %v", i, a)
+		}
+	}
+	s := rt.Stop()
+	if s.Delivered != uint64(pool.Len()) {
+		t.Fatalf("delivered %d of %d", s.Delivered, pool.Len())
+	}
+	if tr.SpanCount() != uint64(pool.Len()) {
+		t.Errorf("tracer saw %d spans, want %d", tr.SpanCount(), pool.Len())
+	}
+	for _, sp := range tr.Recent() {
+		if sp.Outcome != "delivered" {
+			t.Errorf("span outcome %q under infinite deadline", sp.Outcome)
+		}
+		if sp.Stages[telemetry.SpanDecode] <= 0 {
+			t.Error("span has no decode time")
+		}
+		if sp.Iters <= 0 {
+			t.Error("span has no iteration count")
+		}
+		if sp.K != pool.K {
+			t.Errorf("span K=%d, want %d", sp.K, pool.K)
+		}
+	}
+	sums := tr.Summaries()
+	if sums[telemetry.SpanDecode].Count != uint64(pool.Len()) {
+		t.Errorf("decode stage count %d, want %d", sums[telemetry.SpanDecode].Count, pool.Len())
+	}
+	// Queue and batch waits exist (blocks waited at least for the
+	// dispatcher and the batch window machinery).
+	if sums[telemetry.SpanQueue].Count == 0 {
+		t.Error("no queue-wait observations")
+	}
+}
+
+// TestAdminLiveExposition mounts the full admin stack over a live
+// runtime and asserts the acceptance-level content of /metrics:
+// per-cell accepted/dropped counters, per-stage latency quantiles, and
+// a uarch-derived gauge from the calibration decode.
+func TestAdminLiveExposition(t *testing.T) {
+	cfg := testConfig(simd.W256)
+	tr := telemetry.NewTracer(128, 4)
+	cfg.Tracer = tr
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	pool := mustPool(t, 40, 16, 8)
+	for i := 0; i < 32; i++ {
+		w, _ := pool.Get(i)
+		rt.Submit(i%cfg.Cells, i, pool.K, w)
+	}
+	cal, err := CalibrateUarch(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.IPC() <= 0 {
+		t.Fatalf("calibration produced no IPC: %+v", cal)
+	}
+	admin := MountAdmin(rt, tr, &cal, "127.0.0.1:0", HealthPolicy{})
+	srv := httptest.NewServer(admin.Handler())
+	defer srv.Close()
+
+	// Wait for the runtime to drain so the scrape sees deliveries.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Snapshot().Delivered < 32 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body := httpGet(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`vran_accepted_total{cell="0"}`,
+		`vran_dropped_total{cell="1",cause="backlog"}`,
+		`vran_stage_latency_seconds{stage="queue",quantile="0.99"}`,
+		`vran_stage_latency_seconds{stage="decode",quantile="0.5"}`,
+		`vran_uarch_ipc{source="calibration"}`,
+		`vran_uarch_port_utilization{source="calibration",port="0"}`,
+		"# TYPE vran_latency_seconds gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var snap struct {
+		Snapshot struct {
+			Delivered uint64 `json:"Delivered"`
+		} `json:"snapshot"`
+		DropsByCause map[string]uint64          `json:"drops_by_cause"`
+		Stages       []telemetry.StageSummary   `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/snapshot")), &snap); err != nil {
+		t.Fatalf("/snapshot not JSON: %v", err)
+	}
+	if snap.Snapshot.Delivered == 0 {
+		t.Error("/snapshot shows nothing delivered")
+	}
+	if len(snap.Stages) != int(telemetry.NumStages) {
+		t.Errorf("/snapshot has %d stages, want %d", len(snap.Stages), telemetry.NumStages)
+	}
+	if len(snap.DropsByCause) != int(numDropCauses) {
+		t.Errorf("/snapshot drops_by_cause has %d causes", len(snap.DropsByCause))
+	}
+
+	var spans struct {
+		Recent  []telemetry.Span            `json:"recent"`
+		Slowest map[string][]telemetry.Span `json:"slowest"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/spans")), &spans); err != nil {
+		t.Fatalf("/spans not JSON: %v", err)
+	}
+	if len(spans.Recent) == 0 || len(spans.Slowest[telemetry.StageDecode]) == 0 {
+		t.Error("/spans empty after traced deliveries")
+	}
+}
+
+// TestHealthzFlipsUnderOverload reuses the overload-shedding harness:
+// a healthy lightly-loaded runtime must report 200, and the same
+// expensive-K flood that TestDeadlineDropsUnderOverload sheds must
+// flip /healthz to 503 with a drop-rate reason.
+func TestHealthzFlipsUnderOverload(t *testing.T) {
+	// Healthy: infinite deadline, light load, everything delivered.
+	cfg := testConfig(simd.W256)
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mustPool(t, 40, 8, 9)
+	for i := 0; i < 8; i++ {
+		w, _ := pool.Get(i)
+		rt.Submit(i%cfg.Cells, i, pool.K, w)
+	}
+	srv := httptest.NewServer(MountAdmin(rt, nil, nil, "", HealthPolicy{}).Handler())
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthy runtime /healthz = %d, want 200", resp.StatusCode)
+	}
+	srv.Close()
+	rt.Stop()
+
+	// Overloaded: one worker, tiny queue, deadline far below capacity
+	// (the TestDeadlineDropsUnderOverload harness).
+	cfg = testConfig(simd.W256)
+	cfg.Workers = 1
+	cfg.QueueDepth = 8
+	cfg.Deadline = 2 * time.Millisecond
+	cfg.BatchWindow = 100 * time.Microsecond
+	cfg.AdmissionGuard = true
+	rt, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := mustPool(t, 512, 16, 3)
+	for i := 0; i < 300; i++ {
+		w, _ := big.Get(i)
+		rt.Submit(i%cfg.Cells, i, big.K, w)
+	}
+	srv = httptest.NewServer(MountAdmin(rt, nil, nil, "", HealthPolicy{}).Handler())
+	defer srv.Close()
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	rt.Stop()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded /healthz = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	var st telemetry.HealthStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/healthz body not JSON: %v", err)
+	}
+	if st.Healthy || st.Reason == "" {
+		t.Errorf("unhealthy verdict malformed: %+v", st)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	return string(body)
+}

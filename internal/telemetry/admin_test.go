@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testAdmin(health func() HealthStatus) *AdminServer {
+	return NewAdmin(AdminConfig{
+		Addr: "127.0.0.1:0",
+		Metrics: func() []Family {
+			return []Family{F("vran_up", "Up.", Gauge, 1)}
+		},
+		Snapshot: func() any { return map[string]int{"delivered": 5} },
+		Spans:    func() any { return []Span{{Cell: 1, Outcome: "delivered"}} },
+		Health:   health,
+	})
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	h := testAdmin(nil).Handler()
+
+	rec, body := get(t, h, "/metrics")
+	if rec.Code != 200 || !strings.Contains(body, "vran_up 1") {
+		t.Errorf("/metrics = %d %q", rec.Code, body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+
+	rec, body = get(t, h, "/metrics?format=json")
+	if rec.Code != 200 || !strings.Contains(body, `"vran_up"`) {
+		t.Errorf("/metrics?format=json = %d %q", rec.Code, body)
+	}
+
+	rec, body = get(t, h, "/snapshot")
+	if rec.Code != 200 || !strings.Contains(body, `"delivered": 5`) {
+		t.Errorf("/snapshot = %d %q", rec.Code, body)
+	}
+
+	rec, body = get(t, h, "/spans")
+	if rec.Code != 200 || !strings.Contains(body, `"delivered"`) {
+		t.Errorf("/spans = %d %q", rec.Code, body)
+	}
+
+	rec, body = get(t, h, "/healthz")
+	if rec.Code != 200 || !strings.Contains(body, `"healthy":true`) {
+		t.Errorf("/healthz = %d %q", rec.Code, body)
+	}
+
+	rec, body = get(t, h, "/debug/pprof/")
+	if rec.Code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", rec.Code)
+	}
+	rec, _ = get(t, h, "/debug/pprof/cmdline")
+	if rec.Code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", rec.Code)
+	}
+}
+
+func TestAdminUnhealthy(t *testing.T) {
+	h := testAdmin(func() HealthStatus {
+		return HealthStatus{Healthy: false, Reason: "drop rate 0.80", DropRate: 0.8}
+	}).Handler()
+	rec, body := get(t, h, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz code %d, want 503", rec.Code)
+	}
+	if !strings.Contains(body, "drop rate 0.80") {
+		t.Errorf("/healthz body %q lacks reason", body)
+	}
+}
+
+// TestAdminStartShutdown exercises the real listener lifecycle: bind on
+// :0, scrape over TCP, shut down gracefully, verify the port is closed.
+func TestAdminStartShutdown(t *testing.T) {
+	a := testAdmin(nil)
+	if a.Addr() != "" || a.URL() != "" {
+		t.Error("address must be empty before Start")
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	url := a.URL()
+	if url == "" {
+		t.Fatal("no bound address after Start")
+	}
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "vran_up") {
+		t.Errorf("live scrape = %d %q", resp.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := a.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get(url + "/metrics"); err == nil {
+		t.Error("scrape succeeded after shutdown")
+	}
+	// Shutdown again is a no-op, and on a never-started server too.
+	if err := a.Shutdown(ctx); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+	if err := NewAdmin(AdminConfig{}).Shutdown(ctx); err != nil {
+		t.Errorf("shutdown of unstarted server: %v", err)
+	}
+}

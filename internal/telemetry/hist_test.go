@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistPercentiles(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	check := func(q float64, want time.Duration) {
+		t.Helper()
+		got := h.Percentile(q)
+		if rel := math.Abs(float64(got-want)) / float64(want); rel > 0.125 {
+			t.Errorf("p%.0f = %v, want %v within 12.5%%", q*100, got, want)
+		}
+	}
+	check(0.50, 50*time.Millisecond)
+	check(0.90, 90*time.Millisecond)
+	check(0.99, 99*time.Millisecond)
+	if h.Count() != 100 {
+		t.Errorf("count %d, want 100", h.Count())
+	}
+	wantMean := 50500 * time.Microsecond
+	if h.Mean() != wantMean {
+		t.Errorf("mean %v, want %v", h.Mean(), wantMean)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Percentile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+// TestHistIndexValueRoundTrip: every reachable bucket's representative
+// value must index back into the same bucket, indexing is monotone, and
+// the unreachable top octaves saturate cleanly.
+func TestHistIndexValueRoundTrip(t *testing.T) {
+	top := HistIndex(math.MaxInt64) // highest bucket any int64 ns reaches
+	last := -1
+	for idx := 0; idx <= top; idx++ {
+		v := HistValue(idx)
+		if v <= 0 {
+			t.Fatalf("bucket %d has non-positive representative %d", idx, v)
+		}
+		back := HistIndex(v)
+		if back != idx {
+			t.Errorf("HistIndex(HistValue(%d)) = %d", idx, back)
+		}
+		if back < last {
+			t.Errorf("index not monotone at bucket %d", idx)
+		}
+		last = back
+	}
+	for idx := top + 1; idx < HistBuckets; idx++ {
+		if HistValue(idx) != math.MaxInt64 {
+			t.Errorf("unreachable bucket %d should saturate, got %d", idx, HistValue(idx))
+		}
+	}
+}
+
+// TestHistOverflow: the largest representable duration must land in a
+// valid bucket and dominate percentiles.
+func TestHistOverflow(t *testing.T) {
+	idx := HistIndex(math.MaxInt64)
+	if idx < 0 || idx >= HistBuckets {
+		t.Fatalf("overflow index %d out of range", idx)
+	}
+	var h Hist
+	h.Observe(time.Duration(math.MaxInt64))
+	h.Observe(time.Nanosecond)
+	if got := h.Percentile(0.99); got != time.Duration(HistValue(idx)) {
+		t.Errorf("overflow p99 = %v, want %v", got, time.Duration(HistValue(idx)))
+	}
+	if got := h.Percentile(0.0); got != time.Duration(HistValue(0)) {
+		t.Errorf("p0 = %v, want bottom bucket %v", got, time.Duration(HistValue(0)))
+	}
+}
+
+// TestHistConcurrent exercises the lock-free counters under the race
+// detector.
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Microsecond)
+				if i%100 == 0 {
+					h.Percentile(0.9)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,34 @@
+// Package telemetry is the observability layer of the serving runtime:
+// request-scoped span tracing with per-stage attribution, a dependency-
+// free Prometheus/JSON exposition model, and an admin HTTP server that
+// makes a running vranserve scrapeable while it serves.
+//
+// The paper's whole argument is an attribution exercise — top-down
+// counters and per-stage cycle accounting are what localized the data-
+// arrangement bottleneck — and this package extends that methodology
+// from one-shot offline runs (vranpipe, vranbench) to the live runtime:
+// the same stage vocabulary, exported continuously.
+//
+// The package is a leaf: it depends only on the standard library and
+// internal/uarch (for rendering simulator counters as gauges), so the
+// runtime packages (internal/ran, internal/pipeline) can import it
+// without cycles.
+package telemetry
+
+// Serving-side stage names. StageDecode is shared with the offline
+// pipeline (internal/pipeline wraps its turbo decoding in a
+// runner.section of the same name), so a vranpipe per-stage report and
+// a live /metrics scrape speak one vocabulary and can be diffed.
+const (
+	// StageQueue is the time from Submit until the dispatcher drains the
+	// block out of its cell's ingress queue.
+	StageQueue = "queue"
+	// StageBatch is the time a block waits in the lane-fill batcher plus
+	// the batch channel, until a worker starts decoding it.
+	StageBatch = "batch"
+	// StageDecode is the lane-parallel turbo decode itself.
+	StageDecode = "decode"
+)
+
+// ServeStages lists the serving-path stages in pipeline order.
+func ServeStages() []string { return []string{StageQueue, StageBatch, StageDecode} }

@@ -2,6 +2,7 @@ package turbo
 
 import (
 	"fmt"
+	"time"
 
 	"vransim/internal/core"
 	"vransim/internal/simd"
@@ -22,6 +23,14 @@ type BatchDecoder struct {
 	// MaxIters and EarlyExit configure every decode (defaults: 6, true).
 	MaxIters  int
 	EarlyExit bool
+
+	// OnDecode, when non-nil, is called synchronously after every
+	// successful Decode with the block size, batch fill, iteration count
+	// and the measured wall-clock decode time — the telemetry hook that
+	// lets a serving worker attribute decode cost without wrapping the
+	// call in its own clock. Like the decoder itself it is used from one
+	// goroutine only.
+	OnDecode func(k, blocks, iters int, elapsed time.Duration)
 }
 
 // NewBatchDecoder builds a decoder for width w and arrangement strategy
@@ -68,5 +77,10 @@ func (bd *BatchDecoder) Decode(k int, words []*LLRWord) ([][]byte, int, error) {
 	d := NewMultiSIMDDecoder(c)
 	d.MaxIters = bd.MaxIters
 	d.EarlyExit = bd.EarlyExit
-	return d.Decode(bd.eng, bd.ar, words)
+	start := time.Now()
+	bits, iters, err := d.Decode(bd.eng, bd.ar, words)
+	if err == nil && bd.OnDecode != nil {
+		bd.OnDecode(k, len(words), iters, time.Since(start))
+	}
+	return bits, iters, err
 }

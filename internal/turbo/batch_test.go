@@ -1,0 +1,87 @@
+package turbo
+
+import (
+	"testing"
+	"time"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+)
+
+// TestBatchDecoderReuse checks the serving-side entry point: repeated
+// decodes on one decoder (arena rewound per call, per-K code cache)
+// stay bit-correct across batches and block sizes.
+func TestBatchDecoderReuse(t *testing.T) {
+	bd := NewBatchDecoder(simd.W512, core.StrategyAPCM, 32<<20)
+	bd.MaxIters = 4
+	for round, k := range []int{40, 104, 40} {
+		c, err := bd.Code(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words, truth := buildWords(t, c, bd.Lanes(), int64(10+round), true)
+		bits, iters, err := bd.Decode(k, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iters < 1 {
+			t.Errorf("round %d: %d iterations", round, iters)
+		}
+		for b := range words {
+			if !equalBits(bits[b], truth[b]) {
+				t.Errorf("round %d block %d: decode failed", round, b)
+			}
+		}
+	}
+	if len(bd.codes) != 2 {
+		t.Errorf("code cache has %d entries, want 2", len(bd.codes))
+	}
+}
+
+// TestBatchDecoderOnDecodeHook: the telemetry timing hook must fire
+// once per successful decode with the decode's shape and a positive
+// wall-clock measurement, and must not fire on a failed decode.
+func TestBatchDecoderOnDecodeHook(t *testing.T) {
+	bd := NewBatchDecoder(simd.W256, core.StrategyAPCM, 32<<20)
+	bd.MaxIters = 4
+	type call struct {
+		k, blocks, iters int
+		elapsed          time.Duration
+	}
+	var calls []call
+	bd.OnDecode = func(k, blocks, iters int, elapsed time.Duration) {
+		calls = append(calls, call{k, blocks, iters, elapsed})
+	}
+	c, err := bd.Code(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, _ := buildWords(t, c, bd.Lanes(), 21, true)
+	if _, iters, err := bd.Decode(40, words); err != nil {
+		t.Fatal(err)
+	} else if len(calls) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(calls))
+	} else {
+		got := calls[0]
+		if got.k != 40 || got.blocks != bd.Lanes() || got.iters != iters {
+			t.Errorf("hook saw %+v, want k=40 blocks=%d iters=%d", got, bd.Lanes(), iters)
+		}
+		if got.elapsed <= 0 {
+			t.Error("hook measured non-positive decode time")
+		}
+	}
+	// Failed decode (invalid K) must not fire the hook.
+	if _, _, err := bd.Decode(41, words); err == nil {
+		t.Fatal("decode of invalid K succeeded")
+	}
+	if len(calls) != 1 {
+		t.Errorf("hook fired on failed decode")
+	}
+	// Empty batch likewise.
+	if _, _, err := bd.Decode(40, nil); err == nil {
+		t.Fatal("empty batch decode succeeded")
+	}
+	if len(calls) != 1 {
+		t.Errorf("hook fired on empty batch")
+	}
+}

@@ -5,6 +5,7 @@
 //	vranbench -list
 //	vranbench [-quick] all
 //	vranbench [-quick] fig13 fig14 …
+//	vranbench [-quick] -decodejson BENCH_decode.json
 package main
 
 import (
@@ -18,11 +19,29 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	list := flag.Bool("list", false, "list available experiments")
+	decodeJSON := flag.String("decodejson", "", "write the steady-state decode benchmark report to this file and exit")
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *decodeJSON != "" {
+		f, err := os.Create(*decodeJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vranbench:", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteDecodeBenchJSON(f, *quick); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "vranbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "vranbench:", err)
+			os.Exit(1)
 		}
 		return
 	}

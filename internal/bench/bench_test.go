@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -13,7 +14,8 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig13", "fig14", "fig15", "fig16",
-		"abl-variants", "abl-ports", "abl-rearrange", "abl-cache"}
+		"abl-variants", "abl-ports", "abl-rearrange", "abl-cache",
+		"decode-alloc"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %q not registered", id)
@@ -135,5 +137,37 @@ func TestFig13Quick(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "reduction") {
 		t.Error("fig13 output missing reduction column")
+	}
+}
+
+// TestDecodeBenchQuick: the machine-readable decode benchmark produces a
+// complete, self-consistent report in quick mode — every (mode, width, K)
+// cell present, steady-state allocations within the CI budget, and the
+// JSON round-trips.
+func TestDecodeBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs testing.Benchmark cells")
+	}
+	var buf bytes.Buffer
+	if err := WriteDecodeBenchJSON(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	var rep DecodeBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(rep.Rows) != 2*3*2 { // modes x widths x quick Ks
+		t.Fatalf("report has %d rows, want 12", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.NsPerOp <= 0 || r.Iterations <= 0 || r.GoodputMbps <= 0 {
+			t.Errorf("%s/%s/K=%d: degenerate row %+v", r.Mode, r.Width, r.K, r)
+		}
+		if r.Mode == "steady" && r.AllocsOp > 8 {
+			t.Errorf("%s/K=%d steady: %d allocs/op over budget 8", r.Width, r.K, r.AllocsOp)
+		}
+		if r.Mode == "fresh" && r.AllocsOp <= 8 {
+			t.Errorf("%s/K=%d fresh: %d allocs/op — baseline mode is not rebuilding per op", r.Width, r.K, r.AllocsOp)
+		}
 	}
 }

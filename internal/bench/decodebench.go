@@ -1,0 +1,213 @@
+// Machine-readable steady-state decode benchmark: the harness behind
+// cmd/vranbench -decodejson and the committed BENCH_decode.json. It
+// drives testing.Benchmark over the pooled (plan-cache) and fresh
+// (pre-refactor replica) decode paths for every width × a spread of K,
+// reporting ns/op, B/op, allocs/op and emulated goodput per row.
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/turbo"
+)
+
+// benchFlagsOnce registers the testing package's flags exactly once so
+// testing.Benchmark honours -test.benchtime in a non-test binary
+// (vranbench). Safe in test binaries too: Init is idempotent there and
+// Set works after Parse.
+var benchFlagsOnce sync.Once
+
+func flagSet(name, value string) error {
+	benchFlagsOnce.Do(func() {
+		if flag.Lookup("test.benchtime") == nil {
+			testing.Init()
+		}
+	})
+	return flag.Set(name, value)
+}
+
+// DecodeBenchRow is one (mode, width, K) measurement.
+type DecodeBenchRow struct {
+	Mode     string  `json:"mode"` // "steady" (pooled) or "fresh" (rebuilt per op)
+	Width    string  `json:"width"`
+	K        int     `json:"k"`
+	Lanes    int     `json:"lanes"` // blocks per decode
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	// GoodputMbps is decoded information bits over wall-clock time
+	// (emulated decode — the number compares modes, not hardware).
+	GoodputMbps float64 `json:"goodput_mbps"`
+	Iterations  int     `json:"benchmark_iterations"`
+}
+
+// DecodeBenchReport is the BENCH_decode.json shape.
+type DecodeBenchReport struct {
+	GoVersion string           `json:"go_version"`
+	GOARCH    string           `json:"goarch"`
+	MaxIters  int              `json:"turbo_max_iters"`
+	BenchTime string           `json:"bench_time"`
+	Rows      []DecodeBenchRow `json:"rows"`
+}
+
+// decodeBenchKs is the block-size spread of the JSON artifact: the
+// smallest LTE size, two mid sizes and the largest.
+var decodeBenchKs = []int{40, 512, 2048, 6144}
+
+const decodeBenchIters = 4
+
+// benchWords builds nb noiseless full-amplitude words for code c.
+func benchWords(c *turbo.Code, nb int, seed int64) ([]*turbo.LLRWord, error) {
+	rng := rand.New(rand.NewSource(seed))
+	words := make([]*turbo.LLRWord, nb)
+	for b := 0; b < nb; b++ {
+		bits := make([]byte, c.K)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		cw, err := c.Encode(bits)
+		if err != nil {
+			return nil, err
+		}
+		w := turbo.NewLLRWord(c.K)
+		w.FromHard(cw, 32)
+		words[b] = w
+	}
+	return words, nil
+}
+
+// RunDecodeBench measures every (mode, width, K) cell. quick shrinks
+// the K spread and the per-cell bench time for CI.
+func RunDecodeBench(quick bool) (*DecodeBenchReport, error) {
+	ks := decodeBenchKs
+	benchtime := "200ms"
+	if quick {
+		ks = []int{40, 512}
+		benchtime = "50ms"
+	}
+	rep := &DecodeBenchReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		MaxIters:  decodeBenchIters,
+		BenchTime: benchtime,
+	}
+	if err := flagSet("test.benchtime", benchtime); err != nil {
+		return nil, err
+	}
+	for _, w := range []simd.Width{simd.W128, simd.W256, simd.W512} {
+		for _, k := range ks {
+			for _, mode := range []string{"steady", "fresh"} {
+				row, err := runDecodeCell(mode, w, k)
+				if err != nil {
+					return nil, err
+				}
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// runDecodeCell benchmarks one (mode, width, K) combination.
+func runDecodeCell(mode string, w simd.Width, k int) (DecodeBenchRow, error) {
+	nb := turbo.BlocksPerRegister(w)
+	c, err := turbo.NewCode(k)
+	if err != nil {
+		return DecodeBenchRow{}, err
+	}
+	words, err := benchWords(c, nb, 7)
+	if err != nil {
+		return DecodeBenchRow{}, err
+	}
+	var inner error
+	var res testing.BenchmarkResult
+	switch mode {
+	case "steady":
+		bd := turbo.NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+		bd.MaxIters = decodeBenchIters
+		if _, _, err := bd.Decode(k, words); err != nil { // warm-up
+			return DecodeBenchRow{}, err
+		}
+		res = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bd.Decode(k, words); err != nil {
+					inner = err
+					b.Fatal(err)
+				}
+			}
+		})
+	case "fresh":
+		eng := simd.NewEngine(w, simd.NewMemory(32<<20), nil)
+		ar := core.ByStrategy(core.StrategyAPCM)
+		res = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.Mem.AllocReset()
+				d := turbo.NewMultiSIMDDecoder(c)
+				d.MaxIters = decodeBenchIters
+				if _, _, err := d.Decode(eng, ar, words); err != nil {
+					inner = err
+					b.Fatal(err)
+				}
+			}
+		})
+	default:
+		return DecodeBenchRow{}, fmt.Errorf("bench: unknown decode mode %q", mode)
+	}
+	if inner != nil {
+		return DecodeBenchRow{}, inner
+	}
+	row := DecodeBenchRow{
+		Mode: mode, Width: w.String(), K: k, Lanes: nb,
+		NsPerOp:    float64(res.T.Nanoseconds()) / float64(res.N),
+		BPerOp:     res.AllocedBytesPerOp(),
+		AllocsOp:   res.AllocsPerOp(),
+		Iterations: res.N,
+	}
+	if row.NsPerOp > 0 {
+		// Mb of decoded information bits per second of wall-clock.
+		row.GoodputMbps = float64(k*nb) / (row.NsPerOp / 1e3)
+	}
+	return row, nil
+}
+
+// WriteDecodeBenchJSON runs the decode benchmark and writes the report.
+func WriteDecodeBenchJSON(w io.Writer, quick bool) error {
+	rep, err := RunDecodeBench(quick)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "decode-alloc",
+		Title: "Steady-state decode: pooled plan cache vs per-batch rebuild (ns/op, allocs/op)",
+		Run: func(w io.Writer, o Options) error {
+			rep, err := RunDecodeBench(o.Quick)
+			if err != nil {
+				return err
+			}
+			t := newTable("mode", "width", "K", "ns/op", "B/op", "allocs/op", "goodput Mb/s")
+			for _, r := range rep.Rows {
+				t.addf("%s|%s|%d|%.0f|%d|%d|%.2f",
+					r.Mode, r.Width, r.K, r.NsPerOp, r.BPerOp, r.AllocsOp, r.GoodputMbps)
+			}
+			t.write(w)
+			return nil
+		},
+	})
+}

@@ -53,6 +53,13 @@ func (a APCMArranger) Strategy() Strategy {
 // property — all three clusters share this map — is what Figure 10 step 4
 // achieves and what TestAPCMClustersLaneAligned verifies.
 func apcmLanePos(L int) []int {
+	if t, ok := apcmTablesByL[L]; ok {
+		return t.lanePos
+	}
+	return buildAPCMLanePos(L)
+}
+
+func buildAPCMLanePos(L int) []int {
 	pos := make([]int, L)
 	for i := 0; i < L; i++ {
 		for r := 0; r < 3; r++ {
@@ -63,6 +70,54 @@ func apcmLanePos(L int) []int {
 		}
 	}
 	return pos
+}
+
+// apcmTables holds the width-dependent constant tables of the mechanism:
+// the rotated-view lane map, the three sampling mask patterns (lane l
+// selected when l%3 == d), and the NaturalOrder ablation's restore
+// permutations. Pure functions of the lane count, built once per
+// supported width at init and shared read-only across engines, so a
+// steady-state Arrange call allocates nothing.
+type apcmTables struct {
+	lanePos  []int
+	masks    [3][]int16
+	natural  [3][]int
+}
+
+var apcmTablesByL = func() map[int]*apcmTables {
+	m := make(map[int]*apcmTables, len(simd.Widths))
+	for _, w := range simd.Widths {
+		m[w.Lanes16()] = buildAPCMTables(w.Lanes16())
+	}
+	return m
+}()
+
+func buildAPCMTables(L int) *apcmTables {
+	t := &apcmTables{lanePos: buildAPCMLanePos(L)}
+	for d := 0; d < 3; d++ {
+		pattern := make([]int16, L)
+		for l := 0; l < L; l++ {
+			if l%3 == d {
+				pattern[l] = -1 // 0xFFFF
+			}
+		}
+		t.masks[d] = pattern
+	}
+	for c := 0; c < 3; c++ {
+		idx := make([]int, L)
+		for i := 0; i < L; i++ {
+			idx[i] = (t.lanePos[i] + c) % L
+		}
+		t.natural[c] = idx
+	}
+	return t
+}
+
+func apcmTablesFor(L int) *apcmTables {
+	if t, ok := apcmTablesByL[L]; ok {
+		return t
+	}
+	return buildAPCMTables(L)
 }
 
 // Layout implements Arranger.
@@ -92,25 +147,19 @@ func (a APCMArranger) Arrange(e *simd.Engine, src int64, dst Dest, n int) {
 	lay := a.Layout(e.W)
 
 	if groups > 0 {
+		tables := apcmTablesFor(L)
 		// The three sampling masks: mask[d] keeps lanes l with l%3 == d.
-		// Constants, loaded once per call.
+		// Constants, loaded once per call into pooled registers.
 		var masks [3]*simd.Vec
 		for d := 0; d < 3; d++ {
-			pattern := make([]int16, L)
-			for l := 0; l < L; l++ {
-				if l%3 == d {
-					pattern[l] = -1 // 0xFFFF
-				}
-			}
-			masks[d] = e.NewVec()
-			e.SetImm(masks[d], pattern)
+			masks[d] = e.AcquireVec()
+			e.SetImm(masks[d], tables.masks[d])
 		}
 
-		congPos := apcmLanePos(L) // rotated-view lane of each element
-		in := [3]*simd.Vec{e.NewVec(), e.NewVec(), e.NewVec()}
-		acc := [3]*simd.Vec{e.NewVec(), e.NewVec(), e.NewVec()}
-		tmp := e.NewVec()
-		rot := e.NewVec()
+		in := [3]*simd.Vec{e.AcquireVec(), e.AcquireVec(), e.AcquireVec()}
+		acc := [3]*simd.Vec{e.AcquireVec(), e.AcquireVec(), e.AcquireVec()}
+		tmp := e.AcquireVec()
+		rot := e.AcquireVec()
 
 		for g := 0; g < groups; g++ {
 			baseLane := 3 * g * L
@@ -136,11 +185,7 @@ func (a APCMArranger) Arrange(e *simd.Engine, src int64, dst Dest, n int) {
 				case a.NaturalOrder:
 					// One vpermw restores natural order (and subsumes
 					// the rotation).
-					idx := make([]int, L)
-					for i := 0; i < L; i++ {
-						idx[i] = (congPos[i] + c) % L
-					}
-					e.PermuteW(rot, acc[c], idx)
+					e.PermuteW(rot, acc[c], tables.natural[c])
 					e.StoreVec(blockAddr, rot)
 				case a.ExplicitRotate:
 					if c == 0 {
@@ -162,6 +207,8 @@ func (a APCMArranger) Arrange(e *simd.Engine, src int64, dst Dest, n int) {
 			e.EmitScalar("add", 1)
 			e.EmitBranch("jnz")
 		}
+		e.ReleaseVec(masks[0], masks[1], masks[2], in[0], in[1], in[2],
+			acc[0], acc[1], acc[2], tmp, rot)
 	}
 	scalarTail(e, src, dst, lay, groups*L, n)
 }

@@ -197,14 +197,39 @@ func (l Layout) ReadNatural(mem *simd.Memory, base int64, c Cluster, n int) []in
 	return out
 }
 
-// identityLayout is the natural contiguous layout for width w.
-func identityLayout(w simd.Width) Layout {
-	lanes := w.Lanes16()
-	pos := make([]int, lanes)
+// naturalPosByL caches the identity lane-position table per lane count.
+// Built at init for every supported width and read-only afterwards, so
+// concurrent Layout calls (one engine per worker goroutine) are safe.
+var naturalPosByL = func() map[int][]int {
+	m := make(map[int][]int, len(simd.Widths))
+	for _, w := range simd.Widths {
+		L := w.Lanes16()
+		pos := make([]int, L)
+		for i := range pos {
+			pos[i] = i
+		}
+		m[L] = pos
+	}
+	return m
+}()
+
+// naturalPos returns the identity lane-position table for L lanes
+// without allocating for the supported widths.
+func naturalPos(L int) []int {
+	if pos, ok := naturalPosByL[L]; ok {
+		return pos
+	}
+	pos := make([]int, L)
 	for i := range pos {
 		pos[i] = i
 	}
-	return Layout{GroupLanes: lanes, StrideLanes: lanes, LanePos: pos}
+	return pos
+}
+
+// identityLayout is the natural contiguous layout for width w.
+func identityLayout(w simd.Width) Layout {
+	lanes := w.Lanes16()
+	return Layout{GroupLanes: lanes, StrideLanes: lanes, LanePos: naturalPos(lanes)}
 }
 
 // WriteInterleaved stores the three equal-length cluster slices as one

@@ -29,9 +29,9 @@ func (ExtractArranger) Layout(w simd.Width) Layout { return identityLayout(w) }
 func (a ExtractArranger) Arrange(e *simd.Engine, src int64, dst Dest, n int) {
 	lanes := e.W.Lanes16()
 	groups := n / lanes
-	reg := e.NewVec()
-	half := e.NewVec()
-	quarter := e.NewVec()
+	reg := e.AcquireVec()
+	half := e.AcquireVec()
+	quarter := e.AcquireVec()
 
 	for g := 0; g < groups; g++ {
 		baseLane := 3 * g * lanes // first interleaved lane of the group
@@ -65,6 +65,7 @@ func (a ExtractArranger) Arrange(e *simd.Engine, src int64, dst Dest, n int) {
 		e.EmitScalar("add", 1)
 		e.EmitBranch("jnz")
 	}
+	e.ReleaseVec(reg, half, quarter)
 	scalarTail(e, src, dst, a.Layout(e.W), groups*lanes, n)
 }
 

@@ -24,33 +24,50 @@ func (ShuffleArranger) Strategy() Strategy { return StrategyShuffle }
 // Layout implements Arranger: natural contiguous order.
 func (ShuffleArranger) Layout(w simd.Width) Layout { return identityLayout(w) }
 
+// shuffleIdxByL caches the permute tables per lane count: for output
+// cluster c, input register r contributes element jj (at its lane
+// (3jj+c) mod L) to output lane jj; every other lane selects zero.
+// Built at init per supported width, read-only afterwards.
+var shuffleIdxByL = func() map[int][3][3][]int {
+	m := make(map[int][3][3][]int, len(simd.Widths))
+	for _, w := range simd.Widths {
+		m[w.Lanes16()] = buildShuffleIdx(w.Lanes16())
+	}
+	return m
+}()
+
+func buildShuffleIdx(L int) [3][3][]int {
+	var idx [3][3][]int
+	for c := 0; c < 3; c++ {
+		for r := 0; r < 3; r++ {
+			tab := make([]int, L)
+			for i := range tab {
+				tab[i] = -1
+			}
+			for jj := 0; jj < L; jj++ {
+				k := 3*jj + c
+				if k/L == r {
+					tab[jj] = k % L
+				}
+			}
+			idx[c][r] = tab
+		}
+	}
+	return idx
+}
+
 // Arrange implements Arranger.
 func (a ShuffleArranger) Arrange(e *simd.Engine, src int64, dst Dest, n int) {
 	L := e.W.Lanes16()
 	groups := n / L
 	lay := a.Layout(e.W)
 	if groups > 0 {
-		in := [3]*simd.Vec{e.NewVec(), e.NewVec(), e.NewVec()}
-		t0, t1, acc := e.NewVec(), e.NewVec(), e.NewVec()
+		in := [3]*simd.Vec{e.AcquireVec(), e.AcquireVec(), e.AcquireVec()}
+		t0, t1, acc := e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
 
-		// Permute tables: for output cluster c, input register r
-		// contributes element jj (at its lane (3jj+c) mod L) to output
-		// lane jj; every other lane selects zero.
-		idx := make([][3][]int, 3)
-		for c := 0; c < 3; c++ {
-			for r := 0; r < 3; r++ {
-				tab := make([]int, L)
-				for i := range tab {
-					tab[i] = -1
-				}
-				for jj := 0; jj < L; jj++ {
-					k := 3*jj + c
-					if k/L == r {
-						tab[jj] = k % L
-					}
-				}
-				idx[c][r] = tab
-			}
+		idx, ok := shuffleIdxByL[L]
+		if !ok {
+			idx = buildShuffleIdx(L)
 		}
 
 		for g := 0; g < groups; g++ {
@@ -69,6 +86,7 @@ func (a ShuffleArranger) Arrange(e *simd.Engine, src int64, dst Dest, n int) {
 			e.EmitScalar("add", 1)
 			e.EmitBranch("jnz")
 		}
+		e.ReleaseVec(in[0], in[1], in[2], t0, t1, acc)
 	}
 	scalarTail(e, src, dst, lay, groups*L, n)
 }

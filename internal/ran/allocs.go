@@ -1,0 +1,37 @@
+package ran
+
+import "runtime"
+
+// allocSampleEvery is the worker-side sampling period for the
+// vran_decode_allocs_per_op gauge: one in every N batch decodes is
+// bracketed by heap-allocation counter reads. The counter is
+// process-wide, so a sample is an upper bound on the decode's own
+// allocations (other goroutines' allocations land in it too), but at a
+// 1/64 duty cycle the read cost is negligible and a pooled decoder's
+// steady-state signal — single digits per op instead of hundreds — is
+// unmistakable.
+const allocSampleEvery = 64
+
+// allocSampler brackets a region with cumulative heap-object counter
+// reads. runtime.ReadMemStats (not runtime/metrics.Read) because only
+// the former flushes per-P stat caches — metrics.Read can report a
+// zero delta across a region that allocated a handful of objects. The
+// flush is a brief stop-the-world, which the 1/64 duty cycle amortizes.
+// The MemStats scratch lives in the struct so begin/end themselves
+// allocate nothing.
+type allocSampler struct {
+	ms    runtime.MemStats
+	start uint64
+}
+
+func (s *allocSampler) begin() {
+	runtime.ReadMemStats(&s.ms)
+	s.start = s.ms.Mallocs
+}
+
+// end returns the number of heap objects allocated process-wide since
+// begin.
+func (s *allocSampler) end() uint64 {
+	runtime.ReadMemStats(&s.ms)
+	return s.ms.Mallocs - s.start
+}

@@ -58,6 +58,12 @@ type Metrics struct {
 	decodedBlocks atomic.Uint64
 	decodeBusyNs  atomic.Int64
 
+	// Sampled heap-allocation accounting for the steady-state gauge:
+	// every allocSampleEvery-th worker decode contributes one sample of
+	// (decodes observed, heap objects allocated across them).
+	allocSampleOps  atomic.Uint64
+	allocSampleObjs atomic.Uint64
+
 	// latency is the delivered-block end-to-end latency histogram
 	// (telemetry.Hist: lock-free log-bucketed, ≤12.5 % relative error on
 	// reconstructed percentiles).
@@ -77,6 +83,11 @@ func (m *Metrics) deliver(cell, bits int, latency time.Duration) {
 	c.delivered.Add(1)
 	c.bits.Add(uint64(bits))
 	m.latency.Observe(latency)
+}
+
+func (m *Metrics) allocSample(objs uint64) {
+	m.allocSampleOps.Add(1)
+	m.allocSampleObjs.Add(objs)
 }
 
 func (m *Metrics) batchDone(used, lanes int, busy time.Duration) {
@@ -123,6 +134,11 @@ type Snapshot struct {
 	LaneOccupancy float64
 	// AvgDecodeUs is the mean per-block decode cost in microseconds.
 	AvgDecodeUs float64
+	// DecodeAllocsPerOp is the sampled mean of heap objects allocated per
+	// batch decode (process-wide counter bracketing ~1/64 of decodes, so
+	// an approximate upper bound). Near zero on a warmed-up worker; -1
+	// when no sample has been taken yet.
+	DecodeAllocsPerOp float64
 	// WorkerUtilization is decode busy time over workers*elapsed.
 	WorkerUtilization float64
 	// GoodputMbps is delivered information bits over elapsed time.
@@ -192,6 +208,11 @@ func (m *Metrics) snapshot(queueDepths []int, workers int) *Snapshot {
 	}
 	if s.DecodedBlocks > 0 {
 		s.AvgDecodeUs = float64(m.decodeBusyNs.Load()) / 1e3 / float64(s.DecodedBlocks)
+	}
+	if ops := m.allocSampleOps.Load(); ops > 0 {
+		s.DecodeAllocsPerOp = float64(m.allocSampleObjs.Load()) / float64(ops)
+	} else {
+		s.DecodeAllocsPerOp = -1
 	}
 	if workers > 0 && s.Elapsed > 0 {
 		s.WorkerUtilization = float64(m.decodeBusyNs.Load()) / (float64(workers) * float64(s.Elapsed.Nanoseconds()))

@@ -2,9 +2,12 @@ package ran
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"time"
 
+	"vransim/internal/core"
+	"vransim/internal/simd"
 	"vransim/internal/telemetry"
 )
 
@@ -169,5 +172,78 @@ func TestSnapshotFamilies(t *testing.T) {
 		t.Fatal("missing vran_queue_depth")
 	} else if f.Samples[1].Value != 2 {
 		t.Errorf("cell 1 queue depth sample = %v, want 2", f.Samples[1].Value)
+	}
+}
+
+// TestDecodeAllocsGauge: the sampled allocs/op gauge must read -1 (no
+// sample) on a fresh metrics layer, average recorded samples, and reach
+// the exposition as vran_decode_allocs_per_op.
+func TestDecodeAllocsGauge(t *testing.T) {
+	m := NewMetrics(1)
+	if s := m.snapshot(nil, 1); s.DecodeAllocsPerOp != -1 {
+		t.Errorf("unsampled gauge = %v, want -1", s.DecodeAllocsPerOp)
+	}
+	m.allocSample(6)
+	m.allocSample(2)
+	s := m.snapshot(nil, 1)
+	if s.DecodeAllocsPerOp != 4 {
+		t.Errorf("sampled gauge = %v, want 4", s.DecodeAllocsPerOp)
+	}
+	var found bool
+	for _, f := range s.Families() {
+		if f.Name == "vran_decode_allocs_per_op" {
+			found = true
+			if len(f.Samples) != 1 || f.Samples[0].Value != 4 {
+				t.Errorf("family samples = %+v, want single value 4", f.Samples)
+			}
+		}
+	}
+	if !found {
+		t.Error("vran_decode_allocs_per_op missing from exposition")
+	}
+}
+
+// TestWorkerAllocsPerOpSteadyState drives enough batches through a
+// one-worker runtime to hit several alloc samples; a warmed-up pooled
+// decoder must keep the sampled upper bound in the low tens (the
+// pre-refactor path measured hundreds per batch).
+func TestWorkerAllocsPerOpSteadyState(t *testing.T) {
+	const k = 104
+	cfg := DefaultConfig(simd.W512, core.StrategyAPCM)
+	cfg.Cells = 1
+	cfg.Workers = 1
+	cfg.QueueDepth = 512
+	cfg.MaxIters = 2
+	cfg.Deadline = time.Minute // no drops: every submit must decode
+	cfg.AdmissionGuard = false
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewWordPool(k, 16, 24, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := rt.Lanes()
+	for i := 0; i < 160*lanes; i++ {
+		w, _ := pool.Get(i)
+		if rt.Submit(0, i, k, w) != Admitted {
+			t.Fatalf("submit %d rejected", i)
+		}
+		if i%lanes == lanes-1 {
+			time.Sleep(50 * time.Microsecond) // let the batcher drain
+		}
+	}
+	s := rt.Stop()
+	if s.DecodeAllocsPerOp < 0 {
+		t.Fatalf("no alloc sample taken across %d batches", s.Batches)
+	}
+	// The gauge brackets a process-wide counter, so the submitter, the
+	// dispatcher and the GC all leak into it — the budget is deliberately
+	// loose. It still catches the pre-plan-cache regime, where every
+	// batch rebuilt its working set and each PermuteW allocated its index
+	// scratch (thousands of objects per decode).
+	if s.DecodeAllocsPerOp > 2000 {
+		t.Errorf("sampled decode allocs/op = %.1f, want steady-state (<2000)", s.DecodeAllocsPerOp)
 	}
 }

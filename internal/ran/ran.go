@@ -306,7 +306,10 @@ func (r *Runtime) sweep(lb *laneBatcher) {
 }
 
 // worker pulls batches, drops expired blocks, decodes the rest on its
-// private engine, and records the outcome.
+// private engine, and records the outcome. The decoder's plan cache
+// makes the steady state allocation-free, so the worker also keeps its
+// own words slice across batches; every ~64th decode is wrapped in a
+// heap-allocation sample feeding the vran_decode_allocs_per_op gauge.
 func (r *Runtime) worker() {
 	defer r.workerWG.Done()
 	bd := turbo.NewBatchDecoder(r.cfg.Width, r.cfg.Strategy, r.cfg.MemBytes)
@@ -320,6 +323,9 @@ func (r *Runtime) worker() {
 		decodeDur, decodeIters = d, iters
 	}
 	lanes := bd.Lanes()
+	words := make([]*turbo.LLRWord, 0, lanes)
+	var sampler allocSampler
+	var batchNo uint64
 	for bt := range r.batches {
 		now := time.Now()
 		live := bt.blocks[:0]
@@ -334,13 +340,23 @@ func (r *Runtime) worker() {
 		if len(live) == 0 {
 			continue
 		}
-		words := make([]*turbo.LLRWord, len(live))
-		for i, b := range live {
-			words[i] = b.Word
+		words = words[:0]
+		for _, b := range live {
+			words = append(words, b.Word)
+		}
+		// Skip batch 0: the gauge is about the steady state, and the
+		// first decode of a K pays the one-time plan build.
+		sampling := batchNo > 0 && batchNo%allocSampleEvery == 0
+		batchNo++
+		if sampling {
+			sampler.begin()
 		}
 		t0 := time.Now()
 		decodeDur, decodeIters = 0, 0
 		bits, _, err := bd.Decode(bt.k, words)
+		if sampling {
+			r.met.allocSample(sampler.end())
+		}
 		busy := decodeDur
 		if busy <= 0 {
 			busy = time.Since(t0)

@@ -22,6 +22,17 @@ type Engine struct {
 	// it just stored, and that serialization must be visible to the
 	// timing model).
 	lastStoreByLine map[int64]int32
+
+	// freeVecs is the register free-list behind AcquireVec/ReleaseVec:
+	// kernels that run per batch on a long-lived engine recycle their
+	// scratch registers instead of growing the Go heap on every call.
+	freeVecs []*Vec
+	// permTmp is the lane staging buffer PermuteW uses so a permute is
+	// not a heap allocation (32 lanes covers W512).
+	permTmp [32]int16
+	// rotIdx caches the rotate index tables RotateLanesLeft derives, per
+	// (width, rotation) — they are pure functions of both.
+	rotIdx map[int][]int
 }
 
 // NewEngine returns an Engine of width w over mem, recording into rec.
@@ -52,6 +63,32 @@ func (e *Engine) NewVec() *Vec {
 	v.writer = trace.NoDep
 	return v
 }
+
+// AcquireVec returns a zeroed register from the engine's free-list,
+// falling back to a fresh allocation when the list is empty. Paired with
+// ReleaseVec it lets a kernel that runs once per batch on a long-lived
+// engine reach a steady state where no register is heap-allocated. The
+// returned register is indistinguishable from a NewVec one (cleared
+// lanes, no trace dependency).
+func (e *Engine) AcquireVec() *Vec {
+	if n := len(e.freeVecs); n > 0 {
+		v := e.freeVecs[n-1]
+		e.freeVecs[n-1] = nil
+		e.freeVecs = e.freeVecs[:n-1]
+		v.Clear()
+		return v
+	}
+	return e.NewVec()
+}
+
+// ReleaseVec returns registers to the free-list for reuse by a later
+// AcquireVec. Callers must not touch a register after releasing it.
+func (e *Engine) ReleaseVec(vs ...*Vec) {
+	e.freeVecs = append(e.freeVecs, vs...)
+}
+
+// FreeVecs reports the current free-list depth (observability for tests).
+func (e *Engine) FreeVecs() int { return len(e.freeVecs) }
 
 // emit records a µop and returns its trace index (or -1 when tracing is
 // disabled).
@@ -200,7 +237,10 @@ func (e *Engine) SetImm(dst *Vec, lanes []int16) {
 // destination lane i). Out-of-range indices select zero.
 func (e *Engine) PermuteW(dst, a *Vec, idx []int) {
 	n := e.W.Lanes16()
-	tmp := make([]int16, n)
+	tmp := e.permTmp[:n]
+	for i := range tmp {
+		tmp[i] = 0
+	}
 	for i := 0; i < n && i < len(idx); i++ {
 		if idx[i] >= 0 && idx[i] < n {
 			tmp[i] = a.Lane16(idx[i])
@@ -223,9 +263,16 @@ func (e *Engine) PermuteW(dst, a *Vec, idx []int) {
 func (e *Engine) RotateLanesLeft(dst, a *Vec, k int) {
 	n := e.W.Lanes16()
 	k = ((k % n) + n) % n
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = (i + k) % n
+	idx, ok := e.rotIdx[k]
+	if !ok {
+		idx = make([]int, n)
+		for i := range idx {
+			idx[i] = (i + k) % n
+		}
+		if e.rotIdx == nil {
+			e.rotIdx = make(map[int][]int)
+		}
+		e.rotIdx[k] = idx
 	}
 	e.PermuteW(dst, a, idx)
 	if e.rec != nil {

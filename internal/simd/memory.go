@@ -41,6 +41,12 @@ func (m *Memory) Alloc(n int, align int) int64 {
 // AllocReset rewinds the bump allocator, invalidating prior allocations.
 func (m *Memory) AllocReset() { m.next = 0 }
 
+// Remaining reports how many bytes are still available to Alloc (before
+// alignment padding). Long-lived consumers that cache allocations check
+// it to decide when a cache flush plus AllocReset is needed instead of
+// letting Alloc panic.
+func (m *Memory) Remaining() int64 { return int64(len(m.data)) - m.next }
+
 // Bytes returns the n bytes starting at addr.
 func (m *Memory) Bytes(addr int64, n int) []byte { return m.data[addr : addr+int64(n)] }
 

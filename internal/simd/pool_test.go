@@ -1,0 +1,80 @@
+package simd
+
+import "testing"
+
+// TestAcquireVecSemantics: a recycled register must be indistinguishable
+// from a fresh one — zero lanes, no dependency — even when released dirty.
+func TestAcquireVecSemantics(t *testing.T) {
+	e := NewEngine(W512, NewMemory(1<<12), nil)
+	v := e.AcquireVec()
+	e.Broadcast16(v, 77)
+	e.ReleaseVec(v)
+	if e.FreeVecs() != 1 {
+		t.Fatalf("free list holds %d, want 1", e.FreeVecs())
+	}
+	got := e.AcquireVec()
+	if got != v {
+		t.Error("AcquireVec did not reuse the released register")
+	}
+	for _, lane := range got.Lanes16(W512.Lanes16()) {
+		if lane != 0 {
+			t.Fatalf("recycled register not cleared: %v", got.Lanes16(W512.Lanes16()))
+		}
+	}
+	if e.FreeVecs() != 0 {
+		t.Errorf("free list holds %d after acquire, want 0", e.FreeVecs())
+	}
+	// Empty pool falls back to a fresh register.
+	fresh := e.AcquireVec()
+	if fresh == got {
+		t.Error("empty pool handed out an in-use register")
+	}
+}
+
+// TestEngineOpsNoAlloc: the emulated ops a steady-state decode leans on
+// must be allocation-free on an untraced engine — PermuteW's index
+// scratch and RotateLanesLeft's tables were the per-op offenders.
+func TestEngineOpsNoAlloc(t *testing.T) {
+	e := NewEngine(W512, NewMemory(1<<12), nil)
+	a, b, dst := e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	e.Broadcast16(a, 3)
+	e.Broadcast16(b, 9)
+	idx := make([]int, W512.Lanes16())
+	for i := range idx {
+		idx[i] = (i + 5) % len(idx)
+	}
+	e.RotateLanesLeft(dst, a, 1) // warm the rotation table cache
+	avg := testing.AllocsPerRun(100, func() {
+		e.PermuteW(dst, a, idx)
+		e.PAddSW(dst, dst, b)
+		e.PMaxSW(dst, dst, a)
+		e.RotateLanesLeft(dst, dst, 1)
+		e.SetImm(dst, nil)
+		v := e.AcquireVec()
+		e.ReleaseVec(v)
+	})
+	if avg != 0 {
+		t.Errorf("untraced engine ops allocate %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestMemoryRemaining tracks the bump allocator's headroom through
+// aligned allocations and a reset.
+func TestMemoryRemaining(t *testing.T) {
+	m := NewMemory(1 << 10)
+	if m.Remaining() != 1<<10 {
+		t.Fatalf("fresh arena has %d remaining, want %d", m.Remaining(), 1<<10)
+	}
+	m.Alloc(100, 64)
+	if got := m.Remaining(); got != 1<<10-100 {
+		t.Errorf("after Alloc(100): %d remaining, want %d", got, 1<<10-100)
+	}
+	m.Alloc(4, 64) // aligns next to 128 first
+	if got := m.Remaining(); got != 1<<10-132 {
+		t.Errorf("after aligned Alloc(4): %d remaining, want %d", got, 1<<10-132)
+	}
+	m.AllocReset()
+	if m.Remaining() != 1<<10 {
+		t.Errorf("after reset: %d remaining, want full arena", m.Remaining())
+	}
+}

@@ -8,28 +8,48 @@ import (
 	"vransim/internal/simd"
 )
 
+// decodePlan is the cached per-K decode state: the immutable plan
+// (code tables, constant registers, permutation indices — everything
+// initConstants derives from (K, width, strategy)) together with the
+// reusable scratch arena regions and output buffers. Building one is
+// the expensive cold path; afterwards every Decode for this K rewinds
+// and rewrites the same memory, allocating nothing.
+type decodePlan struct {
+	code *Code
+	st   *multiState
+	dec  *MultiSIMDDecoder
+}
+
 // BatchDecoder is the serving-side entry point for lane-parallel
 // decoding: it owns one untraced engine (and its memory arena) and a
-// per-K code cache, so a long-lived worker can decode an unbounded
-// stream of batches without re-allocating the emulator state. Each
-// Decode call rewinds the arena, making the decoder safe to reuse
-// indefinitely; it is NOT safe for concurrent use — give each worker
-// goroutine its own BatchDecoder.
+// per-K plan cache, so a long-lived worker can decode an unbounded
+// stream of batches with ~zero steady-state heap allocation. The first
+// Decode of a block size builds that size's plan (arena regions,
+// constant registers, index tables); subsequent Decodes of the same K
+// reuse it, rewriting the scratch in place. If the arena cannot fit a
+// new K's plan, all cached plans are evicted and the arena rewound.
+// It is NOT safe for concurrent use — give each worker goroutine its
+// own BatchDecoder.
 type BatchDecoder struct {
 	eng   *simd.Engine
 	ar    core.Arranger
-	codes map[int]*Code
+	plans map[int]*decodePlan
 
 	// MaxIters and EarlyExit configure every decode (defaults: 6, true).
 	MaxIters  int
 	EarlyExit bool
 
+	// Evictions counts how many times the arena filled up and the plan
+	// cache was flushed (a serving gauge; 0 in any sane configuration).
+	Evictions uint64
+
 	// OnDecode, when non-nil, is called synchronously after every
 	// successful Decode with the block size, batch fill, iteration count
 	// and the measured wall-clock decode time — the telemetry hook that
 	// lets a serving worker attribute decode cost without wrapping the
-	// call in its own clock. Like the decoder itself it is used from one
-	// goroutine only.
+	// call in its own clock. When nil, Decode skips the clock reads
+	// entirely. Like the decoder itself it is used from one goroutine
+	// only.
 	OnDecode func(k, blocks, iters int, elapsed time.Duration)
 }
 
@@ -40,7 +60,7 @@ func NewBatchDecoder(w simd.Width, s core.Strategy, memBytes int) *BatchDecoder 
 	return &BatchDecoder{
 		eng:       simd.NewEngine(w, simd.NewMemory(memBytes), nil),
 		ar:        core.ByStrategy(s),
-		codes:     make(map[int]*Code),
+		plans:     make(map[int]*decodePlan),
 		MaxIters:  6,
 		EarlyExit: true,
 	}
@@ -49,38 +69,94 @@ func NewBatchDecoder(w simd.Width, s core.Strategy, memBytes int) *BatchDecoder 
 // Lanes returns how many same-K blocks one Decode call carries.
 func (bd *BatchDecoder) Lanes() int { return BlocksPerRegister(bd.eng.W) }
 
-// Code returns the cached turbo code for block size k.
+// Plans returns how many per-K decode plans are currently cached.
+func (bd *BatchDecoder) Plans() int { return len(bd.plans) }
+
+// Code returns the cached turbo code for block size k (building the
+// code alone, without the decode state, if k has not been decoded yet).
 func (bd *BatchDecoder) Code(k int) (*Code, error) {
-	if c, ok := bd.codes[k]; ok {
-		return c, nil
+	p, err := bd.plan(k)
+	if err != nil {
+		return nil, err
+	}
+	return p.code, nil
+}
+
+// plan returns the cached plan for k, creating it (code only — the
+// decode state is built lazily on first Decode, when the batch width is
+// known to matter) on miss.
+func (bd *BatchDecoder) plan(k int) (*decodePlan, error) {
+	if p, ok := bd.plans[k]; ok {
+		return p, nil
 	}
 	c, err := NewCode(k)
 	if err != nil {
 		return nil, err
 	}
-	bd.codes[k] = c
-	return c, nil
+	p := &decodePlan{code: c}
+	bd.plans[k] = p
+	return p, nil
+}
+
+// buildState allocates plan p's decode state, evicting every cached
+// state and rewinding the arena if the remaining arena space cannot
+// hold it. Scratch contents are rewritten on every decode, so eviction
+// never affects results — it only costs the rebuild.
+func (bd *BatchDecoder) buildState(p *decodePlan) error {
+	nb := bd.Lanes()
+	need := multiStateBytes(p.code, bd.ar.Layout(bd.eng.W), bd.eng.W, nb)
+	if bd.eng.Mem.Remaining() < need {
+		for _, q := range bd.plans {
+			q.st = nil
+			q.dec = nil
+		}
+		bd.eng.Mem.AllocReset()
+		bd.Evictions++
+		if bd.eng.Mem.Remaining() < need {
+			return fmt.Errorf("turbo: arena too small for K=%d at %v (need %d bytes)", p.code.K, bd.eng.W, need)
+		}
+	}
+	p.st = newMultiState(bd.eng, bd.ar, p.code, nb)
+	p.dec = NewMultiSIMDDecoder(p.code)
+	return nil
 }
 
 // Decode lane-decodes 1..Lanes() same-K words and returns the per-block
 // hard decisions plus the iteration count. Results are bit-identical to
-// single-block decoding of each word.
+// single-block decoding of each word. The returned slices are owned by
+// the caller (they are fresh copies, safe to retain across Decodes).
 func (bd *BatchDecoder) Decode(k int, words []*LLRWord) ([][]byte, int, error) {
 	if len(words) == 0 {
 		return nil, 0, fmt.Errorf("turbo: empty batch")
 	}
-	c, err := bd.Code(k)
+	p, err := bd.plan(k)
 	if err != nil {
 		return nil, 0, err
 	}
-	bd.eng.Mem.AllocReset()
-	d := NewMultiSIMDDecoder(c)
-	d.MaxIters = bd.MaxIters
-	d.EarlyExit = bd.EarlyExit
-	start := time.Now()
-	bits, iters, err := d.Decode(bd.eng, bd.ar, words)
-	if err == nil && bd.OnDecode != nil {
+	if p.st == nil {
+		if err := bd.buildState(p); err != nil {
+			return nil, 0, err
+		}
+	}
+	p.dec.MaxIters = bd.MaxIters
+	p.dec.EarlyExit = bd.EarlyExit
+	var start time.Time
+	if bd.OnDecode != nil {
+		start = time.Now()
+	}
+	bits, iters, err := p.dec.run(p.st, words)
+	if err != nil {
+		return nil, 0, err
+	}
+	if bd.OnDecode != nil {
 		bd.OnDecode(k, len(words), iters, time.Since(start))
 	}
-	return bits, iters, err
+	// The state's bit buffers are rewritten by the next decode of this K;
+	// hand the caller stable copies (the only steady-state allocations of
+	// the entire call: len(words)+1 small objects).
+	out := make([][]byte, len(bits))
+	for i, b := range bits {
+		out[i] = append([]byte(nil), b...)
+	}
+	return out, iters, nil
 }

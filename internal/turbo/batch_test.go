@@ -33,8 +33,11 @@ func TestBatchDecoderReuse(t *testing.T) {
 			}
 		}
 	}
-	if len(bd.codes) != 2 {
-		t.Errorf("code cache has %d entries, want 2", len(bd.codes))
+	if bd.Plans() != 2 {
+		t.Errorf("plan cache has %d entries, want 2", bd.Plans())
+	}
+	if bd.Evictions != 0 {
+		t.Errorf("arena evicted %d times in a 32 MiB arena", bd.Evictions)
 	}
 }
 

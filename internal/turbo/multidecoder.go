@@ -25,6 +25,8 @@ type MultiSIMDDecoder struct {
 	RearrangePerHalfIter bool
 
 	// Marks accumulates per-phase trace attribution like SIMDDecoder.
+	// It stays empty on an untraced engine (there is no µop stream to
+	// attribute, and the serving path must not allocate per decode).
 	Marks []PhaseMark
 }
 
@@ -37,13 +39,23 @@ func NewMultiSIMDDecoder(c *Code) *MultiSIMDDecoder {
 // once.
 func BlocksPerRegister(w simd.Width) int { return w.Lanes16() / NumStates }
 
-// multiState carries the per-run working set.
+// multiState is the decoder's working set, split the way a production
+// decoder splits it: everything below is derived only from
+// (K, width, strategy) — arena regions, index tables, constant-register
+// patterns, output buffers — so one multiState built by newMultiState
+// can serve an unbounded stream of run() calls without a single
+// steady-state heap allocation. MultiSIMDDecoder.Decode builds a
+// transient one per call (the traced experiment path); BatchDecoder
+// caches one per K (the serving path).
 type multiState struct {
-	e   *simd.Engine
-	lay core.Layout
-	nb  int // blocks in flight
+	e    *simd.Engine
+	ar   core.Arranger
+	code *Code
+	lay  core.Layout
+	nb   int // blocks in flight
 
-	// Per-block arranged arrays and inputs.
+	// Per-block arranged arrays and inputs (arena addresses, fixed for
+	// the state's lifetime).
 	in    []ArrangedInput
 	sPerm []int64
 	la1   []int64
@@ -55,6 +67,11 @@ type multiState struct {
 	tailG []int64
 
 	alpha int64 // shared history: one full-width register per step
+
+	// constReady guards the one-time constant-register initialization:
+	// on a reused state the constant registers still hold their values,
+	// so initConstants runs once per state, not once per decode.
+	constReady bool
 
 	zero *simd.Vec
 	// Masks replicated across the nb blocks.
@@ -70,8 +87,16 @@ type multiState struct {
 	prevIdx0, prevIdx1 []int
 	nextIdx0, nextIdx1 []int
 	lane0Idx           []int
-	spreadIdx          []int // lane 8b+s <- lane b (gamma spread)
 	hmaxIdx            [3][]int
+	// negInfInit is the recursion-init lane pattern (state 0 reachable,
+	// the rest at negInf16), shared by the alpha and beta phases.
+	negInfInit []int16
+
+	// Reusable Go-side buffers: per-block hard decisions of the current
+	// and previous iteration, and the lane-padding scratch for
+	// under-filled batches.
+	bits, prev [][]byte
+	words      []*LLRWord
 }
 
 func (st *multiState) elemAddr(base int64, k int) int64 {
@@ -83,11 +108,78 @@ func (st *multiState) vecAddr(base int64, g, rot int) int64 {
 	return base + 2*int64(g*st.lay.StrideLanes+rot)
 }
 
+// multiStateBytes bounds the arena bytes newMultiState will consume for
+// code c at nb blocks (each Alloc is 64-aligned, hence the per-call
+// padding allowance). BatchDecoder checks it against Memory.Remaining
+// before building a cached state.
+func multiStateBytes(c *Code, lay core.Layout, w simd.Width, nb int) int64 {
+	k := c.K
+	arrBytes := int64(lay.DstBytes(k))
+	perBlock := int64(core.InterleavedBytes(k)) + 11*arrBytes + 12
+	allocs := int64(nb)*12 + 1
+	return int64(nb)*perBlock + int64(int(w))*int64(k+4) + allocs*64
+}
+
+// newMultiState allocates the full working set for decoding nb blocks of
+// code c on engine e with arrangement ar. The arena allocation order
+// matches the historical per-call order exactly, so traced runs see the
+// same addresses (and therefore the same cache behaviour) as before the
+// plan/scratch split.
+func newMultiState(e *simd.Engine, ar core.Arranger, c *Code, nb int) *multiState {
+	k := c.K
+	lay := ar.Layout(e.W)
+	st := &multiState{e: e, ar: ar, code: c, lay: lay, nb: nb}
+	arrBytes := lay.DstBytes(k)
+	st.in = make([]ArrangedInput, nb)
+	st.sPerm = make([]int64, nb)
+	st.la1 = make([]int64, nb)
+	st.la2 = make([]int64, nb)
+	st.ext = make([]int64, nb)
+	st.g0 = make([]int64, nb)
+	st.g1 = make([]int64, nb)
+	st.dPost = make([]int64, nb)
+	st.tailG = make([]int64, nb)
+	for b := 0; b < nb; b++ {
+		src := e.Mem.Alloc(core.InterleavedBytes(k), 64)
+		dst := core.Dest{
+			S:  e.Mem.Alloc(arrBytes, 64),
+			P1: e.Mem.Alloc(arrBytes, 64),
+			P2: e.Mem.Alloc(arrBytes, 64),
+		}
+		st.in[b] = ArrangedInput{
+			Lay: lay, S: dst.S, P1: dst.P1, P2: dst.P2,
+			Src: src, Arr: ar,
+		}
+		st.sPerm[b] = e.Mem.Alloc(arrBytes, 64)
+		st.la1[b] = e.Mem.Alloc(arrBytes, 64)
+		st.la2[b] = e.Mem.Alloc(arrBytes, 64)
+		st.ext[b] = e.Mem.Alloc(arrBytes, 64)
+		st.g0[b] = e.Mem.Alloc(arrBytes, 64)
+		st.g1[b] = e.Mem.Alloc(arrBytes, 64)
+		st.dPost[b] = e.Mem.Alloc(arrBytes, 64)
+		st.tailG[b] = e.Mem.Alloc(12, 64)
+	}
+	st.alpha = e.Mem.Alloc(int(e.W)*(k+4), 64)
+
+	st.bits = make([][]byte, nb)
+	st.prev = make([][]byte, nb)
+	for b := 0; b < nb; b++ {
+		st.bits[b] = make([]byte, k)
+		st.prev[b] = make([]byte, k)
+	}
+	st.words = make([]*LLRWord, 0, nb)
+	return st
+}
+
 // Decode decodes words (one per lane group, at most BlocksPerRegister)
 // with arrangement mechanism ar, returning the per-block hard decisions.
 // A partially filled batch pads the remaining lane groups with copies of
 // the first block (their results are discarded) — wasting lanes, exactly
 // as real lane-parallel decoders do on the tail of a transport block.
+//
+// Decode builds a fresh working set per call (every experiment gets a
+// clean arena region and trace); the serving path reuses a cached one
+// via BatchDecoder. The returned bit slices are owned by the caller.
 func (d *MultiSIMDDecoder) Decode(e *simd.Engine, ar core.Arranger, words []*LLRWord) ([][]byte, int, error) {
 	nb := BlocksPerRegister(e.W)
 	if nb < 1 {
@@ -96,48 +188,53 @@ func (d *MultiSIMDDecoder) Decode(e *simd.Engine, ar core.Arranger, words []*LLR
 	if len(words) < 1 || len(words) > nb {
 		return nil, 0, fmt.Errorf("turbo: got %d blocks, %v decodes 1..%d at once", len(words), e.W, nb)
 	}
-	requested := len(words)
-	for len(words) < nb {
-		words = append(words, words[0])
-	}
-	k := d.Code.K
-	qpp := d.Code.qpp
-	tr := d.Code.trellis
-	lay := ar.Layout(e.W)
+	st := newMultiState(e, ar, d.Code, nb)
+	return d.run(st, words)
+}
 
-	st := &multiState{e: e, lay: lay, nb: nb}
+// run executes one lane-parallel decode over a prepared state. It is
+// the steady-state entry point: beyond the first call on a state it
+// performs no heap allocation. The returned slices alias st.bits and
+// are valid until the next run on the same state; Decode hands them
+// straight to the caller (transient state), BatchDecoder copies them
+// out.
+func (d *MultiSIMDDecoder) run(st *multiState, words []*LLRWord) ([][]byte, int, error) {
+	nb := st.nb
+	if len(words) < 1 || len(words) > nb {
+		return nil, 0, fmt.Errorf("turbo: got %d blocks, state decodes 1..%d at once", len(words), nb)
+	}
+	if st.code.K != d.Code.K {
+		return nil, 0, fmt.Errorf("turbo: state built for K=%d, decoder configured for K=%d", st.code.K, d.Code.K)
+	}
+	requested := len(words)
+	st.words = append(st.words[:0], words...)
+	for len(st.words) < nb {
+		st.words = append(st.words, words[0])
+	}
+	words = st.words
+	e := st.e
+	k := st.code.K
+	qpp := st.code.qpp
+	tr := st.code.trellis
+	ar := st.ar
+	lay := st.lay
+
 	d.Marks = d.Marks[:0]
 
 	// Arrangement per block (the arrangement process is per-stream;
 	// lane parallelism accelerates the recursions, not the packing).
-	arrBytes := lay.DstBytes(k)
 	for b := 0; b < nb; b++ {
-		src := e.Mem.Alloc(core.InterleavedBytes(k), 64)
-		core.WriteInterleaved(e.Mem, src, words[b].Sys, words[b].P1, words[b].P2)
-		dst := core.Dest{
-			S:  e.Mem.Alloc(arrBytes, 64),
-			P1: e.Mem.Alloc(arrBytes, 64),
-			P2: e.Mem.Alloc(arrBytes, 64),
-		}
+		core.WriteInterleaved(e.Mem, st.in[b].Src, words[b].Sys, words[b].P1, words[b].P2)
+		st.in[b].TailSys = words[b].TailSys
+		st.in[b].TailP1 = words[b].TailP1
 		m := d.mark(e, "arrangement")
-		ar.Arrange(e, src, dst, k)
-		d.Marks[m].Hi = e.TraceLen()
-		st.in = append(st.in, ArrangedInput{
-			Lay: lay, S: dst.S, P1: dst.P1, P2: dst.P2,
-			TailSys: words[b].TailSys, TailP1: words[b].TailP1,
-			Src: src, Arr: ar,
-		})
-		st.sPerm = append(st.sPerm, e.Mem.Alloc(arrBytes, 64))
-		st.la1 = append(st.la1, e.Mem.Alloc(arrBytes, 64))
-		st.la2 = append(st.la2, e.Mem.Alloc(arrBytes, 64))
-		st.ext = append(st.ext, e.Mem.Alloc(arrBytes, 64))
-		st.g0 = append(st.g0, e.Mem.Alloc(arrBytes, 64))
-		st.g1 = append(st.g1, e.Mem.Alloc(arrBytes, 64))
-		st.dPost = append(st.dPost, e.Mem.Alloc(arrBytes, 64))
-		st.tailG = append(st.tailG, e.Mem.Alloc(12, 64))
+		ar.Arrange(e, st.in[b].Src, core.Dest{S: st.in[b].S, P1: st.in[b].P1, P2: st.in[b].P2}, k)
+		d.setHi(m, e)
 	}
-	st.alpha = e.Mem.Alloc(int(e.W)*(k+4), 64)
-	d.initConstants(st, tr)
+	if !st.constReady {
+		d.initConstants(st, tr)
+		st.constReady = true
+	}
 
 	// One-time interleaved systematic gather, per block.
 	m := d.mark(e, "interleave")
@@ -150,7 +247,7 @@ func (d *MultiSIMDDecoder) Decode(e *simd.Engine, ar core.Arranger, words []*LLR
 			e.EmitScalarStore("mov", dstA, 2)
 		}
 	}
-	d.Marks[m].Hi = e.TraceLen()
+	d.setHi(m, e)
 
 	m = d.mark(e, "init")
 	groups := (k + lay.GroupLanes - 1) / lay.GroupLanes
@@ -159,14 +256,9 @@ func (d *MultiSIMDDecoder) Decode(e *simd.Engine, ar core.Arranger, words []*LLR
 			e.StoreVec(st.vecAddr(st.la1[b], g, 0), st.zero)
 		}
 	}
-	d.Marks[m].Hi = e.TraceLen()
+	d.setHi(m, e)
 
-	bits := make([][]byte, nb)
-	prev := make([][]byte, nb)
-	for b := range bits {
-		bits[b] = make([]byte, k)
-		prev[b] = make([]byte, k)
-	}
+	bits, prev := st.bits, st.prev
 
 	firstArrange := true
 	rearrange := func() {
@@ -181,7 +273,7 @@ func (d *MultiSIMDDecoder) Decode(e *simd.Engine, ar core.Arranger, words []*LLR
 		for b := 0; b < nb; b++ {
 			ar.Arrange(e, st.in[b].Src, core.Dest{S: st.in[b].S, P1: st.in[b].P1, P2: st.in[b].P2}, k)
 		}
-		d.Marks[mm].Hi = e.TraceLen()
+		d.setHi(mm, e)
 	}
 
 	iters := 0
@@ -208,7 +300,7 @@ func (d *MultiSIMDDecoder) Decode(e *simd.Engine, ar core.Arranger, words []*LLR
 				e.EmitScalarStore("mov", dstA, 2)
 			}
 		}
-		d.Marks[m].Hi = e.TraceLen()
+		d.setHi(m, e)
 
 		// Half 2: interleaved order, unterminated.
 		rearrange()
@@ -237,7 +329,7 @@ func (d *MultiSIMDDecoder) Decode(e *simd.Engine, ar core.Arranger, words []*LLR
 				}
 			}
 		}
-		d.Marks[m].Hi = e.TraceLen()
+		d.setHi(m, e)
 
 		if d.EarlyExit && it > 0 {
 			stable := true
@@ -258,13 +350,27 @@ func (d *MultiSIMDDecoder) Decode(e *simd.Engine, ar core.Arranger, words []*LLR
 	return bits[:requested], iters, nil
 }
 
+// mark opens a phase mark, or reports -1 on an untraced engine (no µop
+// stream to attribute — and the serving path must not grow Marks per
+// call).
 func (d *MultiSIMDDecoder) mark(e *simd.Engine, name string) int {
+	if e.Recorder() == nil {
+		return -1
+	}
 	d.Marks = append(d.Marks, PhaseMark{Name: name, Lo: e.TraceLen()})
 	return len(d.Marks) - 1
 }
 
+// setHi closes a mark opened by mark (no-op for the untraced -1).
+func (d *MultiSIMDDecoder) setHi(m int, e *simd.Engine) {
+	if m >= 0 {
+		d.Marks[m].Hi = e.TraceLen()
+	}
+}
+
 // initConstants mirrors SIMDDecoder's constants, replicated across the
-// nb lane groups.
+// nb lane groups. It runs once per multiState: the constant registers
+// and index tables are immutable for the state's lifetime.
 func (d *MultiSIMDDecoder) initConstants(st *multiState, tr *Trellis) {
 	e := st.e
 	nb := st.nb
@@ -321,6 +427,12 @@ func (d *MultiSIMDDecoder) initConstants(st *multiState, tr *Trellis) {
 	st.hmaxIdx[0] = rep(func(s int) int { return (s + 4) % 8 })
 	st.hmaxIdx[1] = rep(func(s int) int { return s ^ 2 })
 	st.hmaxIdx[2] = rep(func(s int) int { return s ^ 1 })
+	st.negInfInit = make([]int16, lanes)
+	for b := 0; b < nb; b++ {
+		for s := 1; s < NumStates; s++ {
+			st.negInfInit[b*NumStates+s] = negInf16
+		}
+	}
 }
 
 // gamma runs the vectorized per-block gamma phase (identical to the
@@ -331,7 +443,7 @@ func (d *MultiSIMDDecoder) gamma(st *multiState, b int, sysBase, parBase int64, 
 	m := d.mark(e, "gamma")
 	L := st.lay.GroupLanes
 	groups := k / L
-	s, p, la, t, g0, g1 := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	s, p, la, t, g0, g1 := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
 	for g := 0; g < groups; g++ {
 		e.LoadVec(s, st.vecAddr(sysBase, g, st.lay.Rot[core.ClusterS]))
 		e.LoadVec(p, st.vecAddr(parBase, g, st.lay.Rot[parC]))
@@ -354,7 +466,8 @@ func (d *MultiSIMDDecoder) gamma(st *multiState, b int, sysBase, parBase int64, 
 		e.EmitScalarStore("mov", st.elemAddr(st.g0[b], i), 2)
 		e.EmitScalarStore("mov", st.elemAddr(st.g1[b], i), 2)
 	}
-	d.Marks[m].Hi = e.TraceLen()
+	e.ReleaseVec(s, p, la, t, g0, g1)
+	d.setHi(m, e)
 }
 
 func (d *MultiSIMDDecoder) tails(st *multiState, b int) {
@@ -368,7 +481,7 @@ func (d *MultiSIMDDecoder) tails(st *multiState, b int) {
 		e.EmitScalar("add", 2)
 		e.EmitScalarStore("mov", st.tailG[b]+int64(4*i), 4)
 	}
-	d.Marks[m].Hi = e.TraceLen()
+	d.setHi(m, e)
 }
 
 func (st *multiState) gammaAddrs(b, k, blockK int) (int64, int64) {
@@ -386,7 +499,7 @@ func (st *multiState) gammaAddrs(b, k, blockK int) (int64, int64) {
 // partial-register merge chain.
 func (d *MultiSIMDDecoder) packGammas(st *multiState, k, blockK int, bg0, bg1 *simd.Vec) {
 	e := st.e
-	for gi, dst := range []*simd.Vec{bg0, bg1} {
+	for gi, dst := range [2]*simd.Vec{bg0, bg1} {
 		for b := 0; b < st.nb; b++ {
 			a0, a1 := st.gammaAddrs(b, k, blockK)
 			addr := a0
@@ -430,22 +543,15 @@ func (d *MultiSIMDDecoder) alpha(st *multiState, blockK int, terminated bool) {
 	if terminated {
 		steps += 3
 	}
-	lanes := e.W.Lanes16()
 
-	alpha := e.NewVec()
-	init := make([]int16, lanes)
-	for b := 0; b < st.nb; b++ {
-		for s := 1; s < NumStates; s++ {
-			init[b*NumStates+s] = negInf16
-		}
-	}
-	e.SetImm(alpha, init)
+	alpha := e.AcquireVec()
+	e.SetImm(alpha, st.negInfInit)
 	e.StoreVec(st.alpha, alpha)
 
-	bg0, bg1 := e.NewVec(), e.NewVec()
-	ng0, ng1 := e.NewVec(), e.NewVec()
-	t1, t2, bm0, bm1 := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
-	a0, a1, c0, c1, norm := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	bg0, bg1 := e.AcquireVec(), e.AcquireVec()
+	ng0, ng1 := e.AcquireVec(), e.AcquireVec()
+	t1, t2, bm0, bm1 := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	a0, a1, c0, c1, norm := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
 
 	for k := 0; k < steps; k++ {
 		d.packGammas(st, k, blockK, bg0, bg1)
@@ -462,7 +568,8 @@ func (d *MultiSIMDDecoder) alpha(st *multiState, blockK int, terminated bool) {
 		e.PSubSW(alpha, alpha, norm)
 		e.StoreVec(st.alpha+int64(int(e.W))*int64(k+1), alpha)
 	}
-	d.Marks[m].Hi = e.TraceLen()
+	e.ReleaseVec(alpha, bg0, bg1, ng0, ng1, t1, t2, bm0, bm1, a0, a1, c0, c1, norm)
+	d.setHi(m, e)
 }
 
 // betaExt runs the fused backward recursion + posterior extraction for
@@ -471,26 +578,19 @@ func (d *MultiSIMDDecoder) betaExt(st *multiState, blockK int, terminated bool) 
 	e := st.e
 	m := d.mark(e, "beta+ext")
 	steps := blockK
-	lanes := e.W.Lanes16()
-	beta := e.NewVec()
+	beta := e.AcquireVec()
 	if terminated {
 		steps += 3
-		init := make([]int16, lanes)
-		for b := 0; b < st.nb; b++ {
-			for s := 1; s < NumStates; s++ {
-				init[b*NumStates+s] = negInf16
-			}
-		}
-		e.SetImm(beta, init)
+		e.SetImm(beta, st.negInfInit)
 	} else {
 		e.PXor(beta, beta, beta)
 	}
 
-	bg0, bg1 := e.NewVec(), e.NewVec()
-	ng0, ng1 := e.NewVec(), e.NewVec()
-	t1, t2, bm0, bm1 := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
-	b0, b1, v0, v1 := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
-	alpha, e0, e1, m0, m1, dv, norm := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	bg0, bg1 := e.AcquireVec(), e.AcquireVec()
+	ng0, ng1 := e.AcquireVec(), e.AcquireVec()
+	t1, t2, bm0, bm1 := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	b0, b1, v0, v1 := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	alpha, e0, e1, m0, m1, dv, norm := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
 
 	for k := steps - 1; k >= 0; k-- {
 		d.packGammas(st, k, blockK, bg0, bg1)
@@ -519,7 +619,9 @@ func (d *MultiSIMDDecoder) betaExt(st *multiState, blockK int, terminated bool) 
 		e.PermuteW(norm, beta, st.lane0Idx)
 		e.PSubSW(beta, beta, norm)
 	}
-	d.Marks[m].Hi = e.TraceLen()
+	e.ReleaseVec(beta, bg0, bg1, ng0, ng1, t1, t2, bm0, bm1, b0, b1, v0, v1,
+		alpha, e0, e1, m0, m1, dv, norm)
+	d.setHi(m, e)
 }
 
 // hmaxBlocks reduces the maximum within each 8-lane block group.
@@ -539,7 +641,7 @@ func (d *MultiSIMDDecoder) extFin(st *multiState, b int, sysBase, laBase int64, 
 	m := d.mark(e, "ext")
 	L := st.lay.GroupLanes
 	groups := k / L
-	dvec, s, la, t, half, lim, nlim := e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec(), e.NewVec()
+	dvec, s, la, t, half, lim, nlim := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
 	e.Broadcast16(lim, extClamp)
 	e.Broadcast16(nlim, -extClamp)
 	for g := 0; g < groups; g++ {
@@ -562,5 +664,6 @@ func (d *MultiSIMDDecoder) extFin(st *multiState, b int, sysBase, laBase int64, 
 		e.EmitScalarLoad("mov", st.elemAddr(st.dPost[b], i), 2)
 		e.EmitScalarStore("mov", st.elemAddr(st.ext[b], i), 2)
 	}
-	d.Marks[m].Hi = e.TraceLen()
+	e.ReleaseVec(dvec, s, la, t, half, lim, nlim)
+	d.setHi(m, e)
 }

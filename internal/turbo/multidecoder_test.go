@@ -17,7 +17,7 @@ func TestBlocksPerRegister(t *testing.T) {
 
 // buildWords encodes nb random blocks and returns their noisy LLR words
 // plus the true payloads.
-func buildWords(t *testing.T, c *Code, nb int, seed int64, noiseless bool) ([]*LLRWord, [][]byte) {
+func buildWords(t testing.TB, c *Code, nb int, seed int64, noiseless bool) ([]*LLRWord, [][]byte) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	words := make([]*LLRWord, nb)

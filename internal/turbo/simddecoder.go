@@ -499,15 +499,23 @@ func (d *SIMDDecoder) betaExtPhase(st *decodeState, tr *Trellis, blockK int, ter
 	d.closeMark(e, markBeta)
 }
 
+// hmax's three shuffle rounds, hoisted so the hot loop does not
+// re-materialize the literal index slices on every call.
+var (
+	hmaxRound0 = []int{4, 5, 6, 7, 0, 1, 2, 3}
+	hmaxRound1 = []int{2, 3, 0, 1, 6, 7, 4, 5}
+	hmaxRound2 = []int{1, 0, 3, 2, 5, 4, 7, 6}
+)
+
 // hmax reduces the maximum of lanes 0-7 of v into every one of its low 8
 // lanes (3 shuffle+max rounds), leaving the result in dst. tmp is
 // scratch.
 func hmax(e *simd.Engine, v, dst, tmp *simd.Vec) {
-	e.PermuteW(tmp, v, []int{4, 5, 6, 7, 0, 1, 2, 3})
+	e.PermuteW(tmp, v, hmaxRound0)
 	e.PMaxSW(dst, v, tmp)
-	e.PermuteW(tmp, dst, []int{2, 3, 0, 1, 6, 7, 4, 5})
+	e.PermuteW(tmp, dst, hmaxRound1)
 	e.PMaxSW(dst, dst, tmp)
-	e.PermuteW(tmp, dst, []int{1, 0, 3, 2, 5, 4, 7, 6})
+	e.PermuteW(tmp, dst, hmaxRound2)
 	e.PMaxSW(dst, dst, tmp)
 }
 

@@ -1,0 +1,234 @@
+package turbo
+
+import (
+	"sync"
+	"testing"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+)
+
+// TestBatchDecoderSteadyStateBitExact drives one pooled decoder through
+// an interleaved mixed-K, mixed-fill sequence and checks every batch
+// against a fresh decoder built for that batch alone: plan reuse,
+// scratch rewind and arena sharing must be invisible in the output.
+func TestBatchDecoderSteadyStateBitExact(t *testing.T) {
+	for _, w := range []simd.Width{simd.W128, simd.W256, simd.W512} {
+		pooled := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+		pooled.MaxIters = 4
+		seq := []struct {
+			k    int
+			fill int
+		}{
+			{40, pooled.Lanes()}, {104, 1}, {40, 1}, {208, pooled.Lanes()},
+			{104, pooled.Lanes()}, {40, pooled.Lanes()}, {208, 1},
+		}
+		for round, s := range seq {
+			c, err := pooled.Code(s.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			words, truth := buildWords(t, c, s.fill, int64(100+round), true)
+			got, _, err := pooled.Decode(s.k, words)
+			if err != nil {
+				t.Fatalf("%v round %d: %v", w, round, err)
+			}
+
+			fresh := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+			fresh.MaxIters = 4
+			want, _, err := fresh.Decode(s.k, words)
+			if err != nil {
+				t.Fatalf("%v round %d fresh: %v", w, round, err)
+			}
+			for b := range words {
+				if !equalBits(got[b], want[b]) {
+					t.Errorf("%v round %d (K=%d fill=%d) block %d: pooled decode differs from fresh",
+						w, round, s.k, s.fill, b)
+				}
+				if !equalBits(got[b], truth[b]) {
+					t.Errorf("%v round %d (K=%d fill=%d) block %d: wrong bits",
+						w, round, s.k, s.fill, b)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDecoderSteadyStateAllocs is the tentpole's acceptance gate:
+// after warm-up, a full-batch decode on a pooled decoder allocates only
+// the caller-owned output copies (1 + Lanes() small objects), for every
+// width. The pre-refactor decoder allocated hundreds of objects per
+// batch here.
+func TestBatchDecoderSteadyStateAllocs(t *testing.T) {
+	const k = 104
+	for _, w := range []simd.Width{simd.W128, simd.W256, simd.W512} {
+		bd := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+		bd.MaxIters = 4
+		c, err := bd.Code(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words, _ := buildWords(t, c, bd.Lanes(), 7, true)
+		if _, _, err := bd.Decode(k, words); err != nil { // warm-up: build the plan
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(10, func() {
+			if _, _, err := bd.Decode(k, words); err != nil {
+				t.Fatal(err)
+			}
+		})
+		budget := float64(1 + bd.Lanes())
+		if avg > budget {
+			t.Errorf("%v: steady-state Decode allocates %.1f objects/op, budget %.0f", w, avg, budget)
+		}
+		if avg > 8 {
+			t.Errorf("%v: steady-state Decode allocates %.1f objects/op, ISSUE budget 8", w, avg)
+		}
+	}
+}
+
+// TestBatchDecoderPlanEviction forces the arena-full path with a tiny
+// arena: cycling through more block sizes than it holds must evict and
+// rebuild — and stay bit-correct throughout.
+func TestBatchDecoderPlanEviction(t *testing.T) {
+	bd := NewBatchDecoder(simd.W512, core.StrategyAPCM, 2<<20)
+	bd.MaxIters = 4
+	ks := []int{6144, 5056, 6144, 4096, 5056, 6144}
+	for round, k := range ks {
+		c, err := bd.Code(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words, truth := buildWords(t, c, bd.Lanes(), int64(300+round), true)
+		bits, _, err := bd.Decode(k, words)
+		if err != nil {
+			t.Fatalf("round %d (K=%d): %v", round, k, err)
+		}
+		for b := range words {
+			if !equalBits(bits[b], truth[b]) {
+				t.Errorf("round %d (K=%d) block %d: wrong bits after eviction", round, k, b)
+			}
+		}
+	}
+	if bd.Evictions == 0 {
+		t.Error("2 MiB arena fit three K=4096..6144 W512 plans without evicting — Remaining() check is dead")
+	}
+}
+
+// TestBatchDecoderConcurrentWorkers runs two workers with separate
+// pooled decoders under -race: per-worker decoders must share no
+// scratch (the package-level tables they do share are read-only).
+func TestBatchDecoderConcurrentWorkers(t *testing.T) {
+	const k = 104
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < 2; wkr++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			bd := NewBatchDecoder(simd.W512, core.StrategyAPCM, 32<<20)
+			bd.MaxIters = 4
+			c, err := bd.Code(k)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for round := 0; round < 8; round++ {
+				words, truth := buildWords(t, c, bd.Lanes(), seed+int64(round), true)
+				bits, _, err := bd.Decode(k, words)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for b := range words {
+					if !equalBits(bits[b], truth[b]) {
+						t.Errorf("worker seed %d round %d block %d: wrong bits", seed, round, b)
+					}
+				}
+			}
+		}(int64(1000 * (wkr + 1)))
+	}
+	wg.Wait()
+}
+
+// TestBatchDecoderOutputStable: returned bit slices must be caller-owned
+// — a later Decode on the same decoder must not mutate them.
+func TestBatchDecoderOutputStable(t *testing.T) {
+	const k = 40
+	bd := NewBatchDecoder(simd.W256, core.StrategyAPCM, 32<<20)
+	bd.MaxIters = 4
+	c, err := bd.Code(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, truth1 := buildWords(t, c, bd.Lanes(), 41, true)
+	first, _, err := bd.Decode(k, w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := buildWords(t, c, bd.Lanes(), 42, true)
+	if _, _, err := bd.Decode(k, w2); err != nil {
+		t.Fatal(err)
+	}
+	for b := range w1 {
+		if !equalBits(first[b], truth1[b]) {
+			t.Errorf("block %d: first batch's result mutated by second decode", b)
+		}
+	}
+}
+
+// BenchmarkBatchDecodeSteadyState is the tentpole's headline benchmark:
+// full-batch pooled decode, per width, at a fixed mid-size K. Run with
+// -benchmem; CI gates allocs/op on it.
+func BenchmarkBatchDecodeSteadyState(b *testing.B) {
+	const k = 512
+	for _, w := range []simd.Width{simd.W128, simd.W256, simd.W512} {
+		b.Run(w.String(), func(b *testing.B) {
+			bd := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+			c, err := bd.Code(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			words, _ := buildWords(b, c, bd.Lanes(), 7, true)
+			if _, _, err := bd.Decode(k, words); err != nil { // warm-up
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(k * bd.Lanes()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bd.Decode(k, words); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchDecodeFresh replicates the pre-refactor per-batch path
+// (arena rewound, decoder and working set rebuilt every call) so the
+// plan-cache win is measurable from one binary.
+func BenchmarkBatchDecodeFresh(b *testing.B) {
+	const k = 512
+	for _, w := range []simd.Width{simd.W128, simd.W256, simd.W512} {
+		b.Run(w.String(), func(b *testing.B) {
+			eng := simd.NewEngine(w, simd.NewMemory(32<<20), nil)
+			ar := core.ByStrategy(core.StrategyAPCM)
+			c, err := NewCode(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nb := BlocksPerRegister(w)
+			words, _ := buildWords(b, c, nb, 7, true)
+			b.SetBytes(int64(k * nb))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Mem.AllocReset()
+				d := NewMultiSIMDDecoder(c)
+				if _, _, err := d.Decode(eng, ar, words); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

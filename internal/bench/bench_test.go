@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -156,18 +157,32 @@ func TestDecodeBenchQuick(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("report does not round-trip: %v", err)
 	}
-	if len(rep.Rows) != 2*3*2 { // modes x widths x quick Ks
-		t.Fatalf("report has %d rows, want 12", len(rep.Rows))
+	if len(rep.Rows) != 3*3*2 { // modes x widths x quick Ks
+		t.Fatalf("report has %d rows, want 18", len(rep.Rows))
 	}
+	perOp := map[string]float64{} // mode/width/K -> ns/op
 	for _, r := range rep.Rows {
 		if r.NsPerOp <= 0 || r.Iterations <= 0 || r.GoodputMbps <= 0 {
 			t.Errorf("%s/%s/K=%d: degenerate row %+v", r.Mode, r.Width, r.K, r)
 		}
-		if r.Mode == "steady" && r.AllocsOp > 8 {
-			t.Errorf("%s/K=%d steady: %d allocs/op over budget 8", r.Width, r.K, r.AllocsOp)
+		if (r.Mode == "steady" || r.Mode == "compiled") && r.AllocsOp > 8 {
+			t.Errorf("%s/K=%d %s: %d allocs/op over budget 8", r.Width, r.K, r.Mode, r.AllocsOp)
 		}
 		if r.Mode == "fresh" && r.AllocsOp <= 8 {
 			t.Errorf("%s/K=%d fresh: %d allocs/op — baseline mode is not rebuilding per op", r.Width, r.K, r.AllocsOp)
+		}
+		perOp[fmt.Sprintf("%s/%s/%d", r.Mode, r.Width, r.K)] = r.NsPerOp
+	}
+	// The compiled replay must beat the interpreter on every cell large
+	// enough for the measurement to be stable (the quick pass includes
+	// K=512 at every width).
+	for _, w := range []string{"SSE128", "AVX256", "AVX512"} {
+		c, s := perOp["compiled/"+w+"/512"], perOp["steady/"+w+"/512"]
+		if c == 0 || s == 0 {
+			t.Fatalf("missing compiled/steady K=512 rows for %s (rows: %v)", w, perOp)
+		}
+		if c >= s {
+			t.Errorf("%s K=512: compiled %.0f ns/op not faster than interpreted %.0f", w, c, s)
 		}
 	}
 }

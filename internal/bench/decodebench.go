@@ -1,8 +1,11 @@
 // Machine-readable steady-state decode benchmark: the harness behind
 // cmd/vranbench -decodejson and the committed BENCH_decode.json. It
-// drives testing.Benchmark over the pooled (plan-cache) and fresh
+// drives testing.Benchmark over the compiled (plan cache + trace-replay
+// program), steady (plan cache, interpreter pinned) and fresh
 // (pre-refactor replica) decode paths for every width × a spread of K,
-// reporting ns/op, B/op, allocs/op and emulated goodput per row.
+// reporting ns/op, B/op, allocs/op and emulated goodput per row. The
+// compiled/steady row pairs are the tentpole's speedup evidence; CI
+// gates their ratio at W512 K=6144.
 package bench
 
 import (
@@ -37,7 +40,10 @@ func flagSet(name, value string) error {
 
 // DecodeBenchRow is one (mode, width, K) measurement.
 type DecodeBenchRow struct {
-	Mode     string  `json:"mode"` // "steady" (pooled) or "fresh" (rebuilt per op)
+	// Mode is "compiled" (pooled, replaying the compiled program),
+	// "steady" (pooled, interpreter pinned via Compile=false) or
+	// "fresh" (decoder and working set rebuilt every op).
+	Mode     string  `json:"mode"`
 	Width    string  `json:"width"`
 	K        int     `json:"k"`
 	Lanes    int     `json:"lanes"` // blocks per decode
@@ -105,7 +111,7 @@ func RunDecodeBench(quick bool) (*DecodeBenchReport, error) {
 	}
 	for _, w := range []simd.Width{simd.W128, simd.W256, simd.W512} {
 		for _, k := range ks {
-			for _, mode := range []string{"steady", "fresh"} {
+			for _, mode := range []string{"compiled", "steady", "fresh"} {
 				row, err := runDecodeCell(mode, w, k)
 				if err != nil {
 					return nil, err
@@ -131,11 +137,21 @@ func runDecodeCell(mode string, w simd.Width, k int) (DecodeBenchRow, error) {
 	var inner error
 	var res testing.BenchmarkResult
 	switch mode {
-	case "steady":
+	case "compiled", "steady":
 		bd := turbo.NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
 		bd.MaxIters = decodeBenchIters
-		if _, _, err := bd.Decode(k, words); err != nil { // warm-up
-			return DecodeBenchRow{}, err
+		// "steady" pins the interpreter so the compiled/steady row pair
+		// isolates exactly the replay win over the same plan cache.
+		bd.Compile = mode == "compiled"
+		// Two warm-ups: plan build, then (compiled mode) the recording
+		// decode; the measured loop starts on the hot path.
+		for i := 0; i < 2; i++ {
+			if _, _, err := bd.Decode(k, words); err != nil {
+				return DecodeBenchRow{}, err
+			}
+		}
+		if mode == "compiled" && bd.ProgramStats().CompiledPlans == 0 {
+			return DecodeBenchRow{}, fmt.Errorf("bench: warm-up did not compile a program for K=%d at %v", k, w)
 		}
 		res = testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()

@@ -257,9 +257,7 @@ func scalarTail(e *simd.Engine, src int64, dst Dest, lay Layout, from, n int) {
 		for c := ClusterS; c <= ClusterP2; c++ {
 			sa := src + int64(6*j+2*int(c))
 			da := lay.ElementAddr(dst.Base(c), c, j)
-			e.Mem.WriteI16(da, e.Mem.ReadI16(sa))
-			e.EmitScalarLoad("movzx", sa, 2)
-			e.EmitScalarStore("mov", da, 2)
+			e.CopyI16(da, sa)
 		}
 	}
 }

@@ -64,6 +64,14 @@ type Metrics struct {
 	allocSampleOps  atomic.Uint64
 	allocSampleObjs atomic.Uint64
 
+	// Program-cache counters, aggregated across workers by per-batch
+	// deltas (each worker's BatchDecoder keeps its own ProgramStats).
+	progHits      atomic.Uint64
+	progMisses    atomic.Uint64
+	progCompiles  atomic.Uint64
+	progCompileNs atomic.Int64
+	compiledPlans atomic.Int64 // signed: eviction shrinks it
+
 	// latency is the delivered-block end-to-end latency histogram
 	// (telemetry.Hist: lock-free log-bucketed, ≤12.5 % relative error on
 	// reconstructed percentiles).
@@ -88,6 +96,16 @@ func (m *Metrics) deliver(cell, bits int, latency time.Duration) {
 func (m *Metrics) allocSample(objs uint64) {
 	m.allocSampleOps.Add(1)
 	m.allocSampleObjs.Add(objs)
+}
+
+// programDelta folds one worker's program-cache counter movement since
+// its last report into the runtime-wide totals.
+func (m *Metrics) programDelta(hits, misses, compiles uint64, compileNs int64, plans int) {
+	m.progHits.Add(hits)
+	m.progMisses.Add(misses)
+	m.progCompiles.Add(compiles)
+	m.progCompileNs.Add(compileNs)
+	m.compiledPlans.Add(int64(plans))
 }
 
 func (m *Metrics) batchDone(used, lanes int, busy time.Duration) {
@@ -143,6 +161,19 @@ type Snapshot struct {
 	WorkerUtilization float64
 	// GoodputMbps is delivered information bits over elapsed time.
 	GoodputMbps float64
+
+	// Program-cache view (the trace-replay compiler in
+	// internal/simd/program): decodes served by compiled replay vs the
+	// interpreter, program compilations and their cumulative cost, and
+	// how many cached plans currently hold a program across workers.
+	ProgramHits     uint64
+	ProgramMisses   uint64
+	ProgramCompiles uint64
+	CompileSeconds  float64
+	CompiledPlans   int
+	// CompiledRatio is ProgramHits over all compile-eligible decodes
+	// (hits+misses); 0 until the first decode.
+	CompiledRatio float64
 
 	LatencyP50 time.Duration
 	LatencyP90 time.Duration
@@ -216,6 +247,14 @@ func (m *Metrics) snapshot(queueDepths []int, workers int) *Snapshot {
 	}
 	if workers > 0 && s.Elapsed > 0 {
 		s.WorkerUtilization = float64(m.decodeBusyNs.Load()) / (float64(workers) * float64(s.Elapsed.Nanoseconds()))
+	}
+	s.ProgramHits = m.progHits.Load()
+	s.ProgramMisses = m.progMisses.Load()
+	s.ProgramCompiles = m.progCompiles.Load()
+	s.CompileSeconds = float64(m.progCompileNs.Load()) / 1e9
+	s.CompiledPlans = int(m.compiledPlans.Load())
+	if tot := s.ProgramHits + s.ProgramMisses; tot > 0 {
+		s.CompiledRatio = float64(s.ProgramHits) / float64(tot)
 	}
 	s.LatencyP50 = m.latency.Percentile(0.50)
 	s.LatencyP90 = m.latency.Percentile(0.90)

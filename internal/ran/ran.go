@@ -322,6 +322,27 @@ func (r *Runtime) worker() {
 	bd.OnDecode = func(k, blocks, iters int, d time.Duration) {
 		decodeDur, decodeIters = d, iters
 	}
+	// Each successful program compilation becomes a compile-stage span:
+	// it is the one-time cost a block size pays before its decodes go
+	// through compiled replay, and it shows up in /spans like any other
+	// stage outlier.
+	if r.cfg.Tracer != nil {
+		bd.OnCompile = func(k int, elapsed time.Duration) {
+			sp := telemetry.Span{K: k, Start: time.Now().Add(-elapsed), Outcome: "compiled"}
+			sp.Stages[telemetry.SpanCompile] = elapsed
+			r.cfg.Tracer.Record(sp)
+		}
+	}
+	// Program-cache counters are per-decoder; fold them into the
+	// runtime metrics as per-batch deltas.
+	var lastPS turbo.ProgramStats
+	reportProgram := func() {
+		ps := bd.ProgramStats()
+		r.met.programDelta(
+			ps.Hits-lastPS.Hits, ps.Misses-lastPS.Misses, ps.Compiles-lastPS.Compiles,
+			int64(ps.CompileTime-lastPS.CompileTime), ps.CompiledPlans-lastPS.CompiledPlans)
+		lastPS = ps
+	}
 	lanes := bd.Lanes()
 	words := make([]*turbo.LLRWord, 0, lanes)
 	var sampler allocSampler
@@ -361,6 +382,7 @@ func (r *Runtime) worker() {
 		if busy <= 0 {
 			busy = time.Since(t0)
 		}
+		reportProgram()
 		r.met.batchDone(len(live), lanes, busy)
 		r.updateEstimate(busy, len(live))
 		if err != nil {

@@ -70,6 +70,12 @@ func (s *Snapshot) Families() []telemetry.Family {
 		telemetry.F("vran_worker_utilization", "Decode busy time over workers x elapsed.", telemetry.Gauge, s.WorkerUtilization),
 		telemetry.F("vran_decode_cost_seconds", "Mean per-block decode cost.", telemetry.Gauge, s.AvgDecodeUs/1e6),
 		telemetry.F("vran_decode_allocs_per_op", "Sampled heap objects allocated per batch decode (upper bound; -1 before first sample).", telemetry.Gauge, s.DecodeAllocsPerOp),
+		telemetry.F("vran_decode_compiled_ratio", "Fraction of decodes served by compiled replay programs.", telemetry.Gauge, s.CompiledRatio),
+		telemetry.F("vran_decode_program_hits_total", "Decodes served by a compiled replay program.", telemetry.Counter, float64(s.ProgramHits)),
+		telemetry.F("vran_decode_program_misses_total", "Decodes served by the interpreter while compilation was enabled.", telemetry.Counter, float64(s.ProgramMisses)),
+		telemetry.F("vran_decode_compiles_total", "Replay program compilations across workers.", telemetry.Counter, float64(s.ProgramCompiles)),
+		telemetry.F("vran_decode_compile_seconds_total", "Cumulative wall-clock time spent compiling replay programs.", telemetry.Counter, s.CompileSeconds),
+		telemetry.F("vran_decode_compiled_plans", "Cached decode plans currently holding a compiled program.", telemetry.Gauge, float64(s.CompiledPlans)),
 		lat,
 	}
 }

@@ -35,10 +35,24 @@ func TestTracerSpansThroughRuntime(t *testing.T) {
 	if s.Delivered != uint64(pool.Len()) {
 		t.Fatalf("delivered %d of %d", s.Delivered, pool.Len())
 	}
-	if tr.SpanCount() != uint64(pool.Len()) {
-		t.Errorf("tracer saw %d spans, want %d", tr.SpanCount(), pool.Len())
+	// One span per block, plus one compile span per program the decoder
+	// compiled (one worker decoded everything here at a single K, but a
+	// second worker may have won a batch too — so 1..Workers of them).
+	compiled := tr.SpanCount() - uint64(pool.Len())
+	if compiled < 1 || compiled > uint64(cfg.Workers) {
+		t.Errorf("tracer saw %d spans for %d blocks: want 1..%d compile spans on top",
+			tr.SpanCount(), pool.Len(), cfg.Workers)
 	}
 	for _, sp := range tr.Recent() {
+		if sp.Outcome == "compiled" {
+			if sp.Stages[telemetry.SpanCompile] <= 0 {
+				t.Error("compile span has no compile time")
+			}
+			if sp.K != pool.K {
+				t.Errorf("compile span K=%d, want %d", sp.K, pool.K)
+			}
+			continue
+		}
 		if sp.Outcome != "delivered" {
 			t.Errorf("span outcome %q under infinite deadline", sp.Outcome)
 		}
@@ -142,6 +156,77 @@ func TestAdminLiveExposition(t *testing.T) {
 	}
 	if len(spans.Recent) == 0 || len(spans.Slowest[telemetry.StageDecode]) == 0 {
 		t.Error("/spans empty after traced deliveries")
+	}
+}
+
+// TestProgramMetricsExposition drives enough same-K traffic through a
+// runtime for its workers to compile replay programs and then checks the
+// program-cache counters end to end: Snapshot fields, their /metrics
+// families, and the compile stage in the shared stage vocabulary.
+func TestProgramMetricsExposition(t *testing.T) {
+	cfg := testConfig(simd.W512)
+	cfg.Workers = 2
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mustPool(t, 104, 64, 17)
+	for i := 0; i < pool.Len(); i++ {
+		w, _ := pool.Get(i)
+		if a := rt.Submit(i%cfg.Cells, i, pool.K, w); a != Admitted {
+			t.Fatalf("block %d not admitted: %v", i, a)
+		}
+	}
+	s := rt.Stop()
+
+	if s.ProgramCompiles < 1 || s.ProgramCompiles > uint64(cfg.Workers) {
+		t.Errorf("ProgramCompiles = %d, want 1..%d (one per worker that saw K)",
+			s.ProgramCompiles, cfg.Workers)
+	}
+	if s.CompiledPlans < 1 || uint64(s.CompiledPlans) != s.ProgramCompiles {
+		t.Errorf("CompiledPlans = %d, want one per compilation (%d)", s.CompiledPlans, s.ProgramCompiles)
+	}
+	if s.ProgramHits == 0 {
+		t.Error("no decode was served by a compiled program")
+	}
+	if s.ProgramMisses != s.ProgramCompiles {
+		t.Errorf("ProgramMisses = %d, want %d (only the recording decodes miss)",
+			s.ProgramMisses, s.ProgramCompiles)
+	}
+	if s.CompiledRatio <= 0 || s.CompiledRatio >= 1 {
+		t.Errorf("CompiledRatio = %v, want in (0, 1) after misses then hits", s.CompiledRatio)
+	}
+	if want := float64(s.ProgramHits) / float64(s.ProgramHits+s.ProgramMisses); s.CompiledRatio != want {
+		t.Errorf("CompiledRatio = %v, want %v", s.CompiledRatio, want)
+	}
+	if s.CompileSeconds <= 0 {
+		t.Error("CompileSeconds not accounted")
+	}
+
+	srv := httptest.NewServer(MountAdmin(rt, nil, nil, "", HealthPolicy{}).Handler())
+	defer srv.Close()
+	body := httpGet(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE vran_decode_compiled_ratio gauge",
+		"# TYPE vran_decode_program_hits_total counter",
+		"vran_decode_program_misses_total",
+		"vran_decode_compiles_total",
+		"vran_decode_compile_seconds_total",
+		"vran_decode_compiled_plans",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	found := false
+	for _, st := range telemetry.ServeStages() {
+		if st == telemetry.StageCompile {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("compile stage missing from ServeStages vocabulary")
 	}
 }
 

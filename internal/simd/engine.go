@@ -33,7 +33,19 @@ type Engine struct {
 	// rotIdx caches the rotate index tables RotateLanesLeft derives, per
 	// (width, rotation) — they are pure functions of both.
 	rotIdx map[int][]int
+
+	// prog, when non-nil, receives the semantic operation stream (see
+	// prog.go) alongside the functional execution and trace emission.
+	prog ProgSink
 }
+
+// maxFreeVecs bounds the register free-list: a misbehaving kernel that
+// releases more registers than it ever re-acquires must not grow the
+// list (and pin the heap) without bound. 64 registers is several times
+// the deepest legitimate working set (betaExt holds 20 at once);
+// releases beyond the cap are dropped and the registers left to the
+// garbage collector.
+const maxFreeVecs = 64
 
 // NewEngine returns an Engine of width w over mem, recording into rec.
 // rec may be nil for purely functional execution.
@@ -61,6 +73,7 @@ func (e *Engine) TraceLen() int {
 func (e *Engine) NewVec() *Vec {
 	v := &Vec{}
 	v.writer = trace.NoDep
+	e.rec3(ProgOp{Kind: PClear, Dst: v})
 	return v
 }
 
@@ -76,6 +89,7 @@ func (e *Engine) AcquireVec() *Vec {
 		e.freeVecs[n-1] = nil
 		e.freeVecs = e.freeVecs[:n-1]
 		v.Clear()
+		e.rec3(ProgOp{Kind: PClear, Dst: v})
 		return v
 	}
 	return e.NewVec()
@@ -83,8 +97,14 @@ func (e *Engine) AcquireVec() *Vec {
 
 // ReleaseVec returns registers to the free-list for reuse by a later
 // AcquireVec. Callers must not touch a register after releasing it.
+// The list is bounded at maxFreeVecs; further releases are dropped.
 func (e *Engine) ReleaseVec(vs ...*Vec) {
-	e.freeVecs = append(e.freeVecs, vs...)
+	for _, v := range vs {
+		if len(e.freeVecs) >= maxFreeVecs {
+			return
+		}
+		e.freeVecs = append(e.freeVecs, v)
+	}
 }
 
 // FreeVecs reports the current free-list depth (observability for tests).
@@ -110,7 +130,7 @@ func dep(v *Vec) int {
 
 // lanewise applies f to each active 16-bit lane of a and b into dst and
 // emits one VecALU µop.
-func (e *Engine) lanewise(mnem string, dst, a, b *Vec, f func(x, y int16) int16) {
+func (e *Engine) lanewise(kind ProgKind, mnem string, dst, a, b *Vec, f func(x, y int16) int16) {
 	n := e.W.Lanes16()
 	for i := 0; i < n; i++ {
 		dst.SetLane16(i, f(a.Lane16(i), b.Lane16(i)))
@@ -120,22 +140,23 @@ func (e *Engine) lanewise(mnem string, dst, a, b *Vec, f func(x, y int16) int16)
 		Mnemonic: mnem,
 		Deps:     trace.Deps3(dep(a), dep(b)),
 	})
+	e.rec3(ProgOp{Kind: kind, Dst: dst, A: a, B: b})
 }
 
 // PAddSW is saturated signed 16-bit addition (_mm_adds_epi16).
-func (e *Engine) PAddSW(dst, a, b *Vec) { e.lanewise("padds", dst, a, b, satAddI16) }
+func (e *Engine) PAddSW(dst, a, b *Vec) { e.lanewise(PAddS, "padds", dst, a, b, satAddI16) }
 
 // PSubSW is saturated signed 16-bit subtraction (_mm_subs_epi16).
-func (e *Engine) PSubSW(dst, a, b *Vec) { e.lanewise("psubs", dst, a, b, satSubI16) }
+func (e *Engine) PSubSW(dst, a, b *Vec) { e.lanewise(PSubS, "psubs", dst, a, b, satSubI16) }
 
 // PMaxSW is the signed 16-bit lane maximum (_mm_max_epi16).
-func (e *Engine) PMaxSW(dst, a, b *Vec) { e.lanewise("pmax", dst, a, b, maxI16) }
+func (e *Engine) PMaxSW(dst, a, b *Vec) { e.lanewise(PMaxS, "pmax", dst, a, b, maxI16) }
 
 // PMinSW is the signed 16-bit lane minimum (_mm_min_epi16).
-func (e *Engine) PMinSW(dst, a, b *Vec) { e.lanewise("pmin", dst, a, b, minI16) }
+func (e *Engine) PMinSW(dst, a, b *Vec) { e.lanewise(PMinS, "pmin", dst, a, b, minI16) }
 
 // bytewise applies f to each active byte of a and b into dst.
-func (e *Engine) bytewise(mnem string, dst, a, b *Vec, f func(x, y byte) byte) {
+func (e *Engine) bytewise(kind ProgKind, mnem string, dst, a, b *Vec, f func(x, y byte) byte) {
 	n := int(e.W)
 	for i := 0; i < n; i++ {
 		dst.b[i] = f(a.b[i], b.b[i])
@@ -145,6 +166,7 @@ func (e *Engine) bytewise(mnem string, dst, a, b *Vec, f func(x, y byte) byte) {
 		Mnemonic: mnem,
 		Deps:     trace.Deps3(dep(a), dep(b)),
 	})
+	e.rec3(ProgOp{Kind: kind, Dst: dst, A: a, B: b})
 }
 
 // PAnd is the bitwise AND (vpand / vpandd for zmm).
@@ -153,7 +175,7 @@ func (e *Engine) PAnd(dst, a, b *Vec) {
 	if e.W == W512 {
 		mnem = "vpandd"
 	}
-	e.bytewise(mnem, dst, a, b, func(x, y byte) byte { return x & y })
+	e.bytewise(PAnd, mnem, dst, a, b, func(x, y byte) byte { return x & y })
 }
 
 // POr is the bitwise OR (vpor / vpord for zmm).
@@ -162,17 +184,17 @@ func (e *Engine) POr(dst, a, b *Vec) {
 	if e.W == W512 {
 		mnem = "vpord"
 	}
-	e.bytewise(mnem, dst, a, b, func(x, y byte) byte { return x | y })
+	e.bytewise(POr, mnem, dst, a, b, func(x, y byte) byte { return x | y })
 }
 
 // PXor is the bitwise XOR (vpxor).
 func (e *Engine) PXor(dst, a, b *Vec) {
-	e.bytewise("vpxor", dst, a, b, func(x, y byte) byte { return x ^ y })
+	e.bytewise(PXor, "vpxor", dst, a, b, func(x, y byte) byte { return x ^ y })
 }
 
 // PAndN computes (^a) & b, matching x86 PANDN operand order.
 func (e *Engine) PAndN(dst, a, b *Vec) {
-	e.bytewise("vpandn", dst, a, b, func(x, y byte) byte { return ^x & y })
+	e.bytewise(PAndN, "vpandn", dst, a, b, func(x, y byte) byte { return ^x & y })
 }
 
 // PSraW shifts every active 16-bit lane of a right arithmetically by imm
@@ -187,6 +209,7 @@ func (e *Engine) PSraW(dst, a *Vec, imm uint) {
 		Mnemonic: "psraw",
 		Deps:     trace.Deps3(dep(a)),
 	})
+	e.rec3(ProgOp{Kind: PSra, Dst: dst, A: a, Imm: int64(imm)})
 }
 
 // Broadcast16 fills every active lane of dst with x (vpbroadcastw). The
@@ -197,6 +220,7 @@ func (e *Engine) Broadcast16(dst *Vec, x int16) {
 		dst.SetLane16(i, x)
 	}
 	dst.writer = e.emit(trace.Inst{Class: trace.VecALU, Mnemonic: "vpbroadcastw", Deps: trace.Deps3()})
+	e.rec3(ProgOp{Kind: PBcastImm, Dst: dst, Imm: int64(x)})
 }
 
 // Broadcast16FromMem fills every active lane of dst with the int16 at
@@ -215,6 +239,7 @@ func (e *Engine) Broadcast16FromMem(dst *Vec, addr int64) {
 		Addr:     addr,
 		Deps:     trace.Deps3(d1, d2),
 	})
+	e.rec3(ProgOp{Kind: PBcastMem, Dst: dst, Addr: addr})
 }
 
 // SetImm loads an immediate lane pattern into dst, modeling a constant
@@ -228,6 +253,7 @@ func (e *Engine) SetImm(dst *Vec, lanes []int16) {
 		Bytes:    int32(e.W),
 		Deps:     trace.Deps3(),
 	})
+	e.rec3(ProgOp{Kind: PSetImm, Dst: dst, Lanes: lanes})
 }
 
 // ---- shuffles / permutes (VecShuffle class) ----
@@ -254,6 +280,7 @@ func (e *Engine) PermuteW(dst, a *Vec, idx []int) {
 		Mnemonic: "vpermw",
 		Deps:     trace.Deps3(dep(a)),
 	})
+	e.rec3(ProgOp{Kind: PPermute, Dst: dst, A: a, Idx: idx})
 }
 
 // RotateLanesLeft rotates the active 16-bit lanes of a left by k lanes
@@ -295,6 +322,7 @@ func (e *Engine) VExtractI128(dst, a *Vec, sel int) {
 		Mnemonic: "vextracti128",
 		Deps:     trace.Deps3(dep(a)),
 	})
+	e.rec3(ProgOp{Kind: PExt128, Dst: dst, A: a, Imm: int64(sel)})
 }
 
 // VExtractI32x8 copies 256-bit half sel (0 or 1) of the 512-bit register a
@@ -312,6 +340,7 @@ func (e *Engine) VExtractI32x8(dst, a *Vec, sel int) {
 		Mnemonic: "vextracti32x8",
 		Deps:     trace.Deps3(dep(a)),
 	})
+	e.rec3(ProgOp{Kind: PExt256, Dst: dst, A: a, Imm: int64(sel)})
 }
 
 // ---- memory operations (Load / Store classes: ports 4-5 / 6-7) ----
@@ -359,6 +388,7 @@ func (e *Engine) LoadVec(dst *Vec, addr int64) {
 		Addr:     addr,
 		Deps:     trace.Deps3(d1, d2),
 	})
+	e.rec3(ProgOp{Kind: PLoad, Dst: dst, Addr: addr, Imm: int64(n)})
 }
 
 // StoreVec stores the full active width of src to mem[addr].
@@ -373,6 +403,7 @@ func (e *Engine) StoreVec(addr int64, src *Vec) {
 		Deps:     trace.Deps3(dep(src)),
 	})
 	e.noteStore(addr, n, idx)
+	e.rec3(ProgOp{Kind: PStore, A: src, Addr: addr, Imm: int64(n)})
 }
 
 // LoadVec128 loads exactly 128 bits into the low lanes of dst regardless
@@ -390,6 +421,7 @@ func (e *Engine) LoadVec128(dst *Vec, addr int64) {
 		Addr:     addr,
 		Deps:     trace.Deps3(d1, d2),
 	})
+	e.rec3(ProgOp{Kind: PLoad, Dst: dst, Addr: addr, Imm: 16})
 }
 
 // StoreVec128 stores exactly the low 128 bits of src to mem[addr].
@@ -403,6 +435,7 @@ func (e *Engine) StoreVec128(addr int64, src *Vec) {
 		Deps:     trace.Deps3(dep(src)),
 	})
 	e.noteStore(addr, 16, idx)
+	e.rec3(ProgOp{Kind: PStore, A: src, Addr: addr, Imm: 16})
 }
 
 // PExtrWToMem extracts 16-bit lane of src directly to memory (pextrw with
@@ -419,6 +452,7 @@ func (e *Engine) PExtrWToMem(addr int64, src *Vec, lane int) {
 		Deps:     trace.Deps3(dep(src)),
 	})
 	e.noteStore(addr, 2, idx)
+	e.rec3(ProgOp{Kind: PExtrW, A: src, Addr: addr, Imm: int64(lane)})
 }
 
 // PInsrWFromMem loads a 16-bit value from memory into lane of dst
@@ -433,6 +467,7 @@ func (e *Engine) PInsrWFromMem(dst *Vec, addr int64, lane int) {
 		Addr:     addr,
 		Deps:     trace.Deps3(d1, d2, dep(dst)),
 	})
+	e.rec3(ProgOp{Kind: PInsrW, Dst: dst, Addr: addr, Imm: int64(lane)})
 }
 
 // ---- scalar and control-flow modeling ----
@@ -487,4 +522,79 @@ func (e *Engine) EmitScalarStore(mnem string, addr int64, nbytes int) {
 // EmitBranch emits one branch µop.
 func (e *Engine) EmitBranch(mnem string) {
 	e.emit(trace.Inst{Class: trace.Branch, Mnemonic: mnem, Deps: trace.Deps3()})
+}
+
+// ---- recordable scalar element helpers ----
+//
+// Scalar-tail work inside SIMD kernels (interleavers, arrangement
+// remainders, gamma/extrinsic tails) historically mixed direct Memory
+// access with loose EmitScalar* µop emission, which the replay compiler
+// cannot see. These helpers perform the same memory effect and emit the
+// same µop stream as the inline code they replaced — traced experiments
+// observe an identical trace — while also recording one semantic ProgOp.
+
+// CopyI16 copies the int16 at src to dst, emitting the scalar load+store
+// µop pair the element-copy loops have always emitted.
+func (e *Engine) CopyI16(dst, src int64) {
+	e.Mem.WriteI16(dst, e.Mem.ReadI16(src))
+	e.EmitScalarLoad("movzx", src, 2)
+	e.EmitScalarStore("mov", dst, 2)
+	e.rec3(ProgOp{Kind: PCopy16, Addr: dst, Addr2: src})
+}
+
+// sati16 saturates a 32-bit intermediate to int16 range, matching
+// saturating SIMD arithmetic on the scalar tail path.
+func sati16(x int32) int16 {
+	if x > 32767 {
+		return 32767
+	}
+	if x < -32768 {
+		return -32768
+	}
+	return int16(x)
+}
+
+// ScalarGammaPoint computes one scalar branch-metric point:
+//
+//	mem[g0] = sat16(mem[s] + mem[la] + mem[p])
+//	mem[g1] = sat16(mem[s] + mem[la] - mem[p])
+//
+// with the µop stream of the historical inline tail (two adds, one
+// scalar load, two scalar stores).
+func (e *Engine) ScalarGammaPoint(g0, g1, s, p, la int64) {
+	sv := e.Mem.ReadI16(s)
+	pv := e.Mem.ReadI16(p)
+	lv := e.Mem.ReadI16(la)
+	sa := int32(sv) + int32(lv)
+	e.Mem.WriteI16(g0, sati16(sa+int32(pv)))
+	e.Mem.WriteI16(g1, sati16(sa-int32(pv)))
+	e.EmitScalar("add", 2)
+	e.EmitScalarLoad("mov", la, 2)
+	e.EmitScalarStore("mov", g0, 2)
+	e.EmitScalarStore("mov", g1, 2)
+	e.rec3(ProgOp{Kind: PGammaPoint, Addr: g0, Addr2: g1, Xa: [3]int64{s, p, la}})
+}
+
+// ScalarExtPoint computes one scalar extrinsic point:
+//
+//	mem[dst] = clamp(mem[d]>>1 - mem[s] - mem[la], ±clamp)
+//
+// with the µop stream of the historical inline tail (two subs, one
+// scalar load, one scalar store).
+func (e *Engine) ScalarExtPoint(dst, s, la, d int64, clamp int16) {
+	sv := e.Mem.ReadI16(s)
+	lv := e.Mem.ReadI16(la)
+	dV := e.Mem.ReadI16(d)
+	x := int32(dV>>1) - int32(sv) - int32(lv)
+	if x > int32(clamp) {
+		x = int32(clamp)
+	}
+	if x < -int32(clamp) {
+		x = -int32(clamp)
+	}
+	e.Mem.WriteI16(dst, int16(x))
+	e.EmitScalar("sub", 2)
+	e.EmitScalarLoad("mov", d, 2)
+	e.EmitScalarStore("mov", dst, 2)
+	e.rec3(ProgOp{Kind: PExtPoint, Addr: dst, Imm: int64(clamp), Xa: [3]int64{s, la, d}})
 }

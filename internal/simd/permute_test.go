@@ -1,0 +1,109 @@
+package simd
+
+import "testing"
+
+// TestPermuteWAliased: PermuteW must read all of a's lanes before
+// writing any of dst's, so dst == a is well-defined (the engine stages
+// through permTmp). A full reversal in place is the harshest case —
+// every lane both sources and receives a value.
+func TestPermuteWAliased(t *testing.T) {
+	for _, w := range Widths {
+		e := NewEngine(w, NewMemory(1<<12), nil)
+		n := w.Lanes16()
+		v := e.NewVec()
+		idx := make([]int, n)
+		for i := 0; i < n; i++ {
+			v.SetLane16(i, int16(100+i))
+			idx[i] = n - 1 - i
+		}
+		e.PermuteW(v, v, idx)
+		for i := 0; i < n; i++ {
+			if got, want := v.Lane16(i), int16(100+n-1-i); got != want {
+				t.Errorf("%v aliased reverse lane %d = %d, want %d", w, i, got, want)
+			}
+		}
+	}
+}
+
+// TestPermuteWOutOfRange pins the zeroing contract: indices outside
+// [0, lanes) and table positions past the end of a short index table
+// produce 0 in the corresponding destination lane, never a panic or a
+// stale value.
+func TestPermuteWOutOfRange(t *testing.T) {
+	for _, w := range Widths {
+		e := NewEngine(w, NewMemory(1<<12), nil)
+		n := w.Lanes16()
+		v, d := e.NewVec(), e.NewVec()
+		for i := 0; i < n; i++ {
+			v.SetLane16(i, int16(1+i))
+			d.SetLane16(i, -7) // stale contents that must not survive
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			switch i % 4 {
+			case 0:
+				idx[i] = i // in range
+			case 1:
+				idx[i] = n // one past the end
+			case 2:
+				idx[i] = -1 // negative
+			default:
+				idx[i] = n + 1000
+			}
+		}
+		e.PermuteW(d, v, idx)
+		for i := 0; i < n; i++ {
+			want := int16(0)
+			if i%4 == 0 {
+				want = int16(1 + i)
+			}
+			if got := d.Lane16(i); got != want {
+				t.Errorf("%v lane %d (idx %d) = %d, want %d", w, i, idx[i], got, want)
+			}
+		}
+
+		// A short table leaves the uncovered lanes zero.
+		d2 := e.NewVec()
+		for i := 0; i < n; i++ {
+			d2.SetLane16(i, 31)
+		}
+		e.PermuteW(d2, v, []int{1, 0})
+		for i := 0; i < n; i++ {
+			var want int16
+			switch i {
+			case 0:
+				want = 2
+			case 1:
+				want = 1
+			}
+			if got := d2.Lane16(i); got != want {
+				t.Errorf("%v short-table lane %d = %d, want %d", w, i, got, want)
+			}
+		}
+	}
+}
+
+// TestRotateLanesLeftAliased: the rotate-mimic is a PermuteW under the
+// hood, so rotating a register onto itself must behave like rotating
+// into a distinct destination — including negative rotations, which
+// wrap.
+func TestRotateLanesLeftAliased(t *testing.T) {
+	for _, w := range Widths {
+		n := w.Lanes16()
+		for _, k := range []int{1, n - 1, -3} {
+			e := NewEngine(w, NewMemory(1<<12), nil)
+			v := e.NewVec()
+			for i := 0; i < n; i++ {
+				v.SetLane16(i, int16(10*i))
+			}
+			e.RotateLanesLeft(v, v, k)
+			kk := ((k % n) + n) % n
+			for i := 0; i < n; i++ {
+				want := int16(10 * ((i + kk) % n))
+				if got := v.Lane16(i); got != want {
+					t.Errorf("%v aliased rot %d lane %d = %d, want %d", w, k, i, got, want)
+				}
+			}
+		}
+	}
+}

@@ -58,6 +58,49 @@ func TestEngineOpsNoAlloc(t *testing.T) {
 	}
 }
 
+// TestReleaseVecBounded: the free-list must stop growing at
+// maxFreeVecs — a kernel that leaks releases (more ReleaseVec than
+// AcquireVec) must not pin an unbounded pile of dead registers. Dropped
+// registers simply fall to the garbage collector; acquires past the
+// stored depth fall back to fresh allocation and stay correct.
+func TestReleaseVecBounded(t *testing.T) {
+	e := NewEngine(W512, NewMemory(1<<12), nil)
+	for i := 0; i < 3*maxFreeVecs; i++ {
+		e.ReleaseVec(&Vec{})
+	}
+	if got := e.FreeVecs(); got != maxFreeVecs {
+		t.Fatalf("free list holds %d after %d releases, want cap %d",
+			got, 3*maxFreeVecs, maxFreeVecs)
+	}
+	// A batched release straddling the cap keeps the prefix and drops
+	// the rest.
+	e2 := NewEngine(W512, NewMemory(1<<12), nil)
+	vs := make([]*Vec, maxFreeVecs+10)
+	for i := range vs {
+		vs[i] = &Vec{}
+	}
+	e2.ReleaseVec(vs...)
+	if got := e2.FreeVecs(); got != maxFreeVecs {
+		t.Fatalf("batched release stored %d, want cap %d", got, maxFreeVecs)
+	}
+	// The capped pool still recycles: acquire drains it LIFO and every
+	// register comes back clean.
+	seen := make(map[*Vec]bool)
+	for i := 0; i < maxFreeVecs; i++ {
+		v := e2.AcquireVec()
+		if seen[v] {
+			t.Fatal("free list handed out the same register twice")
+		}
+		seen[v] = true
+	}
+	if e2.FreeVecs() != 0 {
+		t.Fatalf("pool not drained: %d left", e2.FreeVecs())
+	}
+	if v := e2.AcquireVec(); seen[v] {
+		t.Error("empty pool reissued a live register")
+	}
+}
+
 // TestMemoryRemaining tracks the bump allocator's headroom through
 // aligned allocations and a reset.
 func TestMemoryRemaining(t *testing.T) {

@@ -1,0 +1,332 @@
+// Package program compiles one recorded decode into a fused replay
+// program. The interpreter (internal/simd.Engine) pays per-µop overhead
+// on every call — method dispatch, a closure call per 16-bit lane,
+// dependency bookkeeping — even though the µop stream per
+// (K, width, strategy) is deterministic: the same instructions touch the
+// same arena addresses with the same index tables every decode, only
+// the data differs. This package exploits that. A Builder attached as
+// the engine's ProgSink records the semantic operation stream of one
+// interpreted decode; Compile splits it at the decoder's iteration
+// marks into a "first" segment (setup + constants + iteration 0) and a
+// "steady" segment (one mid-iteration, identical for all later ones),
+// lowers both to a flat slice of width-specialized ops, and fuses the
+// hot patterns — load+padds+pmax recursion chains, batched vpand/vpor
+// mask selects, branch-metric gather groups, scalar element-copy runs —
+// into single ops executed by a tight loop directly over the arena.
+//
+// Replay is bit-identical to interpretation by construction: every
+// fused op preserves the exact register and memory effects of the
+// sequence it replaces (lane-local op runs execute per lane in original
+// op order, which is equivalent under any register aliasing; fusions
+// spanning loads and stores are only formed when their address ranges
+// are provably disjoint), and while recording continues past the second
+// iteration every further iteration is verified op-by-op against the
+// steady segment — any divergence aborts compilation and the caller
+// stays on the interpreter.
+package program
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vransim/internal/simd"
+)
+
+// Compilation errors (callers fall back to the interpreter on any of
+// them; they are ordinary conditions, not bugs).
+var (
+	// ErrTooFewIterations: the recorded decode ran fewer than two
+	// iterations, so there is no steady-state iteration to replay.
+	ErrTooFewIterations = errors.New("program: need >= 2 recorded iterations to compile")
+	// ErrUnstable: an iteration after the second diverged from the
+	// steady segment, so the kernel's op stream is not iteration-
+	// invariant and cannot be replayed.
+	ErrUnstable = errors.New("program: op stream differs across iterations")
+)
+
+// rawOp is the compact lowered form of one recorded simd.ProgOp: register
+// pointers interned to small ids, index tables and scalar-helper address
+// triples interned into side pools. It is comparable field-by-field,
+// which is what the cross-iteration stability check relies on. Keeping
+// it at 24 bytes matters: a W512 K=6144 decode records ~1.7M ops per
+// iteration and the builder holds two iterations plus the prefix.
+type rawOp struct {
+	kind    simd.ProgKind
+	d, a, b int16 // register ids, -1 when absent
+	imm     int32
+	addr    int32
+	addr2   int32
+	tab     int32 // idxTabs / lanePats / aux32 pool reference, -1 when absent
+}
+
+// Builder is a simd.ProgSink that records one decode and compiles it.
+// It is single-use: attach to an engine, run one decode, detach, call
+// Compile.
+type Builder struct {
+	ops  []rawOp
+	cuts []int // ops offsets at each "iteration" mark
+
+	regs map[*simd.Vec]int16
+	nreg int
+
+	idxTabs  [][]int32
+	idxByPtr map[*int]int32
+	lanePats [][]int16
+	aux32    []int32
+
+	err error
+
+	// After the third iteration mark the stored stream is frozen and
+	// further ops are verified against the steady segment instead.
+	verifying bool
+	vpos      int
+
+	// Verification register bijection: live Vec pointers -> steady
+	// register ids. Seeded with identity at freeze time and rebound at
+	// every fully-overwriting destination, so the stability check is
+	// insensitive to Vec pool identity churn — the engine's bounded
+	// free list makes reacquired pointers differ across iterations even
+	// when the computation is identical. A read through an unbound (or
+	// wrongly bound) pointer is a real divergence and aborts.
+	vfwd map[*simd.Vec]int16
+	vrev map[int16]*simd.Vec
+}
+
+// NewBuilder returns an empty recording sink.
+func NewBuilder() *Builder {
+	return &Builder{regs: make(map[*simd.Vec]int16), idxByPtr: make(map[*int]int32)}
+}
+
+// Err reports the first recording error (nil while the stream is still
+// compilable).
+func (b *Builder) Err() error { return b.err }
+
+// Iterations reports how many iteration marks were seen.
+func (b *Builder) Iterations() int { return len(b.cuts) }
+
+// steady returns the recorded steady-iteration segment (valid once two
+// cuts exist).
+func (b *Builder) steady() []rawOp {
+	end := len(b.ops)
+	if len(b.cuts) >= 3 {
+		end = b.cuts[2]
+	}
+	return b.ops[b.cuts[1]:end]
+}
+
+// Mark implements simd.ProgSink. Only "iteration" marks are structural;
+// anything else is ignored.
+func (b *Builder) Mark(name string) {
+	if name != "iteration" || b.err != nil {
+		return
+	}
+	if b.verifying {
+		if b.vpos != len(b.steady()) {
+			b.err = ErrUnstable
+		}
+		b.vpos = 0
+		return
+	}
+	b.cuts = append(b.cuts, len(b.ops))
+	if len(b.cuts) == 3 {
+		b.verifying = true
+		b.vpos = 0
+		// At freeze time the replay state corresponds to the recorded
+		// state under the identity mapping built during lowering.
+		b.vfwd = make(map[*simd.Vec]int16, len(b.regs))
+		b.vrev = make(map[int16]*simd.Vec, len(b.regs))
+		for v, id := range b.regs {
+			b.vfwd[v] = id
+			b.vrev[id] = v
+		}
+	}
+}
+
+// Record implements simd.ProgSink.
+func (b *Builder) Record(op simd.ProgOp) {
+	if b.err != nil {
+		return
+	}
+	if b.verifying {
+		b.verify(op)
+		return
+	}
+	r, err := b.lower(op)
+	if err != nil {
+		b.err = err
+		return
+	}
+	b.ops = append(b.ops, r)
+}
+
+func (b *Builder) regID(v *simd.Vec) int16 {
+	if v == nil {
+		return -1
+	}
+	if id, ok := b.regs[v]; ok {
+		return id
+	}
+	id := int16(b.nreg)
+	b.nreg++
+	b.regs[v] = id
+	return id
+}
+
+func checkAddr(a int64) (int32, error) {
+	if a < 0 || a > math.MaxInt32 {
+		return 0, fmt.Errorf("program: address %d outside compilable range", a)
+	}
+	return int32(a), nil
+}
+
+// lower converts a recorded op to its compact form, interning tables
+// into the builder pools.
+func (b *Builder) lower(op simd.ProgOp) (rawOp, error) {
+	r := rawOp{kind: op.Kind, d: b.regID(op.Dst), a: b.regID(op.A), b: b.regID(op.B), tab: -1}
+	var err error
+	if r.addr, err = checkAddr(op.Addr); err != nil {
+		return r, err
+	}
+	if r.addr2, err = checkAddr(op.Addr2); err != nil {
+		return r, err
+	}
+	if op.Imm < math.MinInt32 || op.Imm > math.MaxInt32 {
+		return r, fmt.Errorf("program: immediate %d outside compilable range", op.Imm)
+	}
+	r.imm = int32(op.Imm)
+	switch op.Kind {
+	case simd.PSetImm:
+		pat := make([]int16, len(op.Lanes))
+		copy(pat, op.Lanes)
+		r.tab = int32(len(b.lanePats))
+		b.lanePats = append(b.lanePats, pat)
+	case simd.PPermute:
+		if len(op.Idx) == 0 {
+			return r, errors.New("program: empty permute index table")
+		}
+		key := &op.Idx[0]
+		id, ok := b.idxByPtr[key]
+		if !ok {
+			t := make([]int32, len(op.Idx))
+			for i, x := range op.Idx {
+				t[i] = int32(x)
+			}
+			id = int32(len(b.idxTabs))
+			b.idxTabs = append(b.idxTabs, t)
+			b.idxByPtr[key] = id
+		}
+		r.tab = id
+	case simd.PGammaPoint, simd.PExtPoint:
+		r.tab = int32(len(b.aux32))
+		for _, x := range op.Xa {
+			xa, err := checkAddr(x)
+			if err != nil {
+				return r, err
+			}
+			b.aux32 = append(b.aux32, xa)
+		}
+	}
+	return r, nil
+}
+
+// verify compares an op recorded during iteration >= 3 against the
+// frozen steady segment, without growing any pool.
+func (b *Builder) verify(op simd.ProgOp) {
+	steady := b.steady()
+	if b.vpos >= len(steady) {
+		b.err = ErrUnstable
+		return
+	}
+	e := steady[b.vpos]
+	b.vpos++
+	if e.kind != op.Kind ||
+		int64(e.addr) != op.Addr || int64(e.addr2) != op.Addr2 || int64(e.imm) != op.Imm {
+		b.err = ErrUnstable
+		return
+	}
+	// Source operands must read through the current bijection: the
+	// iteration's pointer must be bound to exactly the steady register
+	// the replay would read.
+	expect := func(v *simd.Vec, want int16) bool {
+		if v == nil {
+			return want == -1
+		}
+		id, ok := b.vfwd[v]
+		return ok && id == want
+	}
+	if !expect(op.A, e.a) || !expect(op.B, e.b) {
+		b.err = ErrUnstable
+		return
+	}
+	switch {
+	case op.Dst == nil:
+		if e.d != -1 {
+			b.err = ErrUnstable
+			return
+		}
+	case op.Kind == simd.PInsrW:
+		// Partial write: dst is read-modify-write, so it must already
+		// be bound like a source operand.
+		if !expect(op.Dst, e.d) {
+			b.err = ErrUnstable
+			return
+		}
+	default:
+		// Every other destination is fully overwritten (all active
+		// lanes), so the iteration pointer rebinds to the steady
+		// register here — displacing any stale pair, whose later reads
+		// would then correctly fail the expect check above.
+		if e.d == -1 {
+			b.err = ErrUnstable
+			return
+		}
+		if old, ok := b.vfwd[op.Dst]; ok && old != e.d {
+			delete(b.vrev, old)
+		}
+		if oldV, ok := b.vrev[e.d]; ok && oldV != op.Dst {
+			delete(b.vfwd, oldV)
+		}
+		b.vfwd[op.Dst] = e.d
+		b.vrev[e.d] = op.Dst
+	}
+	switch op.Kind {
+	case simd.PSetImm:
+		pat := b.lanePats[e.tab]
+		if len(pat) != len(op.Lanes) {
+			b.err = ErrUnstable
+			return
+		}
+		for i, x := range op.Lanes {
+			if pat[i] != x {
+				b.err = ErrUnstable
+				return
+			}
+		}
+	case simd.PPermute:
+		var t []int32
+		if len(op.Idx) > 0 {
+			if id, ok := b.idxByPtr[&op.Idx[0]]; ok && id == e.tab {
+				return
+			}
+			t = b.idxTabs[e.tab]
+		}
+		if len(t) != len(op.Idx) {
+			b.err = ErrUnstable
+			return
+		}
+		for i, x := range op.Idx {
+			if t[i] != int32(x) {
+				b.err = ErrUnstable
+				return
+			}
+		}
+	case simd.PGammaPoint, simd.PExtPoint:
+		for i, x := range op.Xa {
+			if int64(b.aux32[e.tab+int32(i)]) != x {
+				b.err = ErrUnstable
+				return
+			}
+		}
+	}
+}

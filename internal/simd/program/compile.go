@@ -1,0 +1,199 @@
+package program
+
+import (
+	"vransim/internal/simd"
+)
+
+// mop is one executable replay op. Singleton kinds mirror the recorded
+// ops one-to-one; fused kinds carry their operand lists (register lane
+// offsets and addresses) in the program's aux pool at [tab, tab+...).
+type mop struct {
+	kind    uint8
+	d, a, b int32 // register lane offsets (regID * regStride)
+	addr    int64
+	addr2   int64
+	imm     int64
+	tab     int32
+	n       int32
+}
+
+// Executable op kinds.
+const (
+	mClear uint8 = iota
+	mAddS
+	mSubS
+	mMaxS
+	mMinS
+	mAnd
+	mOr
+	mXor
+	mAndN
+	mSra
+	mBcastImm
+	mBcastMem
+	mSetImm
+	mPermute
+	mExt128
+	mExt256
+	mLoad
+	mStore
+	mExtrW
+	mInsrW
+	mCopy16
+	mGammaPoint
+	mExtPoint
+
+	// Fused kinds (see fuse.go for the matched patterns).
+	mCopyRun   // run of element copies; aux: n × (dst, src) addresses
+	mGammaRun  // run of scalar gamma points; aux: n × (g0, g1, s, p, la)
+	mExtRun    // run of scalar ext points; aux: n × (dst, s, la, d)
+	mGammaVec  // load s,p,la + padds t,g0 + psubs g1 + store g0,g1
+	mExtVec    // load dvec,s,la + padds + psraw + psubs + pmin + pmax + store
+	mSelect    // pand,pand,por ×2 branch-metric mask select
+	mPack      // broadcast+pand+por gather of per-block branch metrics
+	mRecurse   // vpermw ×2 + padds ×2 (+ pmax) trellis recursion step
+	mHmax      // vpermw+pmax ×3 intra-block horizontal max
+	mNormSub   // vpermw + psubs renormalization
+)
+
+// regStride is the register-file stride in lanes. Every register gets
+// the full 32 lanes (W512) regardless of the compiled width, so partial
+// loads and 128/256-bit extracts behave exactly like the engine's
+// 64-byte Vec storage (inactive lanes read as zero).
+const regStride = 32
+
+// SegFirst and SegSteady select the two replay segments: the first
+// segment is setup + constants + iteration 0, the steady segment is one
+// mid-decode iteration (identical for every iteration after the first).
+const (
+	SegFirst  = 0
+	SegSteady = 1
+)
+
+// Program is a compiled replay program bound to the arena addresses and
+// register dataflow of the decode it was recorded from. It is not safe
+// for concurrent use (the register file and permute scratch are owned
+// by the program); serving code keeps one per worker, exactly like the
+// engine it replaces. Arena eviction invalidates it.
+type Program struct {
+	w     simd.Width
+	lanes int
+
+	regs     []int16
+	segs     [2][]mop
+	idxTabs  [][]int32
+	lanePats [][]int16
+	aux32    []int32
+	aux      []int64
+
+	tmp [regStride]int16
+
+	// RawOps and FusedOps count the recorded ops and the executable ops
+	// per segment — the compression the fusion pass achieved.
+	RawOps   [2]int
+	FusedOps [2]int
+}
+
+// Width reports the register width the program was compiled for.
+func (p *Program) Width() simd.Width { return p.w }
+
+// Compile lowers the recorded stream into a replay program for width w.
+// It fails (and the caller stays on the interpreter) when fewer than
+// two iterations were recorded, when any iteration diverged from the
+// steady segment, or when recording hit an unsupported op.
+func (b *Builder) Compile(w simd.Width) (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.cuts) < 2 {
+		return nil, ErrTooFewIterations
+	}
+	if b.verifying && b.vpos != len(b.steady()) {
+		// Recording stopped mid-iteration: the stream is malformed.
+		return nil, ErrUnstable
+	}
+	p := &Program{
+		w:        w,
+		lanes:    w.Lanes16(),
+		regs:     make([]int16, b.nreg*regStride),
+		idxTabs:  b.idxTabs,
+		lanePats: b.lanePats,
+		aux32:    b.aux32,
+	}
+	first := b.ops[:b.cuts[1]]
+	steady := b.steady()
+	p.RawOps = [2]int{len(first), len(steady)}
+	p.segs[SegFirst] = p.fuse(first)
+	p.segs[SegSteady] = p.fuse(steady)
+	p.FusedOps = [2]int{len(p.segs[SegFirst]), len(p.segs[SegSteady])}
+	return p, nil
+}
+
+// off converts a register id to its lane offset (-1 stays -1; only
+// kinds that ignore the operand carry -1).
+func off(id int16) int32 {
+	if id < 0 {
+		return -1
+	}
+	return int32(id) * regStride
+}
+
+// single lowers one recorded op to its executable singleton.
+func single(r rawOp) mop {
+	m := mop{
+		d: off(r.d), a: off(r.a), b: off(r.b),
+		addr: int64(r.addr), addr2: int64(r.addr2), imm: int64(r.imm),
+		tab: r.tab,
+	}
+	switch r.kind {
+	case simd.PClear:
+		m.kind = mClear
+	case simd.PAddS:
+		m.kind = mAddS
+	case simd.PSubS:
+		m.kind = mSubS
+	case simd.PMaxS:
+		m.kind = mMaxS
+	case simd.PMinS:
+		m.kind = mMinS
+	case simd.PAnd:
+		m.kind = mAnd
+	case simd.POr:
+		m.kind = mOr
+	case simd.PXor:
+		m.kind = mXor
+	case simd.PAndN:
+		m.kind = mAndN
+	case simd.PSra:
+		m.kind = mSra
+	case simd.PBcastImm:
+		m.kind = mBcastImm
+	case simd.PBcastMem:
+		m.kind = mBcastMem
+	case simd.PSetImm:
+		m.kind = mSetImm
+	case simd.PPermute:
+		m.kind = mPermute
+	case simd.PExt128:
+		m.kind = mExt128
+	case simd.PExt256:
+		m.kind = mExt256
+	case simd.PLoad:
+		m.kind = mLoad
+	case simd.PStore:
+		m.kind = mStore
+	case simd.PExtrW:
+		m.kind = mExtrW
+	case simd.PInsrW:
+		m.kind = mInsrW
+	case simd.PCopy16:
+		m.kind = mCopy16
+	case simd.PGammaPoint:
+		m.kind = mGammaPoint
+	case simd.PExtPoint:
+		m.kind = mExtPoint
+	default:
+		panic("program: unknown recorded op kind")
+	}
+	return m
+}

@@ -1,0 +1,299 @@
+package program
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vransim/internal/simd"
+)
+
+// synthKernel is a width-generic "decode-like" kernel exercising every
+// recorded op kind and every fusion shape the compiler knows: vector
+// arithmetic, the select and pack mask patterns, aliased and
+// out-of-range permutes, the recursion and horizontal-max chains,
+// scalar copy/gamma/ext helper runs, lane extract/insert, and register
+// state that is live across iterations (acc). It deliberately allocates
+// a throwaway register with NewVec every iteration — a fresh pointer
+// each time — so compiling it at >= 4 iterations proves the verifier's
+// register bijection rather than pointer identity.
+type synthKernel struct {
+	w                            simd.Width
+	in, out, acc, scalars, gamma int64
+	iters                        int
+}
+
+func newSynthKernel(w simd.Width, mem *simd.Memory) *synthKernel {
+	k := &synthKernel{w: w}
+	k.in = mem.Alloc(256, 64)
+	k.out = mem.Alloc(512, 64)
+	k.acc = mem.Alloc(128, 64)
+	k.scalars = mem.Alloc(128, 64)
+	k.gamma = mem.Alloc(128, 64)
+	return k
+}
+
+// seed writes the kernel's initial memory; identical on the interpreted
+// and replayed arenas.
+func (k *synthKernel) seed(mem *simd.Memory) {
+	for i := 0; i < 128; i++ {
+		mem.WriteI16(k.in+int64(2*i), int16(37*i-900))
+	}
+	for i := 0; i < 64; i++ {
+		mem.WriteI16(k.acc+int64(2*i), int16(3*i))
+		mem.WriteI16(k.scalars+int64(2*i), int16(500-11*i))
+	}
+}
+
+// run drives iters recorded iterations on e (whose ProgSink may be a
+// Builder) after a constant-register prefix.
+func (k *synthKernel) run(e *simd.Engine) {
+	n := k.w.Lanes16()
+	rev := make([]int, n)
+	wild := make([]int, n)
+	for i := range rev {
+		rev[i] = n - 1 - i
+		wild[i] = i
+	}
+	wild[0] = -2
+	wild[n-1] = n + 7
+
+	// Prefix: long-lived constants and masks (stable pointers).
+	hi := e.NewVec()
+	e.Broadcast16(hi, 4096)
+	mask := e.NewVec()
+	pat := make([]int16, n)
+	for i := range pat {
+		if i%3 == 0 {
+			pat[i] = -1
+		}
+	}
+	e.SetImm(mask, pat)
+	acc := e.NewVec()
+	e.LoadVec(acc, k.acc)
+
+	for it := 0; it < k.iters; it++ {
+		e.ProgMark("iteration")
+
+		// Fresh pointer every iteration: verification must rebind it.
+		scratch := e.NewVec()
+		a, b, t1, t2, d := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+
+		e.LoadVec(a, k.in)
+		e.LoadVec(b, k.in+int64(2*n))
+		e.PAddSW(acc, acc, a) // cross-iteration register state
+		e.PSubSW(t1, a, b)
+		e.PMaxSW(t2, t1, b)
+		e.PMinSW(t2, t2, hi)
+		e.PSraW(t2, t2, 1)
+
+		// Select shape: and,and,or,and,and,or.
+		e.PAnd(t1, a, mask)
+		e.PAndN(t2, mask, b)
+		e.POr(d, t1, t2)
+		e.PAnd(t1, d, mask)
+		e.PAndN(t2, mask, a)
+		e.POr(d, t1, t2)
+		e.PXor(scratch, d, a)
+
+		// Aliased and out-of-range permutes (replay parity with the
+		// engine's zeroing semantics).
+		e.PermuteW(d, d, rev)
+		e.PermuteW(scratch, scratch, wild)
+		e.StoreVec(k.out, d)
+		e.StoreVec(k.out+int64(2*n), scratch)
+
+		// Recursion shape: two permutes of one source + adds + max.
+		e.PermuteW(t1, acc, rev)
+		e.PermuteW(t2, acc, wild)
+		e.PAddSW(t1, t1, a)
+		e.PAddSW(t2, t2, b)
+		e.PMaxSW(d, t1, t2)
+		e.StoreVec(k.out+int64(4*n), d)
+		e.StoreVec(k.acc, acc)
+
+		// Scalar helper runs (copy / gamma / ext fusions).
+		for i := 0; i < 6; i++ {
+			e.CopyI16(k.out+int64(6*n+2*i), k.scalars+int64(2*i))
+		}
+		for i := 0; i < 3; i++ {
+			e.ScalarGammaPoint(
+				k.gamma+int64(4*i), k.gamma+int64(4*i+2),
+				k.scalars+int64(2*i), k.scalars+int64(2*i+8), k.acc+int64(2*i))
+		}
+		for i := 0; i < 2; i++ {
+			e.ScalarExtPoint(k.out+int64(8*n+2*i),
+				k.scalars+int64(2*i), k.acc+int64(2*i), k.gamma+int64(4*i), 8191)
+		}
+
+		// Lane traffic and 128-bit views.
+		e.PExtrWToMem(k.scalars+96, t2, n/2)
+		e.PInsrWFromMem(t2, k.scalars+96, 0)
+		e.Broadcast16FromMem(b, k.gamma)
+		e.LoadVec128(t1, k.in)
+		e.StoreVec128(k.out+int64(10*n), t1)
+		if k.w != simd.W128 {
+			e.VExtractI128(t1, t2, 1)
+			e.StoreVec128(k.out+int64(12*n), t1)
+		}
+		if k.w == simd.W512 {
+			e.VExtractI32x8(t1, acc, 1)
+			e.StoreVec(k.out+256, t1)
+		}
+		e.StoreVec(k.out+int64(2*n), scratch)
+
+		e.ReleaseVec(d, t2, t1, b, a)
+		// scratch is deliberately NOT released: next iteration's NewVec
+		// yields a different pointer.
+	}
+}
+
+// recordAndCompile runs the kernel interpreted with a Builder attached
+// and compiles the recording.
+func recordAndCompile(t *testing.T, w simd.Width, memBytes int, iters int) (*Program, *simd.Memory, *synthKernel) {
+	t.Helper()
+	mem := simd.NewMemory(memBytes)
+	e := simd.NewEngine(w, mem, nil)
+	k := newSynthKernel(w, mem)
+	k.seed(mem)
+	k.iters = iters
+	b := NewBuilder()
+	e.SetProgSink(b)
+	k.run(e)
+	e.SetProgSink(nil)
+	p, err := b.Compile(w)
+	if err != nil {
+		t.Fatalf("%v: compile: %v", w, err)
+	}
+	return p, mem, k
+}
+
+// TestReplayMatchesInterpreter is the core equivalence property: running
+// SegFirst once and SegSteady iters-1 times over a freshly seeded arena
+// must leave byte-identical memory to the interpreted run — across all
+// widths, with register state carried across iterations and with
+// per-iteration pointer churn in the recording.
+func TestReplayMatchesInterpreter(t *testing.T) {
+	const iters = 5
+	for _, w := range simd.Widths {
+		p, interpMem, k := recordAndCompile(t, w, 1<<14, iters)
+		if p.Width() != w {
+			t.Fatalf("%v: program width %v", w, p.Width())
+		}
+
+		replayMem := simd.NewMemory(1 << 14)
+		// Same allocation sequence -> same addresses.
+		rk := newSynthKernel(w, replayMem)
+		if *rk != (synthKernel{w: w, in: k.in, out: k.out, acc: k.acc, scalars: k.scalars, gamma: k.gamma}) {
+			t.Fatalf("%v: replay arena layout diverged", w)
+		}
+		rk.seed(replayMem)
+		p.Run(replayMem, SegFirst)
+		for it := 1; it < iters; it++ {
+			p.Run(replayMem, SegSteady)
+		}
+		if !bytes.Equal(interpMem.Bytes(0, interpMem.Size()), replayMem.Bytes(0, replayMem.Size())) {
+			for a := int64(0); a < int64(interpMem.Size()); a += 2 {
+				if x, y := interpMem.ReadI16(a), replayMem.ReadI16(a); x != y {
+					t.Errorf("%v: memory differs at %d: interpreted %d, replayed %d", w, a, x, y)
+					break
+				}
+			}
+		}
+		if p.FusedOps[SegSteady] >= p.RawOps[SegSteady] {
+			t.Errorf("%v: fusion did not shrink the steady segment (%d -> %d)",
+				w, p.RawOps[SegSteady], p.FusedOps[SegSteady])
+		}
+	}
+}
+
+// TestReplayIsRestartable: replaying the same compiled program over a
+// re-seeded arena must give the same bytes again (no hidden state left
+// in the program between runs beyond its register file, which SegFirst
+// fully re-establishes).
+func TestReplayIsRestartable(t *testing.T) {
+	const iters = 4
+	p, interpMem, k := recordAndCompile(t, simd.W256, 1<<14, iters)
+	for round := 0; round < 2; round++ {
+		mem := simd.NewMemory(1 << 14)
+		newSynthKernel(simd.W256, mem)
+		k.seed(mem)
+		p.Run(mem, SegFirst)
+		for it := 1; it < iters; it++ {
+			p.Run(mem, SegSteady)
+		}
+		if !bytes.Equal(interpMem.Bytes(0, interpMem.Size()), mem.Bytes(0, mem.Size())) {
+			t.Fatalf("round %d: replay diverged from interpreter", round)
+		}
+	}
+}
+
+// TestCompileTooFewIterations: a single recorded iteration has no
+// steady segment and must refuse to compile.
+func TestCompileTooFewIterations(t *testing.T) {
+	mem := simd.NewMemory(1 << 14)
+	e := simd.NewEngine(simd.W128, mem, nil)
+	k := newSynthKernel(simd.W128, mem)
+	k.seed(mem)
+	k.iters = 1
+	b := NewBuilder()
+	e.SetProgSink(b)
+	k.run(e)
+	e.SetProgSink(nil)
+	if _, err := b.Compile(simd.W128); !errors.Is(err, ErrTooFewIterations) {
+		t.Fatalf("compile of 1-iteration recording: %v, want ErrTooFewIterations", err)
+	}
+}
+
+// TestCompileUnstableStream: an op stream that changes after the steady
+// segment freezes — an extra op, or the same op with a different
+// immediate — must abort with ErrUnstable, not silently compile.
+func TestCompileUnstableStream(t *testing.T) {
+	build := func(tamper func(e *simd.Engine, it int, v *simd.Vec)) error {
+		mem := simd.NewMemory(1 << 12)
+		e := simd.NewEngine(simd.W128, mem, nil)
+		addr := mem.Alloc(64, 64)
+		b := NewBuilder()
+		e.SetProgSink(b)
+		v := e.NewVec()
+		for it := 0; it < 4; it++ {
+			e.ProgMark("iteration")
+			e.LoadVec(v, addr)
+			e.PAddSW(v, v, v)
+			e.StoreVec(addr, v)
+			tamper(e, it, v)
+		}
+		e.SetProgSink(nil)
+		_, err := b.Compile(simd.W128)
+		return err
+	}
+	if err := build(func(e *simd.Engine, it int, v *simd.Vec) {
+		if it == 3 {
+			e.PMaxSW(v, v, v) // extra op after freeze
+		}
+	}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("extra op in iteration 3: %v, want ErrUnstable", err)
+	}
+	if err := build(func(e *simd.Engine, it int, v *simd.Vec) {
+		imm := uint(1)
+		if it == 3 {
+			imm = 2 // same op, different immediate
+		}
+		e.PSraW(v, v, imm)
+	}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("changed immediate in iteration 3: %v, want ErrUnstable", err)
+	}
+	if err := build(func(e *simd.Engine, it int, v *simd.Vec) {
+		addr2 := int64(32)
+		if it == 3 {
+			addr2 = 48 // same op, different address
+		}
+		e.StoreVec(addr2, v)
+	}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("changed address in iteration 3: %v, want ErrUnstable", err)
+	}
+	// Control: an untampered stream compiles.
+	if err := build(func(*simd.Engine, int, *simd.Vec) {}); err != nil {
+		t.Errorf("stable stream failed to compile: %v", err)
+	}
+}

@@ -1,0 +1,365 @@
+package program
+
+import (
+	"encoding/binary"
+
+	"vransim/internal/simd"
+)
+
+func satAdd(a, b int16) int16 {
+	s := int32(a) + int32(b)
+	if s > 32767 {
+		return 32767
+	}
+	if s < -32768 {
+		return -32768
+	}
+	return int16(s)
+}
+
+func satSub(a, b int16) int16 {
+	s := int32(a) - int32(b)
+	if s > 32767 {
+		return 32767
+	}
+	if s < -32768 {
+		return -32768
+	}
+	return int16(s)
+}
+
+func rd16(data []byte, a int64) int16 {
+	return int16(binary.LittleEndian.Uint16(data[a:]))
+}
+
+func wr16(data []byte, a int64, x int16) {
+	binary.LittleEndian.PutUint16(data[a:], uint16(x))
+}
+
+// Run replays one segment directly over mem. The register file persists
+// across calls; a decode runs SegFirst once and SegSteady for every
+// iteration after the first. No state outside mem and the program's own
+// register file is touched, and the loop performs no allocation.
+func (p *Program) Run(mem *simd.Memory, seg int) {
+	data := mem.Bytes(0, mem.Size())
+	r := p.regs
+	L := p.lanes
+	for oi := range p.segs[seg] {
+		op := &p.segs[seg][oi]
+		switch op.kind {
+		case mClear:
+			clear(r[op.d : op.d+regStride])
+		case mAddS:
+			d, a, b := r[op.d:op.d+regStride], r[op.a:op.a+regStride], r[op.b:op.b+regStride]
+			for i := 0; i < L; i++ {
+				d[i] = satAdd(a[i], b[i])
+			}
+		case mSubS:
+			d, a, b := r[op.d:op.d+regStride], r[op.a:op.a+regStride], r[op.b:op.b+regStride]
+			for i := 0; i < L; i++ {
+				d[i] = satSub(a[i], b[i])
+			}
+		case mMaxS:
+			d, a, b := r[op.d:op.d+regStride], r[op.a:op.a+regStride], r[op.b:op.b+regStride]
+			for i := 0; i < L; i++ {
+				if a[i] > b[i] {
+					d[i] = a[i]
+				} else {
+					d[i] = b[i]
+				}
+			}
+		case mMinS:
+			d, a, b := r[op.d:op.d+regStride], r[op.a:op.a+regStride], r[op.b:op.b+regStride]
+			for i := 0; i < L; i++ {
+				if a[i] < b[i] {
+					d[i] = a[i]
+				} else {
+					d[i] = b[i]
+				}
+			}
+		case mAnd:
+			d, a, b := r[op.d:op.d+regStride], r[op.a:op.a+regStride], r[op.b:op.b+regStride]
+			for i := 0; i < L; i++ {
+				d[i] = a[i] & b[i]
+			}
+		case mOr:
+			d, a, b := r[op.d:op.d+regStride], r[op.a:op.a+regStride], r[op.b:op.b+regStride]
+			for i := 0; i < L; i++ {
+				d[i] = a[i] | b[i]
+			}
+		case mXor:
+			d, a, b := r[op.d:op.d+regStride], r[op.a:op.a+regStride], r[op.b:op.b+regStride]
+			for i := 0; i < L; i++ {
+				d[i] = a[i] ^ b[i]
+			}
+		case mAndN:
+			d, a, b := r[op.d:op.d+regStride], r[op.a:op.a+regStride], r[op.b:op.b+regStride]
+			for i := 0; i < L; i++ {
+				d[i] = ^a[i] & b[i]
+			}
+		case mSra:
+			d, a := r[op.d:op.d+regStride], r[op.a:op.a+regStride]
+			sh := uint(op.imm)
+			for i := 0; i < L; i++ {
+				d[i] = a[i] >> sh
+			}
+		case mBcastImm:
+			d := r[op.d : op.d+regStride]
+			x := int16(op.imm)
+			for i := 0; i < L; i++ {
+				d[i] = x
+			}
+		case mBcastMem:
+			d := r[op.d : op.d+regStride]
+			x := rd16(data, op.addr)
+			for i := 0; i < L; i++ {
+				d[i] = x
+			}
+		case mSetImm:
+			d := r[op.d : op.d+regStride]
+			clear(d)
+			copy(d, p.lanePats[op.tab])
+		case mPermute:
+			p.permute(r, op.d, op.a, p.idxTabs[op.tab])
+		case mExt128:
+			p.extract(r, op.d, op.a, 8*int(op.imm), 8)
+		case mExt256:
+			p.extract(r, op.d, op.a, 16*int(op.imm), 16)
+		case mLoad:
+			d := r[op.d : op.d+regStride]
+			clear(d)
+			n := int(op.imm) / 2
+			a := op.addr
+			for i := 0; i < n; i++ {
+				d[i] = rd16(data, a+int64(2*i))
+			}
+		case mStore:
+			a := r[op.a : op.a+regStride]
+			n := int(op.imm) / 2
+			ad := op.addr
+			for i := 0; i < n; i++ {
+				wr16(data, ad+int64(2*i), a[i])
+			}
+		case mExtrW:
+			wr16(data, op.addr, r[op.a+int32(op.imm)])
+		case mInsrW:
+			r[op.d+int32(op.imm)] = rd16(data, op.addr)
+		case mCopy16:
+			wr16(data, op.addr, rd16(data, op.addr2))
+		case mGammaPoint:
+			s := rd16(data, int64(p.aux32[op.tab]))
+			pv := rd16(data, int64(p.aux32[op.tab+1]))
+			la := rd16(data, int64(p.aux32[op.tab+2]))
+			sa := int32(s) + int32(la)
+			wr16(data, op.addr, sat16i(sa+int32(pv)))
+			wr16(data, op.addr2, sat16i(sa-int32(pv)))
+		case mExtPoint:
+			s := rd16(data, int64(p.aux32[op.tab]))
+			la := rd16(data, int64(p.aux32[op.tab+1]))
+			dv := rd16(data, int64(p.aux32[op.tab+2]))
+			x := int32(dv>>1) - int32(s) - int32(la)
+			wr16(data, op.addr, clampi(x, int32(op.imm)))
+
+		case mCopyRun:
+			t := p.aux[op.tab : op.tab+2*op.n]
+			for i := 0; i < len(t); i += 2 {
+				wr16(data, t[i], rd16(data, t[i+1]))
+			}
+		case mGammaRun:
+			t := p.aux[op.tab : op.tab+5*op.n]
+			for i := 0; i < len(t); i += 5 {
+				s := rd16(data, t[i+2])
+				pv := rd16(data, t[i+3])
+				la := rd16(data, t[i+4])
+				sa := int32(s) + int32(la)
+				wr16(data, t[i], sat16i(sa+int32(pv)))
+				wr16(data, t[i+1], sat16i(sa-int32(pv)))
+			}
+		case mExtRun:
+			t := p.aux[op.tab : op.tab+4*op.n]
+			cl := int32(op.imm)
+			for i := 0; i < len(t); i += 4 {
+				s := rd16(data, t[i+1])
+				la := rd16(data, t[i+2])
+				dv := rd16(data, t[i+3])
+				wr16(data, t[i], clampi(int32(dv>>1)-int32(s)-int32(la), cl))
+			}
+		case mGammaVec:
+			t := p.aux[op.tab : op.tab+11]
+			s, pv, la := r[t[0]:t[0]+regStride], r[t[1]:t[1]+regStride], r[t[2]:t[2]+regStride]
+			tt, g0, g1 := r[t[3]:t[3]+regStride], r[t[4]:t[4]+regStride], r[t[5]:t[5]+regStride]
+			sA, pA, laA, g0A, g1A := t[6], t[7], t[8], t[9], t[10]
+			for i := 0; i < L; i++ {
+				sv := rd16(data, sA+int64(2*i))
+				pvv := rd16(data, pA+int64(2*i))
+				lv := rd16(data, laA+int64(2*i))
+				tv := satAdd(sv, lv)
+				g0v := satAdd(tv, pvv)
+				g1v := satSub(tv, pvv)
+				s[i], pv[i], la[i], tt[i], g0[i], g1[i] = sv, pvv, lv, tv, g0v, g1v
+				wr16(data, g0A+int64(2*i), g0v)
+				wr16(data, g1A+int64(2*i), g1v)
+			}
+		case mExtVec:
+			t := p.aux[op.tab : op.tab+11]
+			dvec, s, la := r[t[0]:t[0]+regStride], r[t[1]:t[1]+regStride], r[t[2]:t[2]+regStride]
+			tt, half := r[t[3]:t[3]+regStride], r[t[4]:t[4]+regStride]
+			lim, nlim := r[t[5]:t[5]+regStride], r[t[6]:t[6]+regStride]
+			dA, sA, laA, oA := t[7], t[8], t[9], t[10]
+			sh := uint(op.imm)
+			for i := 0; i < L; i++ {
+				dv := rd16(data, dA+int64(2*i))
+				sv := rd16(data, sA+int64(2*i))
+				lv := rd16(data, laA+int64(2*i))
+				tv := satAdd(sv, lv)
+				h := satSub(dv>>sh, tv)
+				if h > lim[i] {
+					h = lim[i]
+				}
+				if h < nlim[i] {
+					h = nlim[i]
+				}
+				dvec[i], s[i], la[i], tt[i], half[i] = dv, sv, lv, tv, h
+				wr16(data, oA+int64(2*i), h)
+			}
+		case mSelect:
+			t := p.aux[op.tab : op.tab+12]
+			t1, t2 := r[t[0]:t[0]+regStride], r[t[1]:t[1]+regStride]
+			bg0, m0 := r[t[2]:t[2]+regStride], r[t[3]:t[3]+regStride]
+			bg1, m0n := r[t[4]:t[4]+regStride], r[t[5]:t[5]+regStride]
+			bm0 := r[t[6] : t[6]+regStride]
+			ng1, m1 := r[t[7]:t[7]+regStride], r[t[8]:t[8]+regStride]
+			ng0, m1n := r[t[9]:t[9]+regStride], r[t[10]:t[10]+regStride]
+			bm1 := r[t[11] : t[11]+regStride]
+			for i := 0; i < L; i++ {
+				x := bg0[i] & m0[i]
+				t1[i] = x
+				y := bg1[i] & m0n[i]
+				t2[i] = y
+				bm0[i] = x | y
+				x = ng1[i] & m1[i]
+				t1[i] = x
+				y = ng0[i] & m1n[i]
+				t2[i] = y
+				bm1[i] = x | y
+			}
+		case mPack:
+			nb := int(op.n)
+			t := p.aux[op.tab : op.tab+int32(3+2*nb)]
+			dst, pA, pT := r[t[0]:t[0]+regStride], r[t[1]:t[1]+regStride], r[t[2]:t[2]+regStride]
+			for i := 0; i < L; i++ {
+				v := rd16(data, t[3])
+				pA[i] = v
+				acc := v & r[t[4]+int64(i)]
+				for b := 1; b < nb; b++ {
+					v = rd16(data, t[3+2*b])
+					pA[i] = v
+					x := v & r[t[4+2*b]+int64(i)]
+					pT[i] = x
+					acc |= x
+				}
+				dst[i] = acc
+			}
+		case mRecurse:
+			t := p.aux[op.tab : op.tab+10]
+			p.permute(r, int32(t[0]), int32(t[2]), p.idxTabs[t[3]])
+			p.permute(r, int32(t[1]), int32(t[2]), p.idxTabs[t[4]])
+			r0, x0 := r[t[0]:t[0]+regStride], r[t[6]:t[6]+regStride]
+			r1, x1 := r[t[1]:t[1]+regStride], r[t[8]:t[8]+regStride]
+			c0, c1 := r[t[5]:t[5]+regStride], r[t[7]:t[7]+regStride]
+			if t[9] >= 0 {
+				d := r[t[9] : t[9]+regStride]
+				for i := 0; i < L; i++ {
+					a := satAdd(r0[i], x0[i])
+					b := satAdd(r1[i], x1[i])
+					c0[i], c1[i] = a, b
+					if a > b {
+						d[i] = a
+					} else {
+						d[i] = b
+					}
+				}
+			} else {
+				for i := 0; i < L; i++ {
+					c0[i] = satAdd(r0[i], x0[i])
+					c1[i] = satAdd(r1[i], x1[i])
+				}
+			}
+		case mHmax:
+			t := p.aux[op.tab : op.tab+6]
+			tmp, v, dst := int32(t[0]), int32(t[1]), int32(t[2])
+			p.permute(r, tmp, v, p.idxTabs[t[3]])
+			dd, vv, tt := r[dst:dst+regStride], r[v:v+regStride], r[tmp:tmp+regStride]
+			for i := 0; i < L; i++ {
+				if vv[i] > tt[i] {
+					dd[i] = vv[i]
+				} else {
+					dd[i] = tt[i]
+				}
+			}
+			for step := 1; step < 3; step++ {
+				p.permute(r, tmp, dst, p.idxTabs[t[3+step]])
+				for i := 0; i < L; i++ {
+					if tt[i] > dd[i] {
+						dd[i] = tt[i]
+					}
+				}
+			}
+		case mNormSub:
+			p.permute(r, op.a, op.d, p.idxTabs[op.tab])
+			d, norm := r[op.d:op.d+regStride], r[op.a:op.a+regStride]
+			for i := 0; i < L; i++ {
+				d[i] = satSub(d[i], norm[i])
+			}
+		}
+	}
+}
+
+// permute implements the engine's PermuteW semantics: active lanes only,
+// out-of-range or missing indices select zero, staging through scratch
+// so dst == src aliasing behaves identically.
+func (p *Program) permute(r []int16, d, a int32, idx []int32) {
+	L := p.lanes
+	tmp := p.tmp[:L]
+	clear(tmp)
+	src := r[a : a+regStride]
+	n := L
+	if len(idx) < n {
+		n = len(idx)
+	}
+	for i := 0; i < n; i++ {
+		if j := idx[i]; j >= 0 && int(j) < L {
+			tmp[i] = src[j]
+		}
+	}
+	copy(r[d:d+int32(L)], tmp)
+}
+
+// extract implements VExtractI128/VExtractI32x8: lanes [from, from+n) of
+// a into lanes [0, n) of d, the rest of d zeroed.
+func (p *Program) extract(r []int16, d, a int32, from, n int) {
+	tmp := p.tmp[:n]
+	copy(tmp, r[a+int32(from):a+int32(from+n)])
+	clear(r[d : d+regStride])
+	copy(r[d:d+int32(n)], tmp)
+}
+
+func sat16i(x int32) int16 {
+	if x > 32767 {
+		return 32767
+	}
+	if x < -32768 {
+		return -32768
+	}
+	return int16(x)
+}
+
+func clampi(x, c int32) int16 {
+	if x > c {
+		x = c
+	}
+	if x < -c {
+		x = -c
+	}
+	return int16(x)
+}

@@ -28,7 +28,13 @@ const (
 	StageBatch = "batch"
 	// StageDecode is the lane-parallel turbo decode itself.
 	StageDecode = "decode"
+	// StageCompile is the one-time trace-replay program compilation a
+	// worker pays on the first decode of a block size (see
+	// internal/simd/program); later decodes of that size replay the
+	// compiled program and never revisit this stage.
+	StageCompile = "compile"
 )
 
-// ServeStages lists the serving-path stages in pipeline order.
-func ServeStages() []string { return []string{StageQueue, StageBatch, StageDecode} }
+// ServeStages lists the serving-path stages in pipeline order (compile
+// last: it happens at most once per block size, off the per-block path).
+func ServeStages() []string { return []string{StageQueue, StageBatch, StageDecode, StageCompile} }

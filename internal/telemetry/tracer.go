@@ -9,11 +9,14 @@ import (
 // Stage indexes the serving stages of a Span.
 type Stage int
 
-// Serving stages in pipeline order.
+// Serving stages in pipeline order. SpanCompile is out-of-band: it is
+// recorded once per (worker, block size) when the decoder compiles a
+// replay program, not on every block's path.
 const (
 	SpanQueue Stage = iota
 	SpanBatch
 	SpanDecode
+	SpanCompile
 	NumStages
 )
 
@@ -26,6 +29,8 @@ func (s Stage) Name() string {
 		return StageBatch
 	case SpanDecode:
 		return StageDecode
+	case SpanCompile:
+		return StageCompile
 	}
 	return "unknown"
 }

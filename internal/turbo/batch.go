@@ -6,18 +6,30 @@ import (
 
 	"vransim/internal/core"
 	"vransim/internal/simd"
+	"vransim/internal/simd/program"
 )
 
 // decodePlan is the cached per-K decode state: the immutable plan
 // (code tables, constant registers, permutation indices — everything
 // initConstants derives from (K, width, strategy)) together with the
-// reusable scratch arena regions and output buffers. Building one is
-// the expensive cold path; afterwards every Decode for this K rewinds
-// and rewrites the same memory, allocating nothing.
+// reusable scratch arena regions and output buffers, and — the third
+// stage — the compiled replay program recorded from this plan's first
+// interpreted decode. Building one is the expensive cold path;
+// afterwards every Decode for this K rewinds and rewrites the same
+// memory, allocating nothing.
 type decodePlan struct {
 	code *Code
 	st   *multiState
 	dec  *MultiSIMDDecoder
+
+	// prog is the compiled replay program (nil until the first decode
+	// of this K records and compiles one; see BatchDecoder.Compile).
+	// It embeds absolute arena addresses, so eviction must discard it
+	// with the state.
+	prog *program.Program
+	// noCompile latches a failed compilation so the plan does not
+	// re-record on every decode; eviction resets it with the state.
+	noCompile bool
 }
 
 // BatchDecoder is the serving-side entry point for lane-parallel
@@ -39,9 +51,29 @@ type BatchDecoder struct {
 	MaxIters  int
 	EarlyExit bool
 
+	// Compile enables the plan -> scratch -> program third stage: the
+	// first Decode for a K runs interpreted with the engine's semantic
+	// recorder attached, the recorded stream is compiled into a fused
+	// replay program, and every later Decode for that K replays it
+	// directly over the arena (bit-identical, no per-µop dispatch).
+	// Defaults to true; engines with a trace recorder attached always
+	// stay interpreted (replay emits no µops, which would silently
+	// starve the timing model).
+	Compile bool
+
+	// OnCompile, when non-nil, is called synchronously after each
+	// successful program compilation with the block size and the
+	// wall-clock compile time (the telemetry hook for the compile
+	// span). Same single-goroutine rules as OnDecode.
+	OnCompile func(k int, elapsed time.Duration)
+
 	// Evictions counts how many times the arena filled up and the plan
 	// cache was flushed (a serving gauge; 0 in any sane configuration).
 	Evictions uint64
+
+	// Program-cache counters (see ProgramStats).
+	progHits, progMisses, compiles uint64
+	compileNs                      int64
 
 	// OnDecode, when non-nil, is called synchronously after every
 	// successful Decode with the block size, batch fill, iteration count
@@ -63,6 +95,7 @@ func NewBatchDecoder(w simd.Width, s core.Strategy, memBytes int) *BatchDecoder 
 		plans:     make(map[int]*decodePlan),
 		MaxIters:  6,
 		EarlyExit: true,
+		Compile:   true,
 	}
 }
 
@@ -109,6 +142,11 @@ func (bd *BatchDecoder) buildState(p *decodePlan) error {
 		for _, q := range bd.plans {
 			q.st = nil
 			q.dec = nil
+			// Compiled programs address the evicted arena regions
+			// directly; replaying one after the reset would corrupt
+			// whatever the arena now holds.
+			q.prog = nil
+			q.noCompile = false
 		}
 		bd.eng.Mem.AllocReset()
 		bd.Evictions++
@@ -144,7 +182,21 @@ func (bd *BatchDecoder) Decode(k int, words []*LLRWord) ([][]byte, int, error) {
 	if bd.OnDecode != nil {
 		start = time.Now()
 	}
-	bits, iters, err := p.dec.run(p.st, words)
+	var bits [][]byte
+	var iters int
+	switch {
+	case p.prog != nil:
+		bd.progHits++
+		bits, iters, err = bd.runCompiled(p, words)
+	case bd.Compile && !p.noCompile && bd.eng.Recorder() == nil:
+		bd.progMisses++
+		bits, iters, err = bd.recordAndCompile(p, words)
+	default:
+		if bd.Compile && bd.eng.Recorder() == nil {
+			bd.progMisses++
+		}
+		bits, iters, err = p.dec.run(p.st, words)
+	}
 	if err != nil {
 		return nil, 0, err
 	}

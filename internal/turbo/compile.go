@@ -1,0 +1,153 @@
+package turbo
+
+import (
+	"fmt"
+	"time"
+
+	"vransim/internal/core"
+	"vransim/internal/simd/program"
+)
+
+// This file is the BatchDecoder side of the trace-replay compiler: the
+// first interpreted decode of a (K, width, strategy) records the exact
+// engine op stream, internal/simd/program compiles it into a fused
+// replay program, and runCompiled drives that program through the same
+// iteration/early-exit protocol as MultiSIMDDecoder.run — producing
+// bit-identical outputs without per-µop interpretation.
+//
+// The split of responsibilities mirrors what is and is not
+// input-dependent in a decode:
+//
+//   - The op stream (instructions, arena addresses, index tables) is a
+//     pure function of (K, width, strategy, batch lanes) — compiled once
+//     and replayed.
+//   - The input copy-in (WriteInterleaved), the tail branch metrics
+//     (values derived from the block's tail LLRs) and the hard-decision
+//     bit scan are data-dependent *values* at fixed addresses — the Go
+//     driver below performs them around each replay, exactly as run()
+//     interleaves them with the engine ops.
+
+// ProgramStats is a snapshot of the decoder's program-cache counters.
+type ProgramStats struct {
+	// Hits counts Decodes served by compiled replay; Misses counts
+	// Decodes served by the interpreter while compilation was enabled
+	// (the recording decode itself, and plans that failed to compile).
+	Hits, Misses uint64
+	// Compiles counts successful program compilations; CompileTime is
+	// their cumulative wall-clock cost.
+	Compiles    uint64
+	CompileTime time.Duration
+	// CompiledPlans is the number of cached plans currently holding a
+	// replay program.
+	CompiledPlans int
+}
+
+// ProgramStats reports the compiled-program cache counters.
+func (bd *BatchDecoder) ProgramStats() ProgramStats {
+	s := ProgramStats{
+		Hits:        bd.progHits,
+		Misses:      bd.progMisses,
+		Compiles:    bd.compiles,
+		CompileTime: time.Duration(bd.compileNs),
+	}
+	for _, p := range bd.plans {
+		if p.prog != nil {
+			s.CompiledPlans++
+		}
+	}
+	return s
+}
+
+// recordAndCompile runs one interpreted decode with the semantic
+// recorder attached and compiles the recorded stream into p's replay
+// program. The decode's results are returned either way; a failed
+// compilation (too few iterations, unstable stream, unsupported op)
+// latches noCompile and the plan stays interpreted.
+func (bd *BatchDecoder) recordAndCompile(p *decodePlan, words []*LLRWord) ([][]byte, int, error) {
+	b := program.NewBuilder()
+	bd.eng.SetProgSink(b)
+	bits, iters, err := p.dec.run(p.st, words)
+	bd.eng.SetProgSink(nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	prog, cerr := b.Compile(bd.eng.W)
+	elapsed := time.Since(start)
+	if cerr != nil {
+		p.noCompile = true
+		return bits, iters, nil
+	}
+	p.prog = prog
+	bd.compiles++
+	bd.compileNs += elapsed.Nanoseconds()
+	if bd.OnCompile != nil {
+		bd.OnCompile(p.code.K, elapsed)
+	}
+	return bits, iters, nil
+}
+
+// runCompiled is the replay counterpart of MultiSIMDDecoder.run: same
+// padding, same iteration loop, same early-exit protocol, but each
+// iteration's engine work is one Program.Run over the arena. The
+// returned slices alias p.st.bits exactly like run()'s.
+func (bd *BatchDecoder) runCompiled(p *decodePlan, words []*LLRWord) ([][]byte, int, error) {
+	st := p.st
+	d := p.dec
+	nb := st.nb
+	if len(words) < 1 || len(words) > nb {
+		return nil, 0, fmt.Errorf("turbo: got %d blocks, state decodes 1..%d at once", len(words), nb)
+	}
+	requested := len(words)
+	st.words = append(st.words[:0], words...)
+	for len(st.words) < nb {
+		st.words = append(st.words, words[0])
+	}
+	mem := bd.eng.Mem
+	k := st.code.K
+	qpp := st.code.qpp
+
+	for b := 0; b < nb; b++ {
+		w := st.words[b]
+		core.WriteInterleaved(mem, st.in[b].Src, w.Sys, w.P1, w.P2)
+		st.in[b].TailSys = w.TailSys
+		st.in[b].TailP1 = w.TailP1
+		st.writeTailGammas(b)
+	}
+
+	bits, prev := st.bits, st.prev
+	iters := 0
+	for it := 0; it < d.MaxIters; it++ {
+		iters++
+		seg := program.SegSteady
+		if it == 0 {
+			seg = program.SegFirst
+		}
+		p.prog.Run(mem, seg)
+		for b := 0; b < nb; b++ {
+			for i := 0; i < k; i++ {
+				if mem.ReadI16(st.elemAddr(st.dPost[b], i)) < 0 {
+					bits[b][qpp.Perm(i)] = 1
+				} else {
+					bits[b][qpp.Perm(i)] = 0
+				}
+			}
+		}
+		if d.EarlyExit && it > 0 {
+			stable := true
+			for b := 0; b < nb; b++ {
+				if !equalBits(bits[b], prev[b]) {
+					stable = false
+					break
+				}
+			}
+			if stable {
+				break
+			}
+		}
+		for b := 0; b < nb; b++ {
+			copy(prev[b], bits[b])
+		}
+	}
+	return bits[:requested], iters, nil
+}

@@ -240,11 +240,8 @@ func (d *MultiSIMDDecoder) run(st *multiState, words []*LLRWord) ([][]byte, int,
 	m := d.mark(e, "interleave")
 	for b := 0; b < nb; b++ {
 		for i := 0; i < k; i++ {
-			src := lay.ElementAddr(st.in[b].S, core.ClusterS, qpp.Perm(i))
-			dstA := st.elemAddr(st.sPerm[b], i)
-			e.Mem.WriteI16(dstA, e.Mem.ReadI16(src))
-			e.EmitScalarLoad("movzx", src, 2)
-			e.EmitScalarStore("mov", dstA, 2)
+			e.CopyI16(st.elemAddr(st.sPerm[b], i),
+				lay.ElementAddr(st.in[b].S, core.ClusterS, qpp.Perm(i)))
 		}
 	}
 	d.setHi(m, e)
@@ -279,6 +276,10 @@ func (d *MultiSIMDDecoder) run(st *multiState, words []*LLRWord) ([][]byte, int,
 	iters := 0
 	for it := 0; it < d.MaxIters; it++ {
 		iters++
+		// Each iteration is one replay unit for the program compiler:
+		// the ops between consecutive marks are identical for every
+		// iteration after the first (which skips the rearrange).
+		e.ProgMark("iteration")
 		// Half 1: natural order, terminated.
 		rearrange()
 		for b := 0; b < nb; b++ {
@@ -293,11 +294,7 @@ func (d *MultiSIMDDecoder) run(st *multiState, words []*LLRWord) ([][]byte, int,
 		m = d.mark(e, "interleave")
 		for b := 0; b < nb; b++ {
 			for i := 0; i < k; i++ {
-				src := st.elemAddr(st.ext[b], qpp.Perm(i))
-				dstA := st.elemAddr(st.la2[b], i)
-				e.Mem.WriteI16(dstA, e.Mem.ReadI16(src))
-				e.EmitScalarLoad("movzx", src, 2)
-				e.EmitScalarStore("mov", dstA, 2)
+				e.CopyI16(st.elemAddr(st.la2[b], i), st.elemAddr(st.ext[b], qpp.Perm(i)))
 			}
 		}
 		d.setHi(m, e)
@@ -315,11 +312,7 @@ func (d *MultiSIMDDecoder) run(st *multiState, words []*LLRWord) ([][]byte, int,
 		m = d.mark(e, "interleave")
 		for b := 0; b < nb; b++ {
 			for i := 0; i < k; i++ {
-				src := st.elemAddr(st.ext[b], i)
-				dstA := st.elemAddr(st.la1[b], qpp.Perm(i))
-				e.Mem.WriteI16(dstA, e.Mem.ReadI16(src))
-				e.EmitScalarLoad("movzx", src, 2)
-				e.EmitScalarStore("mov", dstA, 2)
+				e.CopyI16(st.elemAddr(st.la1[b], qpp.Perm(i)), st.elemAddr(st.ext[b], i))
 				dAddr := st.elemAddr(st.dPost[b], i)
 				e.EmitScalarLoad("mov", dAddr, 2)
 				if e.Mem.ReadI16(dAddr) < 0 {
@@ -455,16 +448,10 @@ func (d *MultiSIMDDecoder) gamma(st *multiState, b int, sysBase, parBase int64, 
 		e.StoreVec(st.vecAddr(st.g1[b], g, 0), g1)
 	}
 	for i := groups * L; i < k; i++ {
-		sv := e.Mem.ReadI16(st.lay.ElementAddr(sysBase, core.ClusterS, i))
-		pv := e.Mem.ReadI16(st.lay.ElementAddr(parBase, parC, i))
-		lv := e.Mem.ReadI16(st.elemAddr(laBase, i))
-		sa := int32(sv) + int32(lv)
-		e.Mem.WriteI16(st.elemAddr(st.g0[b], i), sat16(sa+int32(pv)))
-		e.Mem.WriteI16(st.elemAddr(st.g1[b], i), sat16(sa-int32(pv)))
-		e.EmitScalar("add", 2)
-		e.EmitScalarLoad("mov", st.elemAddr(laBase, i), 2)
-		e.EmitScalarStore("mov", st.elemAddr(st.g0[b], i), 2)
-		e.EmitScalarStore("mov", st.elemAddr(st.g1[b], i), 2)
+		e.ScalarGammaPoint(st.elemAddr(st.g0[b], i), st.elemAddr(st.g1[b], i),
+			st.lay.ElementAddr(sysBase, core.ClusterS, i),
+			st.lay.ElementAddr(parBase, parC, i),
+			st.elemAddr(laBase, i))
 	}
 	e.ReleaseVec(s, p, la, t, g0, g1)
 	d.setHi(m, e)
@@ -473,15 +460,26 @@ func (d *MultiSIMDDecoder) gamma(st *multiState, b int, sysBase, parBase int64, 
 func (d *MultiSIMDDecoder) tails(st *multiState, b int) {
 	e := st.e
 	m := d.mark(e, "gamma")
-	w := st.in[b]
+	st.writeTailGammas(b)
 	for i := 0; i < 3; i++ {
-		sa, pp := int32(w.TailSys[i]), int32(w.TailP1[i])
-		e.Mem.WriteI16(st.tailG[b]+int64(4*i), sat16(sa+pp))
-		e.Mem.WriteI16(st.tailG[b]+int64(4*i+2), sat16(sa-pp))
 		e.EmitScalar("add", 2)
 		e.EmitScalarStore("mov", st.tailG[b]+int64(4*i), 4)
 	}
 	d.setHi(m, e)
+}
+
+// writeTailGammas stores block b's three termination-step branch
+// metrics. The values depend only on the block's tail inputs (not on
+// the iteration), so the compiled-replay driver writes them once per
+// decode up front; the interpreted path keeps calling it from tails()
+// every iteration, with identical results.
+func (st *multiState) writeTailGammas(b int) {
+	w := st.in[b]
+	for i := 0; i < 3; i++ {
+		sa, pp := int32(w.TailSys[i]), int32(w.TailP1[i])
+		st.e.Mem.WriteI16(st.tailG[b]+int64(4*i), sat16(sa+pp))
+		st.e.Mem.WriteI16(st.tailG[b]+int64(4*i+2), sat16(sa-pp))
+	}
 }
 
 func (st *multiState) gammaAddrs(b, k, blockK int) (int64, int64) {
@@ -656,13 +654,10 @@ func (d *MultiSIMDDecoder) extFin(st *multiState, b int, sysBase, laBase int64, 
 		e.StoreVec(st.vecAddr(st.ext[b], g, 0), half)
 	}
 	for i := groups * L; i < k; i++ {
-		sv := e.Mem.ReadI16(st.lay.ElementAddr(sysBase, core.ClusterS, i))
-		lv := e.Mem.ReadI16(st.elemAddr(laBase, i))
-		dV := e.Mem.ReadI16(st.elemAddr(st.dPost[b], i))
-		e.Mem.WriteI16(st.elemAddr(st.ext[b], i), clampExt(int32(dV>>1)-int32(sv)-int32(lv)))
-		e.EmitScalar("sub", 2)
-		e.EmitScalarLoad("mov", st.elemAddr(st.dPost[b], i), 2)
-		e.EmitScalarStore("mov", st.elemAddr(st.ext[b], i), 2)
+		e.ScalarExtPoint(st.elemAddr(st.ext[b], i),
+			st.lay.ElementAddr(sysBase, core.ClusterS, i),
+			st.elemAddr(laBase, i),
+			st.elemAddr(st.dPost[b], i), extClamp)
 	}
 	e.ReleaseVec(dvec, s, la, t, half, lim, nlim)
 	d.setHi(m, e)

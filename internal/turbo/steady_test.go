@@ -1,6 +1,7 @@
 package turbo
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -177,30 +178,54 @@ func TestBatchDecoderOutputStable(t *testing.T) {
 }
 
 // BenchmarkBatchDecodeSteadyState is the tentpole's headline benchmark:
-// full-batch pooled decode, per width, at a fixed mid-size K. Run with
-// -benchmem; CI gates allocs/op on it.
+// full-batch pooled decode, per width and per execution mode, at a fixed
+// mid-size K plus the largest LTE K at W512. "compiled" replays the
+// fused program recorded on the first decode; "interpreted" pins
+// Compile=false and measures the per-µop engine path the program
+// replaces. Run with -benchmem; CI gates allocs/op on it and the
+// compiled/interpreted ratio at W512 K=6144.
 func BenchmarkBatchDecodeSteadyState(b *testing.B) {
-	const k = 512
-	for _, w := range []simd.Width{simd.W128, simd.W256, simd.W512} {
-		b.Run(w.String(), func(b *testing.B) {
-			bd := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
-			c, err := bd.Code(k)
-			if err != nil {
-				b.Fatal(err)
+	cases := []struct {
+		w simd.Width
+		k int
+	}{
+		{simd.W128, 512}, {simd.W256, 512}, {simd.W512, 512}, {simd.W512, 6144},
+	}
+	for _, tc := range cases {
+		for _, compiled := range []bool{true, false} {
+			mode := "compiled"
+			if !compiled {
+				mode = "interpreted"
 			}
-			words, _ := buildWords(b, c, bd.Lanes(), 7, true)
-			if _, _, err := bd.Decode(k, words); err != nil { // warm-up
-				b.Fatal(err)
-			}
-			b.SetBytes(int64(k * bd.Lanes()))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, _, err := bd.Decode(k, words); err != nil {
+			b.Run(fmt.Sprintf("%v/K%d/%s", tc.w, tc.k, mode), func(b *testing.B) {
+				bd := NewBatchDecoder(tc.w, core.StrategyAPCM, 32<<20)
+				bd.Compile = compiled
+				c, err := bd.Code(tc.k)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				words, _ := buildWords(b, c, bd.Lanes(), 7, true)
+				// Two warm-ups: the first builds the plan and (in compiled
+				// mode) records + compiles the program; the second confirms
+				// the steady path is reached before the clock starts.
+				for i := 0; i < 2; i++ {
+					if _, _, err := bd.Decode(tc.k, words); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if compiled && bd.ProgramStats().CompiledPlans == 0 {
+					b.Fatal("warm-up did not compile a replay program")
+				}
+				b.SetBytes(int64(tc.k * bd.Lanes()))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := bd.Decode(tc.k, words); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

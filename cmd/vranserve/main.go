@@ -10,6 +10,15 @@
 //	          [-k 104] [-iters 4] [-rate 2.0] [-burst] [-ttis 2000]
 //	          [-tti 1ms] [-deadline 3ms] [-window 500µs] [-queue 64]
 //	          [-saturate] [-stats 1s] [-seed 1] [-admin :9090] [-notrace]
+//	          [-harq-retries 3] [-harq-procs 8]
+//	          [-chaos] [-chaos-seed 0] [-chaos-corrupt 0.05] [-chaos-crc 0.05]
+//	          [-chaos-stall 0] [-chaos-queue 0] [-chaos-evict 0]
+//	          [-chaos-compilefail 0]
+//
+// -chaos arms the seeded fault injector (internal/chaos) at the
+// runtime's fault sites; decode failures route through the HARQ
+// soft-combining retry path instead of dropping, visible as the
+// vran_harq_* and vran_chaos_* metric families on /metrics.
 //
 // With -admin an HTTP endpoint exposes the runtime while it serves:
 // /metrics (Prometheus text, ?format=json for JSON), /snapshot,
@@ -25,6 +34,7 @@ import (
 	"os"
 	"time"
 
+	"vransim/internal/chaos"
 	"vransim/internal/cliutil"
 	"vransim/internal/pipeline"
 	"vransim/internal/ran"
@@ -52,6 +62,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "traffic seed")
 	admin := flag.String("admin", "", "admin HTTP listen address (e.g. :9090; empty disables)")
 	notrace := flag.Bool("notrace", false, "disable span tracing even when -admin is set")
+	harqRetries := flag.Int("harq-retries", 3, "HARQ retransmission budget per block (0 disables the retry path)")
+	harqProcs := flag.Int("harq-procs", 8, "HARQ processes per (cell, UE)")
+	chaosOn := flag.Bool("chaos", false, "arm the fault injector (see -chaos-* rates)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault injector seed (0: derive from -seed)")
+	chaosCorrupt := flag.Float64("chaos-corrupt", 0.05, "probability a submitted word is received noisily")
+	chaosCRC := flag.Float64("chaos-crc", 0.05, "probability a decode's CRC verdict is forced to fail")
+	chaosStall := flag.Float64("chaos-stall", 0, "probability a worker stalls before a batch decode")
+	chaosQueue := flag.Float64("chaos-queue", 0, "probability admission behaves as if the cell queue were full")
+	chaosEvict := flag.Float64("chaos-evict", 0, "probability a worker's plan cache is flushed before a batch")
+	chaosCompile := flag.Float64("chaos-compilefail", 0, "probability a program compile-verify is failed")
 	flag.Parse()
 
 	w, err := cliutil.ParseWidth(*width)
@@ -70,6 +90,7 @@ func main() {
 	cfg.MaxIters = *iters
 	cfg.BatchWindow = *window
 	cfg.Deadline = *deadline
+	cfg.HARQ = ran.HARQConfig{MaxRetries: *harqRetries, Processes: *harqProcs}
 
 	var tracer *telemetry.Tracer
 	if *admin != "" && !*notrace {
@@ -77,11 +98,34 @@ func main() {
 	}
 	cfg.Tracer = tracer
 
-	rt, err := ran.New(cfg)
+	pool, err := ran.NewWordPool(*k, 128, 24, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		fatal("%v", err)
 	}
-	pool, err := ran.NewWordPool(*k, 128, 24, rand.New(rand.NewSource(*seed)))
+	// The pool's truth-compare hook is the closed-loop CRC stand-in: a
+	// chaos-corrupted reception that decodes to the wrong payload routes
+	// into the HARQ retry path instead of being delivered.
+	cfg.CheckCRC = pool.CheckCRC()
+
+	var inj *chaos.Injector
+	cs := *chaosSeed
+	if cs == 0 {
+		cs = *seed
+	}
+	if *chaosOn {
+		inj = chaos.New(chaos.Config{
+			Seed:        cs,
+			CorruptRate: *chaosCorrupt,
+			CRCRate:     *chaosCRC,
+			StallRate:   *chaosStall,
+			QueueRate:   *chaosQueue,
+			EvictRate:   *chaosEvict,
+			CompileRate: *chaosCompile,
+		})
+		cfg.Chaos = inj
+	}
+
+	rt, err := ran.New(cfg)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -96,7 +140,7 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "vranserve: uarch calibration skipped: %v\n", err)
 		}
-		adminSrv = ran.MountAdmin(rt, tracer, cal, *admin, ran.HealthPolicy{})
+		adminSrv = ran.MountAdmin(rt, tracer, cal, *admin, ran.HealthPolicy{}, inj.Families)
 		if err := adminSrv.Start(); err != nil {
 			fatal("admin endpoint: %v", err)
 		}
@@ -110,8 +154,14 @@ func main() {
 
 	fmt.Printf("vranserve: %d cells x %d UEs, %d workers, %v/%s, K=%d, %s arrivals at %.2f blocks/cell/TTI\n",
 		*cells, *ues, *workers, w, *mech, *k, arrivalName(*burst), *rate)
-	fmt.Printf("deadline %v, batch window %v (%d lanes), queue depth %d, %d TTIs of %v\n\n",
+	fmt.Printf("deadline %v, batch window %v (%d lanes), queue depth %d, %d TTIs of %v\n",
 		*deadline, *window, rt.Lanes(), *queue, *ttis, *tti)
+	fmt.Printf("HARQ: %d retries, %d processes/UE\n", *harqRetries, *harqProcs)
+	if inj != nil {
+		fmt.Printf("chaos armed (seed %d): corrupt=%.2f crc=%.2f stall=%.2f queue=%.2f evict=%.2f compilefail=%.2f\n",
+			cs, *chaosCorrupt, *chaosCRC, *chaosStall, *chaosQueue, *chaosEvict, *chaosCompile)
+	}
+	fmt.Println()
 
 	load := ran.LoadConfig{
 		UEsPerCell: *ues, TTI: *tti, MeanPerTTI: *rate,
@@ -136,7 +186,7 @@ func main() {
 		}
 	}
 	snap := rt.Stop()
-	final(snap, report, cfg, pool.K, *tti)
+	final(snap, report, cfg, pool.K, *tti, inj)
 }
 
 func arrivalName(burst bool) string {
@@ -158,7 +208,7 @@ func live(s *ran.Snapshot) {
 }
 
 // final prints the end-of-run report and the analytic cross-check.
-func final(s *ran.Snapshot, rep *ran.LoadReport, cfg ran.Config, k int, tti time.Duration) {
+func final(s *ran.Snapshot, rep *ran.LoadReport, cfg ran.Config, k int, tti time.Duration, inj *chaos.Injector) {
 	fmt.Printf("\n===== final report (%.1fs) =====\n", s.Elapsed.Seconds())
 	fmt.Printf("%-6s %10s %10s %10s %10s %10s\n", "cell", "accepted", "delivered", "dropped", "Mbps", "queue")
 	for i, c := range s.Cells {
@@ -176,6 +226,17 @@ func final(s *ran.Snapshot, rep *ran.LoadReport, cfg ran.Config, k int, tti time
 	fmt.Printf("latency p50/p90/p99: %v / %v / %v; mean decode %.0f µs/block\n",
 		s.LatencyP50.Round(10*time.Microsecond), s.LatencyP90.Round(10*time.Microsecond),
 		s.LatencyP99.Round(10*time.Microsecond), s.AvgDecodeUs)
+	if s.CRCFailures > 0 || s.HARQRetries > 0 {
+		fmt.Printf("HARQ: %d CRC failures, %d retries, %d recovered by combining; %d combines, %d buffer evictions; %d degraded batches\n",
+			s.CRCFailures, s.HARQRetries, s.HARQRecovered, s.HARQCombines, s.HARQEvictions, s.DegradedBatches)
+	}
+	if inj != nil {
+		fmt.Printf("chaos: ")
+		for _, c := range inj.Counters() {
+			fmt.Printf("%s=%d/%d ", c.Site, c.Fires, c.Trials)
+		}
+		fmt.Println("(injected/trials)")
+	}
 
 	// Cross-check against the analytic earliest-free-core model fed with
 	// the measured per-block decode cost and the actual arrival pattern.

@@ -1,0 +1,163 @@
+package phy
+
+import (
+	"testing"
+
+	"vransim/internal/turbo"
+)
+
+func llrWord(k int, fill int16) *turbo.LLRWord {
+	w := turbo.NewLLRWord(k)
+	for i := range w.Sys {
+		w.Sys[i] = fill
+		w.P1[i] = fill
+		w.P2[i] = fill
+	}
+	for i := 0; i < 3; i++ {
+		w.TailSys[i] = fill
+		w.TailP1[i] = fill
+	}
+	return w
+}
+
+// TestProcessSetCombine: repeated combines accumulate, attempts count
+// up, and the returned snapshot is independent of the buffer.
+func TestProcessSetCombine(t *testing.T) {
+	ps := NewProcessSet(8, 16)
+	w := llrWord(40, 10)
+	c1, n1, err := ps.Combine(0, 1, 2, w)
+	if err != nil || n1 != 1 {
+		t.Fatalf("first combine: %v attempts=%d", err, n1)
+	}
+	if c1.Sys[0] != 10 {
+		t.Errorf("first combine sample = %d, want 10", c1.Sys[0])
+	}
+	c2, n2, err := ps.Combine(0, 1, 2, w)
+	if err != nil || n2 != 2 {
+		t.Fatalf("second combine: %v attempts=%d", err, n2)
+	}
+	if c2.Sys[0] != 20 || c2.TailSys[0] != 20 {
+		t.Errorf("combined sample = %d/%d, want 20/20", c2.Sys[0], c2.TailSys[0])
+	}
+	// Snapshots are private copies: mutating one must not reach the
+	// buffer.
+	c2.Sys[0] = 99
+	c3, _, _ := ps.Combine(0, 1, 2, w)
+	if c3.Sys[0] != 30 {
+		t.Errorf("third combine sample = %d, want 30 (snapshot leaked into buffer)", c3.Sys[0])
+	}
+	if got := ps.Attempts(0, 1, 2); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	if ps.Len() != 1 {
+		t.Errorf("len = %d, want 1", ps.Len())
+	}
+}
+
+// TestProcessSetWraparound: process ids wrap modulo MaxProcs, so proc,
+// proc+MaxProcs and a negative id canonicalizing to the same residue all
+// land on one buffer.
+func TestProcessSetWraparound(t *testing.T) {
+	ps := NewProcessSet(8, 16)
+	w := llrWord(40, 5)
+	ps.Combine(1, 2, 3, w)
+	if _, n, err := ps.Combine(1, 2, 3+8, w); err != nil || n != 2 {
+		t.Fatalf("proc+MaxProcs missed the buffer: attempts=%d err=%v", n, err)
+	}
+	if _, n, err := ps.Combine(1, 2, 3-8, w); err != nil || n != 3 {
+		t.Fatalf("negative proc missed the buffer: attempts=%d err=%v", n, err)
+	}
+	if ps.Len() != 1 {
+		t.Errorf("wraparound created %d buffers, want 1", ps.Len())
+	}
+	// Different residue is a different buffer.
+	ps.Combine(1, 2, 4, w)
+	if ps.Len() != 2 {
+		t.Errorf("distinct residues share a buffer (len=%d)", ps.Len())
+	}
+}
+
+// TestProcessSetKMismatch: a transmission with a different K is rejected
+// and the live buffer is left untouched.
+func TestProcessSetKMismatch(t *testing.T) {
+	ps := NewProcessSet(8, 16)
+	ps.Combine(0, 0, 0, llrWord(40, 7))
+	if _, n, err := ps.Combine(0, 0, 0, llrWord(48, 7)); err == nil {
+		t.Fatal("K-mismatch combine accepted")
+	} else if n != 1 {
+		t.Errorf("mismatch reported %d attempts, want 1", n)
+	}
+	// The buffer still holds the original accumulation.
+	c, n, err := ps.Combine(0, 0, 0, llrWord(40, 7))
+	if err != nil || n != 2 {
+		t.Fatalf("post-mismatch combine: %v attempts=%d", err, n)
+	}
+	if c.Sys[0] != 14 {
+		t.Errorf("buffer corrupted by rejected combine: sample=%d, want 14", c.Sys[0])
+	}
+}
+
+// TestProcessSetEviction: combining past Capacity evicts the least-
+// recently-combined buffer; a later combine on the evicted key restarts
+// a fresh accumulation.
+func TestProcessSetEviction(t *testing.T) {
+	ps := NewProcessSet(8, 2)
+	w := llrWord(40, 3)
+	ps.Combine(0, 0, 0, w) // oldest
+	ps.Combine(0, 1, 0, w)
+	ps.Combine(0, 1, 0, w) // refresh key (0,1,0)
+	ps.Combine(0, 2, 0, w) // over capacity: evicts (0,0,0)
+	if ps.Len() != 2 {
+		t.Fatalf("len = %d, want 2 after eviction", ps.Len())
+	}
+	combines, evictions := ps.Stats()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	if combines != 4 {
+		t.Errorf("combines = %d, want 4", combines)
+	}
+	// Combine after eviction: starts over, not resuming the old count.
+	c, n, err := ps.Combine(0, 0, 0, w)
+	if err != nil || n != 1 {
+		t.Fatalf("post-eviction combine: %v attempts=%d, want fresh 1", err, n)
+	}
+	if c.Sys[0] != 3 {
+		t.Errorf("post-eviction sample = %d, want 3 (fresh accumulation)", c.Sys[0])
+	}
+}
+
+// TestProcessSetRelease frees the buffer and its attempt count.
+func TestProcessSetRelease(t *testing.T) {
+	ps := NewProcessSet(8, 16)
+	w := llrWord(40, 2)
+	ps.Combine(3, 4, 5, w)
+	ps.Combine(3, 4, 5, w)
+	ps.Release(3, 4, 5)
+	if ps.Len() != 0 {
+		t.Errorf("len = %d after release, want 0", ps.Len())
+	}
+	if ps.Attempts(3, 4, 5) != 0 {
+		t.Error("attempts survived release")
+	}
+	// Release also canonicalizes the process id.
+	ps.Combine(3, 4, 5, w)
+	ps.Release(3, 4, 5+8)
+	if ps.Len() != 0 {
+		t.Error("wrapped release missed the buffer")
+	}
+}
+
+// TestProcessSetSaturation: accumulation clamps at the channel-LLR bound
+// so a combined word never leaves the range every decoder build accepts.
+func TestProcessSetSaturation(t *testing.T) {
+	ps := NewProcessSet(8, 16)
+	w := llrWord(40, turbo.LLRLimit-1)
+	var c *turbo.LLRWord
+	for i := 0; i < 4; i++ {
+		c, _, _ = ps.Combine(0, 0, 0, w)
+	}
+	if c.Sys[0] != turbo.LLRLimit-1 {
+		t.Errorf("saturated sample = %d, want %d", c.Sys[0], turbo.LLRLimit-1)
+	}
+}

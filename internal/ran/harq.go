@@ -1,0 +1,234 @@
+package ran
+
+import (
+	"sync"
+	"time"
+
+	"vransim/internal/turbo"
+)
+
+// HARQConfig shapes the runtime's retransmission path. A decode whose
+// CRC check fails (Config.CheckCRC, or a chaos-forced failure) is not
+// dropped: its received word is chase-combined into the (cell, UE,
+// process) soft buffer, a retransmission is received, and the combined
+// word is re-enqueued for another decode — up to MaxRetries times, each
+// retry under a fresh per-transmission deadline. Exhausting the budget
+// (or a combine rejection) terminates the block as a DropHARQ.
+type HARQConfig struct {
+	// MaxRetries bounds the retransmissions after the first attempt.
+	// 0 disables the retry path entirely: CRC failures drop immediately.
+	MaxRetries int
+	// Processes is the HARQ process count per (cell, UE); process ids
+	// wrap modulo it (LTE FDD: 8). Default 8.
+	Processes int
+	// BufferCap bounds the live soft buffers across all processes
+	// (default Cells*QueueDepth); beyond it the least-recently-combined
+	// buffer is evicted and its block's recovery rests on later
+	// retransmissions alone.
+	BufferCap int
+}
+
+// withDefaults fills zero fields.
+func (h HARQConfig) withDefaults(cells, queueDepth int) HARQConfig {
+	if h.Processes <= 0 {
+		h.Processes = 8
+	}
+	if h.BufferCap <= 0 {
+		h.BufferCap = cells * queueDepth
+	}
+	return h
+}
+
+// retryQueue carries CRC-failed blocks from the workers back to the
+// dispatcher. It is unbounded (its occupancy is already bounded by
+// MaxRetries times the in-flight block count) so the requeue never
+// blocks a worker, and it closes exactly once — at Stop, after the
+// workers have drained — so every block is either decoded again or
+// visible to the shutdown reconciliation. An offer against the closed
+// queue fails, and the caller accounts the block as a shutdown drop.
+type retryQueue struct {
+	mu     sync.Mutex
+	buf    []*Block
+	closed bool
+}
+
+// offer enqueues b unless the queue is closed.
+func (q *retryQueue) offer(b *Block) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.buf = append(q.buf, b)
+	return true
+}
+
+// drain removes and returns all queued retries, stamping dequeue like a
+// cell queue drain.
+func (q *retryQueue) drain() []*Block {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) == 0 {
+		return nil
+	}
+	out := q.buf
+	q.buf = nil
+	now := time.Now()
+	for _, b := range out {
+		b.dequeued = now
+	}
+	return out
+}
+
+// depth reports the current retry backlog.
+func (q *retryQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
+// closeAndDrain marks the queue closed and returns whatever was still
+// enqueued — the shutdown reconciliation path.
+func (q *retryQueue) closeAndDrain() []*Block {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	out := q.buf
+	q.buf = nil
+	return out
+}
+
+// harqRelease frees the block's soft buffer after a terminal outcome
+// (delivered or dropped for any cause).
+func (r *Runtime) harqRelease(b *Block) {
+	if r.harq != nil {
+		r.harq.Release(b.Cell, b.UE, b.Process)
+	}
+}
+
+// retryOrDrop is the worker-side failure path: called for a block whose
+// decode finished in deadline but failed its CRC check. It either
+// re-enqueues a soft-combined retransmission or terminates the block
+// with a drop — exactly one of the two, so block accounting stays
+// conserved.
+func (r *Runtime) retryOrDrop(b *Block, now time.Time, busy time.Duration, iters int) {
+	if r.harq == nil || b.Attempt >= r.cfg.HARQ.MaxRetries {
+		r.met.drop(b.Cell, DropHARQ)
+		r.recordSpan(b, now, busy, iters, "harq_exhausted")
+		r.harqRelease(b)
+		return
+	}
+	if r.stopped.Load() {
+		// The dispatcher is (or is about to be) gone; a requeued block
+		// would never be decoded. Terminate it visibly instead.
+		r.met.drop(b.Cell, DropShutdown)
+		r.recordSpan(b, now, busy, iters, "harq_shutdown")
+		r.harqRelease(b)
+		return
+	}
+	// Deadline-aware backoff: the retry lives under a fresh
+	// per-transmission deadline; if that budget cannot even cover the
+	// batch window plus one measured decode, requeuing is hopeless work.
+	if r.cfg.AdmissionGuard {
+		if need := r.cfg.BatchWindow + time.Duration(r.estDecodeNs.Load()); r.cfg.Deadline < need {
+			r.met.drop(b.Cell, DropHARQ)
+			r.recordSpan(b, now, busy, iters, "harq_exhausted")
+			r.harqRelease(b)
+			return
+		}
+	}
+	// First failure: fold the first reception into the soft buffer.
+	// Later attempts' words are combined snapshots — already in there.
+	if b.Attempt == 0 {
+		if _, _, err := r.harq.Combine(b.Cell, b.UE, b.Process, b.Word); err != nil {
+			// K mismatch against a live buffer: reject, never corrupt.
+			r.met.drop(b.Cell, DropHARQ)
+			r.recordSpan(b, now, busy, iters, "harq_reject")
+			return
+		}
+	}
+	// The retransmission: a fresh reception of the same transmitted
+	// word (independently chaos-corrupted when an injector is armed),
+	// chase-combined with every earlier reception of this block.
+	rx := r.cfg.Chaos.CorruptWord(b.tx)
+	comb, _, err := r.harq.Combine(b.Cell, b.UE, b.Process, rx)
+	if err != nil {
+		r.met.drop(b.Cell, DropHARQ)
+		r.recordSpan(b, now, busy, iters, "harq_reject")
+		return
+	}
+	nb := &Block{
+		Cell: b.Cell, UE: b.UE, Process: b.Process, K: b.K,
+		Word: comb, tx: b.tx, Attempt: b.Attempt + 1,
+		// Arrived stays the first transmission's arrival so delivered
+		// latency covers the whole HARQ exchange; the deadline is per
+		// transmission.
+		Arrived:  b.Arrived,
+		Deadline: now.Add(r.cfg.Deadline),
+	}
+	if !r.retryq.offer(nb) {
+		r.met.drop(b.Cell, DropShutdown)
+		r.recordSpan(b, now, busy, iters, "harq_shutdown")
+		r.harqRelease(b)
+		return
+	}
+	r.met.harqRetry()
+	r.recordSpan(b, now, busy, iters, "harq_retry")
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+}
+
+// updateDegrade recomputes the graceful-degradation level from queue
+// pressure: the worst cell (or retry) backlog fraction maps onto a
+// ladder of iteration clamps the workers apply before the admission
+// path starts shedding load. Levels: ≥50 % backlog → 1, ≥75 % → 2,
+// ≥90 % → 3, clamped so the effective budget never drops below one
+// iteration. Called by the dispatcher each sweep; lock cost is one
+// mutex acquire per queue, which the sweep pays anyway.
+func (r *Runtime) updateDegrade() {
+	if r.cfg.MaxIters <= 1 {
+		return
+	}
+	worst := 0.0
+	for _, q := range r.queues {
+		if f := float64(q.depth()) / float64(r.cfg.QueueDepth); f > worst {
+			worst = f
+		}
+	}
+	if f := float64(r.retryq.depth()) / float64(r.cfg.QueueDepth); f > worst {
+		worst = f
+	}
+	lvl := 0
+	switch {
+	case worst >= 0.9:
+		lvl = 3
+	case worst >= 0.75:
+		lvl = 2
+	case worst >= 0.5:
+		lvl = 1
+	}
+	if maxLvl := r.cfg.MaxIters - 1; lvl > maxLvl {
+		lvl = maxLvl
+	}
+	r.degrade.Store(int32(lvl))
+}
+
+// checkBlock runs the post-decode acceptance check for one block:
+// the configured CRC check first, then any chaos-forced failure.
+func (r *Runtime) checkBlock(b *Block, bits []byte) bool {
+	if r.cfg.CheckCRC != nil && !r.cfg.CheckCRC(b, bits) {
+		return false
+	}
+	if r.cfg.Chaos.ForceCRCFail() {
+		return false
+	}
+	return true
+}
+
+// Submitted returns the originally submitted (transmitted) word for
+// this block — the pre-corruption reference CheckCRC implementations
+// key truth lookups on (Word may be a chaos-corrupted copy or a
+// HARQ-combined snapshot).
+func (b *Block) Submitted() *turbo.LLRWord { return b.tx }

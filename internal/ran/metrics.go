@@ -12,12 +12,17 @@ type DropCause int
 
 // Drop causes, in pipeline order: backlog (ingress queue full),
 // admission (deadline infeasible on arrival), expired (deadline passed
-// while queued or batching), late (decoded, but after the deadline).
+// while queued or batching), late (decoded, but after the deadline),
+// harq (CRC failed and the retry budget was exhausted, or a combine
+// was rejected), shutdown (a requeued HARQ retry could not be decoded
+// because the runtime was stopping).
 const (
 	DropBacklog DropCause = iota
 	DropAdmission
 	DropExpired
 	DropLate
+	DropHARQ
+	DropShutdown
 	numDropCauses
 )
 
@@ -32,6 +37,10 @@ func (c DropCause) String() string {
 		return "expired"
 	case DropLate:
 		return "late"
+	case DropHARQ:
+		return "harq"
+	case DropShutdown:
+		return "shutdown"
 	}
 	return "unknown"
 }
@@ -72,6 +81,14 @@ type Metrics struct {
 	progCompileNs atomic.Int64
 	compiledPlans atomic.Int64 // signed: eviction shrinks it
 
+	// HARQ/degradation counters: CRC-failed decodes, retransmissions
+	// requeued, blocks recovered by a combined retry, and batches
+	// decoded under a clamped iteration budget.
+	crcFailures     atomic.Uint64
+	harqRetries     atomic.Uint64
+	harqRecovered   atomic.Uint64
+	degradedBatches atomic.Uint64
+
 	// latency is the delivered-block end-to-end latency histogram
 	// (telemetry.Hist: lock-free log-bucketed, ≤12.5 % relative error on
 	// reconstructed percentiles).
@@ -92,6 +109,11 @@ func (m *Metrics) deliver(cell, bits int, latency time.Duration) {
 	c.bits.Add(uint64(bits))
 	m.latency.Observe(latency)
 }
+
+func (m *Metrics) crcFail()       { m.crcFailures.Add(1) }
+func (m *Metrics) harqRetry()     { m.harqRetries.Add(1) }
+func (m *Metrics) harqRecover()   { m.harqRecovered.Add(1) }
+func (m *Metrics) degradedBatch() { m.degradedBatches.Add(1) }
 
 func (m *Metrics) allocSample(objs uint64) {
 	m.allocSampleOps.Add(1)
@@ -175,6 +197,23 @@ type Snapshot struct {
 	// (hits+misses); 0 until the first decode.
 	CompiledRatio float64
 
+	// HARQ retransmission view: CRC-failed decodes, retries requeued,
+	// blocks recovered by a soft-combined retry, combine/eviction
+	// counts and live soft buffers from the process set, and the
+	// current retry backlog.
+	CRCFailures   uint64
+	HARQRetries   uint64
+	HARQRecovered uint64
+	HARQCombines  uint64
+	HARQEvictions uint64
+	HARQBuffers   int
+	RetryDepth    int
+
+	// Graceful-degradation view: the current iteration-clamp level
+	// (0 = full budget) and how many batches decoded under a clamp.
+	DegradeLevel    int
+	DegradedBatches uint64
+
 	LatencyP50 time.Duration
 	LatencyP90 time.Duration
 	LatencyP99 time.Duration
@@ -256,6 +295,10 @@ func (m *Metrics) snapshot(queueDepths []int, workers int) *Snapshot {
 	if tot := s.ProgramHits + s.ProgramMisses; tot > 0 {
 		s.CompiledRatio = float64(s.ProgramHits) / float64(tot)
 	}
+	s.CRCFailures = m.crcFailures.Load()
+	s.HARQRetries = m.harqRetries.Load()
+	s.HARQRecovered = m.harqRecovered.Load()
+	s.DegradedBatches = m.degradedBatches.Load()
 	s.LatencyP50 = m.latency.Percentile(0.50)
 	s.LatencyP90 = m.latency.Percentile(0.90)
 	s.LatencyP99 = m.latency.Percentile(0.99)

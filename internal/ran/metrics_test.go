@@ -15,6 +15,7 @@ func TestDropCauseNames(t *testing.T) {
 	want := map[DropCause]string{
 		DropBacklog: "backlog", DropAdmission: "admission",
 		DropExpired: "expired", DropLate: "late",
+		DropHARQ: "harq", DropShutdown: "shutdown",
 	}
 	for c, name := range want {
 		if c.String() != name {
@@ -79,7 +80,7 @@ func TestSnapshotPercentileOverflowBucket(t *testing.T) {
 // causes, Snapshot.DropsByCause must name every cause exactly once.
 func TestDropsAcrossAllCauses(t *testing.T) {
 	m := NewMetrics(2)
-	// Cell 0 gets 1,2,3,4 drops of the four causes; cell 1 gets 1 each.
+	// Cell 0 gets c+1 drops of cause c; cell 1 gets 1 each.
 	for c := DropCause(0); c < numDropCauses; c++ {
 		for n := 0; n <= int(c); n++ {
 			m.drop(0, c)
@@ -88,14 +89,16 @@ func TestDropsAcrossAllCauses(t *testing.T) {
 	}
 	s := m.snapshot([]int{0, 0}, 1)
 
-	if got := s.Cells[0].Dropped(); got != 1+2+3+4 {
-		t.Errorf("cell 0 dropped %d, want 10", got)
+	n := uint64(numDropCauses)
+	cell0 := n * (n + 1) / 2 // 1+2+...+numDropCauses
+	if got := s.Cells[0].Dropped(); got != cell0 {
+		t.Errorf("cell 0 dropped %d, want %d", got, cell0)
 	}
-	if got := s.Cells[1].Dropped(); got != uint64(numDropCauses) {
-		t.Errorf("cell 1 dropped %d, want %d", got, numDropCauses)
+	if got := s.Cells[1].Dropped(); got != n {
+		t.Errorf("cell 1 dropped %d, want %d", got, n)
 	}
-	if got := s.Dropped(); got != 10+uint64(numDropCauses) {
-		t.Errorf("total dropped %d, want %d", got, 10+uint64(numDropCauses))
+	if got := s.Dropped(); got != cell0+n {
+		t.Errorf("total dropped %d, want %d", got, cell0+n)
 	}
 	byCause := s.DropsByCause()
 	if len(byCause) != int(numDropCauses) {

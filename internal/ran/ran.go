@@ -25,7 +25,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vransim/internal/chaos"
 	"vransim/internal/core"
+	"vransim/internal/phy"
 	"vransim/internal/simd"
 	"vransim/internal/telemetry"
 	"vransim/internal/turbo"
@@ -35,14 +37,26 @@ import (
 type Block struct {
 	// Cell and UE identify the source (Cell indexes Config.Cells).
 	Cell, UE int
+	// Process is the HARQ process id the block's soft buffer is keyed
+	// by (wrapped modulo HARQConfig.Processes).
+	Process int
 	// K is the turbo information block size; blocks batch only with
 	// equal K.
 	K int
-	// Word is the received soft information.
+	// Word is the received soft information: the submitted word, a
+	// chaos-corrupted copy of it, or — on a retry — the HARQ-combined
+	// snapshot of every reception so far.
 	Word *turbo.LLRWord
+	// Attempt counts HARQ retransmissions: 0 for the first decode
+	// attempt, up to HARQConfig.MaxRetries.
+	Attempt int
 	// Arrived and Deadline are stamped by Submit.
 	Arrived  time.Time
 	Deadline time.Time
+
+	// tx is the originally submitted word — the reference a
+	// retransmission is regenerated from (see Submitted).
+	tx *turbo.LLRWord
 
 	// dequeued and batched are span-tracing stamps: when the dispatcher
 	// drained the block out of its cell queue, and when it entered the
@@ -101,6 +115,20 @@ type Config struct {
 	// queue wait, batch wait and decode time separately. Nil disables
 	// tracing with zero hot-path cost.
 	Tracer *telemetry.Tracer
+	// CheckCRC, when non-nil, is the post-decode transport-block
+	// acceptance check (the CRC attachment of a real stack): return
+	// false to declare the decode failed and route the block into the
+	// HARQ retransmission path. Called from worker goroutines; must be
+	// safe for concurrent use. Nil means every in-deadline decode
+	// passes (unless a chaos injector forces a failure).
+	CheckCRC func(b *Block, bits []byte) bool
+	// HARQ configures the retransmission/soft-combining path.
+	HARQ HARQConfig
+	// Chaos, when non-nil, arms fault injection at the runtime's fault
+	// sites (submit corruption, queue pressure, worker stalls, forced
+	// CRC failures, plan evictions, compile-verify failures). Nil
+	// injects nothing at zero hot-path cost.
+	Chaos *chaos.Injector
 }
 
 // DefaultConfig returns an LTE-shaped serving configuration.
@@ -115,6 +143,7 @@ func DefaultConfig(w simd.Width, s core.Strategy) Config {
 		BatchWindow:    500 * time.Microsecond,
 		Deadline:       3 * time.Millisecond,
 		AdmissionGuard: true,
+		HARQ:           HARQConfig{MaxRetries: 3, Processes: 8},
 	}
 }
 
@@ -125,13 +154,26 @@ type Runtime struct {
 	met    *Metrics
 	queues []*cellQueue
 
+	// harq holds the soft combining buffers (nil when the retry path is
+	// disabled); retryq carries CRC-failed blocks back to the
+	// dispatcher.
+	harq   *phy.ProcessSet
+	retryq *retryQueue
+
 	notify   chan struct{}
 	batches  chan batch
 	stop     chan struct{}
 	dispDone chan struct{}
 	workerWG sync.WaitGroup
+	// recDone closes after Stop's retry reconciliation, so racing Stop
+	// callers never snapshot before the shutdown drops are counted.
+	recDone chan struct{}
 
 	stopped atomic.Bool
+	// degrade is the current graceful-degradation level (0 = full
+	// iteration budget), recomputed by the dispatcher from queue
+	// pressure and read by every worker per batch.
+	degrade atomic.Int32
 	// estDecodeNs is an EWMA of per-block decode cost, feeding the
 	// admission guard.
 	estDecodeNs atomic.Int64
@@ -154,14 +196,22 @@ func New(cfg Config) (*Runtime, error) {
 	if turbo.BlocksPerRegister(cfg.Width) < 1 {
 		return nil, fmt.Errorf("ran: width %v too narrow for lane-parallel decode", cfg.Width)
 	}
+	if cfg.HARQ.MaxRetries > 0 {
+		cfg.HARQ = cfg.HARQ.withDefaults(cfg.Cells, cfg.QueueDepth)
+	}
 	r := &Runtime{
 		cfg:      cfg,
 		met:      NewMetrics(cfg.Cells),
 		queues:   make([]*cellQueue, cfg.Cells),
+		retryq:   &retryQueue{},
 		notify:   make(chan struct{}, 1),
 		batches:  make(chan batch, 2*cfg.Workers),
 		stop:     make(chan struct{}),
 		dispDone: make(chan struct{}),
+		recDone:  make(chan struct{}),
+	}
+	if cfg.HARQ.MaxRetries > 0 {
+		r.harq = phy.NewProcessSet(cfg.HARQ.Processes, cfg.HARQ.BufferCap)
 	}
 	for i := range r.queues {
 		r.queues[i] = newCellQueue(cfg.QueueDepth)
@@ -177,10 +227,20 @@ func New(cfg Config) (*Runtime, error) {
 // Lanes returns the batch width (blocks per decode) of this build.
 func (r *Runtime) Lanes() int { return turbo.BlocksPerRegister(r.cfg.Width) }
 
-// Submit offers one block for cell/UE with soft input word. It stamps
-// arrival and deadline, runs admission, and returns the outcome. Safe
-// for concurrent use; callers must stop submitting before Stop.
+// Submit offers one block for cell/UE with soft input word on HARQ
+// process 0. It stamps arrival and deadline, runs admission, and
+// returns the outcome. Safe for concurrent use; callers must stop
+// submitting before Stop.
 func (r *Runtime) Submit(cell, ue, k int, word *turbo.LLRWord) Admit {
+	return r.SubmitProcess(cell, ue, 0, k, word)
+}
+
+// SubmitProcess is Submit with an explicit HARQ process id: blocks on
+// the same (cell, ue, proc) share one soft combining buffer across
+// retransmissions, so callers multiplexing several in-flight transport
+// blocks per UE must cycle the process id (as LTE's 8-process
+// stop-and-wait does).
+func (r *Runtime) SubmitProcess(cell, ue, proc, k int, word *turbo.LLRWord) Admit {
 	if r.stopped.Load() {
 		return RejectedStopped
 	}
@@ -188,8 +248,11 @@ func (r *Runtime) Submit(cell, ue, k int, word *turbo.LLRWord) Admit {
 		return RejectedStopped
 	}
 	now := time.Now()
+	// A chaos injector may hand back a corrupted private copy — the
+	// noisy reception; the submitted word stays untouched as tx.
 	b := &Block{
-		Cell: cell, UE: ue, K: k, Word: word,
+		Cell: cell, UE: ue, Process: proc, K: k,
+		Word: r.cfg.Chaos.CorruptWord(word), tx: word,
 		Arrived:  now,
 		Deadline: now.Add(r.cfg.Deadline),
 	}
@@ -203,7 +266,7 @@ func (r *Runtime) Submit(cell, ue, k int, word *turbo.LLRWord) Admit {
 			return RejectedDeadline
 		}
 	}
-	if !r.queues[cell].offer(b) {
+	if r.cfg.Chaos.QueueOverflow() || !r.queues[cell].offer(b) {
 		r.met.drop(cell, DropBacklog)
 		return RejectedBacklog
 	}
@@ -221,13 +284,23 @@ func (r *Runtime) Submit(cell, ue, k int, word *turbo.LLRWord) Admit {
 // may be rejected.
 func (r *Runtime) Stop() *Snapshot {
 	if !r.stopped.CompareAndSwap(false, true) {
-		<-r.dispDone
-		r.workerWG.Wait()
+		<-r.recDone
 		return r.Snapshot()
 	}
 	close(r.stop)
 	<-r.dispDone
 	r.workerWG.Wait()
+	// Workers may have requeued HARQ retries after the dispatcher's
+	// final sweep; nothing will decode them now. Count every one as a
+	// shutdown drop so block accounting stays conserved — a requeued
+	// block is never silently lost.
+	now := time.Now()
+	for _, b := range r.retryq.closeAndDrain() {
+		r.met.drop(b.Cell, DropShutdown)
+		r.recordSpan(b, now, 0, 0, "harq_shutdown")
+		r.harqRelease(b)
+	}
+	close(r.recDone)
 	return r.Snapshot()
 }
 
@@ -237,7 +310,16 @@ func (r *Runtime) Snapshot() *Snapshot {
 	for i, q := range r.queues {
 		depths[i] = q.depth()
 	}
-	return r.met.snapshot(depths, r.cfg.Workers)
+	s := r.met.snapshot(depths, r.cfg.Workers)
+	// Runtime-owned HARQ/degradation state rides on top of the counter
+	// view (the metrics layer has no handle on the process set).
+	s.RetryDepth = r.retryq.depth()
+	s.DegradeLevel = int(r.degrade.Load())
+	if r.harq != nil {
+		s.HARQCombines, s.HARQEvictions = r.harq.Stats()
+		s.HARQBuffers = r.harq.Len()
+	}
+	return s
 }
 
 // dispatch is the single goroutine that moves blocks from the cell
@@ -293,9 +375,17 @@ func (r *Runtime) dispatch() {
 	}
 }
 
-// sweep drains every cell queue round-robin into the batcher,
-// forwarding batches as they fill.
+// sweep drains the retry queue and every cell queue round-robin into
+// the batcher, forwarding batches as they fill. It first recomputes
+// the degradation level from the backlog it is about to drain —
+// pressure the workers respond to one batch later.
 func (r *Runtime) sweep(lb *laneBatcher) {
+	r.updateDegrade()
+	for _, b := range r.retryq.drain() {
+		if bt, full := lb.add(b, time.Now()); full {
+			r.batches <- bt
+		}
+	}
 	for _, q := range r.queues {
 		for _, b := range q.drain() {
 			if bt, full := lb.add(b, time.Now()); full {
@@ -314,6 +404,11 @@ func (r *Runtime) worker() {
 	defer r.workerWG.Done()
 	bd := turbo.NewBatchDecoder(r.cfg.Width, r.cfg.Strategy, r.cfg.MemBytes)
 	bd.MaxIters = r.cfg.MaxIters
+	if r.cfg.Chaos != nil {
+		// Chaos compile-verify failures: a rejected program latches the
+		// plan onto the interpreter, exactly like a real verify failure.
+		bd.CompileGate = func(int) bool { return !r.cfg.Chaos.FailCompile() }
+	}
 	// The decoder's own timing hook is the decode-stage attribution
 	// source: it measures exactly the lane-parallel decode (and reports
 	// the iteration count), excluding the worker's bookkeeping around it.
@@ -354,12 +449,35 @@ func (r *Runtime) worker() {
 			if now.After(b.Deadline) {
 				r.met.drop(b.Cell, DropExpired)
 				r.recordSpan(b, now, 0, 0, "expired")
+				r.harqRelease(b)
 				continue
 			}
 			live = append(live, b)
 		}
 		if len(live) == 0 {
 			continue
+		}
+		// Chaos worker faults: a latency-spike stall, and plan-cache
+		// eviction storms (the decoder rebuilds evicted plans on the
+		// next decode; results are unaffected, only cost).
+		if d := r.cfg.Chaos.StallDuration(); d > 0 {
+			time.Sleep(d)
+		}
+		if r.cfg.Chaos.EvictPlans() {
+			bd.EvictAll()
+		}
+		// Graceful degradation: under backlog pressure the dispatcher
+		// raises the level and every worker clamps its iteration budget
+		// (never below one iteration) until the backlog clears.
+		if lvl := int(r.degrade.Load()); lvl > 0 {
+			over := r.cfg.MaxIters - lvl
+			if over < 1 {
+				over = 1
+			}
+			bd.ItersOverride = over
+			r.met.degradedBatch()
+		} else {
+			bd.ItersOverride = 0
 		}
 		words = words[:0]
 		for _, b := range live {
@@ -391,6 +509,7 @@ func (r *Runtime) worker() {
 			for _, b := range live {
 				r.met.drop(b.Cell, DropExpired)
 				r.recordSpan(b, time.Now(), 0, 0, "expired")
+				r.harqRelease(b)
 			}
 			continue
 		}
@@ -399,9 +518,21 @@ func (r *Runtime) worker() {
 			if end.After(b.Deadline) {
 				r.met.drop(b.Cell, DropLate)
 				r.recordSpan(b, end, busy, decodeIters, "late")
+				r.harqRelease(b)
+			} else if !r.checkBlock(b, bits[i]) {
+				// CRC failure: the HARQ path either re-enqueues a
+				// soft-combined retransmission or terminates the block
+				// with a drop. Failed decisions never reach OnDecoded.
+				r.met.crcFail()
+				r.retryOrDrop(b, end, busy, decodeIters)
+				continue
 			} else {
+				if b.Attempt > 0 {
+					r.met.harqRecover()
+				}
 				r.met.deliver(b.Cell, b.K, end.Sub(b.Arrived))
 				r.recordSpan(b, end, busy, decodeIters, "delivered")
+				r.harqRelease(b)
 			}
 			if r.cfg.OnDecoded != nil {
 				r.cfg.OnDecoded(b, bits[i])

@@ -76,6 +76,15 @@ func (s *Snapshot) Families() []telemetry.Family {
 		telemetry.F("vran_decode_compiles_total", "Replay program compilations across workers.", telemetry.Counter, float64(s.ProgramCompiles)),
 		telemetry.F("vran_decode_compile_seconds_total", "Cumulative wall-clock time spent compiling replay programs.", telemetry.Counter, s.CompileSeconds),
 		telemetry.F("vran_decode_compiled_plans", "Cached decode plans currently holding a compiled program.", telemetry.Gauge, float64(s.CompiledPlans)),
+		telemetry.F("vran_crc_failures_total", "Decodes whose transport-block check failed (incl. chaos-forced).", telemetry.Counter, float64(s.CRCFailures)),
+		telemetry.F("vran_harq_retries_total", "HARQ retransmissions requeued for another decode.", telemetry.Counter, float64(s.HARQRetries)),
+		telemetry.F("vran_harq_recovered_total", "Blocks delivered by a soft-combined HARQ retry.", telemetry.Counter, float64(s.HARQRecovered)),
+		telemetry.F("vran_harq_combines_total", "Receptions chase-combined into soft buffers.", telemetry.Counter, float64(s.HARQCombines)),
+		telemetry.F("vran_harq_evictions_total", "Soft buffers evicted under capacity pressure.", telemetry.Counter, float64(s.HARQEvictions)),
+		telemetry.F("vran_harq_buffers", "Live HARQ soft combining buffers.", telemetry.Gauge, float64(s.HARQBuffers)),
+		telemetry.F("vran_harq_retry_depth", "Blocks waiting in the retry queue.", telemetry.Gauge, float64(s.RetryDepth)),
+		telemetry.F("vran_degrade_level", "Current graceful-degradation iteration-clamp level (0 = full budget).", telemetry.Gauge, float64(s.DegradeLevel)),
+		telemetry.F("vran_degraded_batches_total", "Batches decoded under a clamped iteration budget.", telemetry.Counter, float64(s.DegradedBatches)),
 		lat,
 	}
 }
@@ -153,8 +162,9 @@ type snapshotBody struct {
 // MountAdmin wires a runtime, an optional tracer and an optional uarch
 // calibration result into an admin server on addr (not yet started).
 // All endpoint bodies are built from live Snapshot/tracer state at
-// request time.
-func MountAdmin(rt *Runtime, tr *telemetry.Tracer, cal *uarch.Result, addr string, pol HealthPolicy) *telemetry.AdminServer {
+// request time. Extra family sources (e.g. a chaos injector's
+// Families) are appended to every /metrics scrape.
+func MountAdmin(rt *Runtime, tr *telemetry.Tracer, cal *uarch.Result, addr string, pol HealthPolicy, extra ...func() []telemetry.Family) *telemetry.AdminServer {
 	return telemetry.NewAdmin(telemetry.AdminConfig{
 		Addr: addr,
 		Metrics: func() []telemetry.Family {
@@ -162,6 +172,9 @@ func MountAdmin(rt *Runtime, tr *telemetry.Tracer, cal *uarch.Result, addr strin
 			fams = append(fams, tr.Families()...)
 			if cal != nil {
 				fams = append(fams, telemetry.UarchFamilies(*cal, "calibration")...)
+			}
+			for _, fn := range extra {
+				fams = append(fams, fn()...)
 			}
 			return fams
 		},

@@ -18,6 +18,9 @@ type WordPool struct {
 	K     int
 	words []*turbo.LLRWord
 	truth [][]byte
+	// byWord keys truth by word identity, for CheckCRC implementations
+	// that verify decoded bits against the encoded payload.
+	byWord map[*turbo.LLRWord][]byte
 }
 
 // NewWordPool encodes n random K-bit blocks at LLR amplitude amp using
@@ -30,7 +33,7 @@ func NewWordPool(k, n int, amp int16, rng *rand.Rand) (*WordPool, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &WordPool{K: k}
+	p := &WordPool{K: k, byWord: make(map[*turbo.LLRWord][]byte, n)}
 	for i := 0; i < n; i++ {
 		bits := make([]byte, k)
 		for j := range bits {
@@ -44,8 +47,41 @@ func NewWordPool(k, n int, amp int16, rng *rand.Rand) (*WordPool, error) {
 		w.FromHard(cw, 24)
 		p.words = append(p.words, w)
 		p.truth = append(p.truth, bits)
+		p.byWord[w] = bits
 	}
 	return p, nil
+}
+
+// Lookup returns the encoded payload of a pool word (keyed by word
+// identity) — the truth reference a CheckCRC hook compares decoded
+// bits against. The word must be one the pool handed out via Get;
+// look up a Block's Submitted() word, not its possibly corrupted or
+// combined Word.
+func (p *WordPool) Lookup(w *turbo.LLRWord) ([]byte, bool) {
+	bits, ok := p.byWord[w]
+	return bits, ok
+}
+
+// CheckCRC returns a Config.CheckCRC hook that verifies decoded bits
+// against the pool's encoded payloads — the closed-loop stand-in for a
+// real transport-block CRC. Unknown words pass (the hook only judges
+// traffic it generated).
+func (p *WordPool) CheckCRC() func(b *Block, bits []byte) bool {
+	return func(b *Block, bits []byte) bool {
+		truth, ok := p.Lookup(b.Submitted())
+		if !ok {
+			return true
+		}
+		if len(truth) != len(bits) {
+			return false
+		}
+		for i := range truth {
+			if truth[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
 }
 
 // Get returns word i (mod pool size) and its true payload bits.
@@ -123,8 +159,11 @@ func OfferLoad(rt *Runtime, pool *WordPool, cfg LoadConfig, paced bool) *LoadRep
 				arrivals[t] = n
 				for j := 0; j < n; j++ {
 					w, _ := pool.Get(wordIdx)
+					// Cycle the HARQ process id so concurrent in-flight
+					// blocks of one UE never share a soft buffer (the id
+					// wraps modulo the runtime's process count).
+					rt.SubmitProcess(cell, j%cfg.UEsPerCell, wordIdx, pool.K, w)
 					wordIdx++
-					rt.Submit(cell, j%cfg.UEsPerCell, pool.K, w)
 				}
 				if paced {
 					next = next.Add(cfg.TTI)

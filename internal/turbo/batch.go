@@ -51,6 +51,20 @@ type BatchDecoder struct {
 	MaxIters  int
 	EarlyExit bool
 
+	// ItersOverride, when positive, clamps the effective iteration
+	// budget to min(MaxIters, ItersOverride) without touching the
+	// configured MaxIters — the graceful-degradation knob a serving
+	// worker turns under overload and releases (set 0) when the backlog
+	// clears. It never raises the budget above MaxIters.
+	ItersOverride int
+
+	// CompileGate, when non-nil, is consulted before each program
+	// compilation is accepted; returning false discards the compiled
+	// program as if verification had failed, latching the plan onto the
+	// interpreter (the chaos hook for compile-verify failures). Same
+	// single-goroutine rules as OnDecode.
+	CompileGate func(k int) bool
+
 	// Compile enables the plan -> scratch -> program third stage: the
 	// first Decode for a K runs interpreted with the engine's semantic
 	// recorder attached, the recorded stream is compiled into a fused
@@ -131,6 +145,32 @@ func (bd *BatchDecoder) plan(k int) (*decodePlan, error) {
 	return p, nil
 }
 
+// EvictAll flushes every cached plan's decode state, scratch and
+// compiled program and rewinds the arena — the same reset an
+// arena-pressure eviction performs, but driven explicitly (the chaos
+// injector's eviction-storm hook, and a recovery lever after a
+// suspected arena corruption). The next Decode of each K rebuilds its
+// plan from the cached code tables; results are unaffected.
+func (bd *BatchDecoder) EvictAll() {
+	for _, q := range bd.plans {
+		q.st = nil
+		q.dec = nil
+		q.prog = nil
+		q.noCompile = false
+	}
+	bd.eng.Mem.AllocReset()
+	bd.Evictions++
+}
+
+// effIters is the iteration budget decodes actually run under:
+// MaxIters clamped by ItersOverride when the override is engaged.
+func (bd *BatchDecoder) effIters() int {
+	if bd.ItersOverride > 0 && bd.ItersOverride < bd.MaxIters {
+		return bd.ItersOverride
+	}
+	return bd.MaxIters
+}
+
 // buildState allocates plan p's decode state, evicting every cached
 // state and rewinding the arena if the remaining arena space cannot
 // hold it. Scratch contents are rewritten on every decode, so eviction
@@ -176,7 +216,7 @@ func (bd *BatchDecoder) Decode(k int, words []*LLRWord) ([][]byte, int, error) {
 			return nil, 0, err
 		}
 	}
-	p.dec.MaxIters = bd.MaxIters
+	p.dec.MaxIters = bd.effIters()
 	p.dec.EarlyExit = bd.EarlyExit
 	var start time.Time
 	if bd.OnDecode != nil {

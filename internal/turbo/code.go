@@ -136,3 +136,54 @@ func hardLLR(bit byte, amp int16) int16 {
 	}
 	return -amp
 }
+
+// Clone returns an independent copy of the word.
+func (w *LLRWord) Clone() *LLRWord {
+	c := &LLRWord{
+		Sys:     append([]int16(nil), w.Sys...),
+		P1:      append([]int16(nil), w.P1...),
+		P2:      append([]int16(nil), w.P2...),
+		TailSys: w.TailSys,
+		TailP1:  w.TailP1,
+	}
+	return c
+}
+
+// Accumulate saturating-adds src's soft values into w — HARQ chase
+// combining in the LLR-word domain. Repeated receptions of the same
+// codeword add coherently (the signal doubles) while independent noise
+// adds in quadrature, which is why a combined retransmission decodes
+// where each reception alone did not. Both words must belong to the
+// same block size. Sums saturate at ±(LLRLimit-1): the combined word
+// stays inside the channel-LLR range every decoder build accepts, so
+// SIMD and scalar decodes of it remain bit-identical.
+func (w *LLRWord) Accumulate(src *LLRWord) error {
+	if len(w.Sys) != len(src.Sys) {
+		return fmt.Errorf("turbo: combine K mismatch: %d vs %d", len(w.Sys), len(src.Sys))
+	}
+	acc := func(dst, s []int16) {
+		for i := range dst {
+			dst[i] = satAddLLR(dst[i], s[i])
+		}
+	}
+	acc(w.Sys, src.Sys)
+	acc(w.P1, src.P1)
+	acc(w.P2, src.P2)
+	for i := 0; i < 3; i++ {
+		w.TailSys[i] = satAddLLR(w.TailSys[i], src.TailSys[i])
+		w.TailP1[i] = satAddLLR(w.TailP1[i], src.TailP1[i])
+	}
+	return nil
+}
+
+// satAddLLR adds two channel LLRs saturating at ±(LLRLimit-1).
+func satAddLLR(a, b int16) int16 {
+	s := int32(a) + int32(b)
+	if s > LLRLimit-1 {
+		s = LLRLimit - 1
+	}
+	if s < -(LLRLimit - 1) {
+		s = -(LLRLimit - 1)
+	}
+	return int16(s)
+}

@@ -78,6 +78,12 @@ func (bd *BatchDecoder) recordAndCompile(p *decodePlan, words []*LLRWord) ([][]b
 		p.noCompile = true
 		return bits, iters, nil
 	}
+	if bd.CompileGate != nil && !bd.CompileGate(p.code.K) {
+		// Rejected post-compilation: indistinguishable from a verify
+		// failure downstream — the plan latches onto the interpreter.
+		p.noCompile = true
+		return bits, iters, nil
+	}
 	p.prog = prog
 	bd.compiles++
 	bd.compileNs += elapsed.Nanoseconds()

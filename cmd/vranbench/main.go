@@ -6,11 +6,13 @@
 //	vranbench [-quick] all
 //	vranbench [-quick] fig13 fig14 …
 //	vranbench [-quick] -decodejson BENCH_decode.json
+//	vranbench [-quick] -shardjson BENCH_shard.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vransim/internal/bench"
@@ -20,6 +22,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	list := flag.Bool("list", false, "list available experiments")
 	decodeJSON := flag.String("decodejson", "", "write the steady-state decode benchmark report to this file and exit")
+	shardJSON := flag.String("shardjson", "", "write the 1-vs-2-shard fleet benchmark report to this file and exit")
 	flag.Parse()
 
 	if *list {
@@ -29,28 +32,40 @@ func main() {
 		return
 	}
 	if *decodeJSON != "" {
-		f, err := os.Create(*decodeJSON)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vranbench:", err)
-			os.Exit(1)
-		}
-		if err := bench.WriteDecodeBenchJSON(f, *quick); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, "vranbench:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "vranbench:", err)
-			os.Exit(1)
-		}
+		writeReport(*decodeJSON, *quick, bench.WriteDecodeBenchJSON)
 		return
 	}
-	args := flag.Args()
+	if *shardJSON != "" {
+		writeReport(*shardJSON, *quick, bench.WriteShardBenchJSON)
+		return
+	}
+	runExperiments(flag.Args(), *quick)
+}
+
+// writeReport streams one machine-readable benchmark report to path.
+func writeReport(path string, quick bool, write func(w io.Writer, quick bool) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vranbench:", err)
+		os.Exit(1)
+	}
+	if err := write(f, quick); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "vranbench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "vranbench:", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiments(args []string, quick bool) {
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: vranbench [-quick] all | <experiment-id>... (see -list)")
 		os.Exit(2)
 	}
-	opts := bench.Options{Quick: *quick}
+	opts := bench.Options{Quick: quick}
 	for _, id := range args {
 		if id == "all" {
 			if err := bench.RunAll(os.Stdout, opts); err != nil {

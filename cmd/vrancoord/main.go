@@ -1,0 +1,248 @@
+// Command vrancoord is the DU-side coordinator of a distributed vRAN
+// deployment: it dials a fleet of vranshard workers over TCP, owns the
+// cell→shard route, streams synthetic traffic through the fronthaul,
+// optionally migrates a live cell mid-run (or lets the skew rebalancer
+// do it), and reports the fleet-aggregated ledger at the end.
+//
+// Usage:
+//
+//	vrancoord -shards 127.0.0.1:7101,127.0.0.1:7102
+//	          [-cells 4] [-k 40] [-per-tti 8] [-ttis 400] [-tti 1ms]
+//	          [-deadline 10ms] [-seed 1] [-admin :9190] [-hold 0s]
+//	          [-migrate-cell -1] [-migrate-at -1]
+//	          [-rebalance-every 0] [-rebalance-skew 32] …
+//	          [-chaos] [-chaos-linkdrop 0.02] …
+//
+// Each shard gets two connections: a data link (the lossy U-plane,
+// where -chaos-link* faults apply) and a control link (the reliable
+// M-plane carrying snapshot and migration RPCs). Traffic is -per-tti
+// blocks per TTI, round-robined across cells with distinct (UE, HARQ
+// process) pairs per concurrently-live block. With -admin the
+// coordinator exposes /metrics: the fleet-aggregated vran_* families
+// plus the vran_shard_* routing/migration/link overlay; -hold keeps the
+// endpoint up after the run for scrapers. The process exits non-zero if
+// the fleet ledger does not balance (accepted ≠ delivered + terminal
+// drops after settling).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"vransim/internal/chaos"
+	"vransim/internal/cliutil"
+	"vransim/internal/fronthaul"
+	"vransim/internal/ran"
+	"vransim/internal/shard"
+)
+
+func main() {
+	shards := flag.String("shards", "", "comma-separated vranshard addresses (required)")
+	cells := flag.Int("cells", 4, "fleet-wide cell count (must match the workers' -cells)")
+	k := flag.Int("k", 40, "turbo code block size")
+	perTTI := flag.Int("per-tti", 8, "blocks submitted per TTI (round-robin across cells)")
+	ttis := flag.Int("ttis", 400, "run horizon in TTIs")
+	tti := flag.Duration("tti", time.Millisecond, "TTI length")
+	deadline := flag.Duration("deadline", 10*time.Millisecond, "per-block budget hint stamped into data frames")
+	seed := flag.Int64("seed", 1, "traffic and chaos seed")
+	admin := flag.String("admin", "", "admin HTTP listen address (e.g. :9190; empty disables)")
+	hold := flag.Duration("hold", 0, "keep the admin endpoint up this long after the run")
+	migrateCell := flag.Int("migrate-cell", -1, "cell to force-migrate mid-run (-1 disables)")
+	migrateAt := flag.Int("migrate-at", -1, "TTI index of the forced migration (-1: half the horizon)")
+	connectTimeout := flag.Duration("connect-timeout", 10*time.Second, "per-shard dial budget (retries until it expires)")
+	settleTimeout := flag.Duration("settle", 30*time.Second, "post-traffic settle budget")
+	rb := cliutil.RegisterRebalance(flag.CommandLine)
+	cf := cliutil.RegisterChaos(flag.CommandLine)
+	flag.Parse()
+
+	addrs, err := cliutil.ParseShardAddrs(*shards)
+	if err != nil {
+		fatal("-shards: %v", err)
+	}
+	inj := cf.Injector(*seed)
+
+	// Two links per shard: the chaos-faulted data plane and the clean
+	// control plane. Workers may still be starting — retry the dials.
+	conns := make([]*shard.ShardConn, len(addrs))
+	for i, addr := range addrs {
+		data, err := dialRetry(addr, *connectTimeout)
+		if err != nil {
+			fatal("shard %s: %v", addr, err)
+		}
+		ctrl, err := dialRetry(addr, *connectTimeout)
+		if err != nil {
+			fatal("shard %s: %v", addr, err)
+		}
+		conns[i] = &shard.ShardConn{
+			Name: addr,
+			Data: fronthaul.NewLink(data, inj),
+			Ctrl: fronthaul.NewLink(ctrl, nil),
+		}
+	}
+
+	coord, err := shard.NewCoordinator(shard.Config{
+		Cells: *cells, Deadline: *deadline, Rebalance: rb.Config(),
+	}, conns)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *admin != "" {
+		srv := coord.MountAdmin(*admin)
+		if err := srv.Start(); err != nil {
+			fatal("admin endpoint: %v", err)
+		}
+		fmt.Printf("admin endpoint on %s\n", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+	}
+
+	pool, err := shard.NewCRCPool(*k, 128, 24, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("vrancoord: %d cells over %d shards, %d blocks/TTI, %d TTIs of %v, K=%d\n",
+		*cells, len(addrs), *perTTI, *ttis, *tti, *k)
+
+	migAt := *migrateAt
+	if *migrateCell >= 0 && migAt < 0 {
+		migAt = *ttis / 2
+	}
+	var offered uint64
+	idx := 0
+	for t := 0; t < *ttis; t++ {
+		for j := 0; j < *perTTI; j++ {
+			cell := idx % *cells
+			w, _ := pool.Get(idx)
+			// Distinct (UE, process) per concurrently-live block of a
+			// cell, as stop-and-wait HARQ requires.
+			ue := (idx / *cells) % 8
+			proc := (idx / (*cells * 8)) % 8
+			if err := coord.Submit(cell, ue, proc, pool.K, w); err != nil {
+				fatal("submit: %v", err)
+			}
+			offered++
+			idx++
+		}
+		if *migrateCell >= 0 && t == migAt {
+			to := (coord.Route(*migrateCell) + 1) % coord.Shards()
+			if err := coord.MigrateCell(*migrateCell, to, 5*time.Second); err != nil {
+				fatal("migration: %v", err)
+			}
+			fmt.Printf("[tti %d] migrated cell %d to shard %d\n", t, *migrateCell, to)
+		}
+		time.Sleep(*tti)
+	}
+
+	agg, per, err := settle(coord, *settleTimeout)
+	if err != nil {
+		fatal("%v", err)
+	}
+	report(coord, agg, per, offered, inj)
+
+	terminal := agg.Delivered + agg.Drops[ran.DropExpired] + agg.Drops[ran.DropLate] +
+		agg.Drops[ran.DropHARQ] + agg.Drops[ran.DropShutdown]
+	if *hold > 0 {
+		fmt.Printf("holding admin endpoint for %v\n", *hold)
+		time.Sleep(*hold)
+	}
+	coord.Stop()
+	if agg.Accepted != terminal {
+		fatal("fleet ledger broken: accepted %d != terminal %d", agg.Accepted, terminal)
+	}
+}
+
+// dialRetry dials addr until it succeeds or the budget expires — shard
+// workers may come up after the coordinator.
+func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// settle polls the fleet until every accepted block is terminal and the
+// retry queues are empty, stable across several polls (frames may still
+// be draining out of socket buffers when traffic stops).
+func settle(c *shard.Coordinator, budget time.Duration) (*ran.Snapshot, []*ran.Snapshot, error) {
+	deadline := time.Now().Add(budget)
+	stable := 0
+	var last uint64
+	for {
+		agg, per, err := c.FleetSnapshot()
+		if err != nil {
+			return nil, nil, err
+		}
+		terminal := agg.Delivered + agg.Drops[ran.DropExpired] + agg.Drops[ran.DropLate] +
+			agg.Drops[ran.DropHARQ] + agg.Drops[ran.DropShutdown]
+		if terminal >= agg.Accepted && agg.RetryDepth == 0 {
+			if agg.Accepted == last {
+				if stable++; stable >= 5 {
+					return agg, per, nil
+				}
+			} else {
+				stable = 0
+			}
+			last = agg.Accepted
+		} else {
+			stable = 0
+		}
+		if time.Now().After(deadline) {
+			return nil, nil, fmt.Errorf("fleet did not settle in %v: accepted %d, terminal %d, retry %d",
+				budget, agg.Accepted, terminal, agg.RetryDepth)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func report(c *shard.Coordinator, agg *ran.Snapshot, per []*ran.Snapshot, offered uint64, inj *chaos.Injector) {
+	fmt.Printf("\n===== fleet report =====\n")
+	fmt.Printf("%-24s %10s %10s %10s %8s\n", "shard", "accepted", "delivered", "dropped", "cells")
+	for i, s := range per {
+		owned := 0
+		for cell := 0; cell < len(s.Cells); cell++ {
+			if c.Route(cell) == i {
+				owned++
+			}
+		}
+		fmt.Printf("%-24d %10d %10d %10d %8d\n", i, s.Accepted, s.Delivered, s.Dropped(), owned)
+	}
+	fmt.Printf("\noffered %d, accepted %d, delivered %d (fleet goodput %.2f Mbps, p99 %v)\n",
+		offered, agg.Accepted, agg.Delivered, agg.GoodputMbps,
+		agg.LatencyP99.Round(10*time.Microsecond))
+	fmt.Printf("drops by cause: ")
+	for cause, n := range agg.DropsByCause() {
+		fmt.Printf("%s=%d ", cause, n)
+	}
+	fmt.Println()
+	if agg.HARQRetries > 0 {
+		fmt.Printf("HARQ: %d retries, %d recovered\n", agg.HARQRetries, agg.HARQRecovered)
+	}
+	if inj != nil {
+		fmt.Printf("chaos: ")
+		for _, ct := range inj.Counters() {
+			fmt.Printf("%s=%d/%d ", ct.Site, ct.Fires, ct.Trials)
+		}
+		fmt.Println("(injected/trials)")
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "vrancoord: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -43,54 +43,25 @@ import (
 )
 
 func main() {
-	cells := flag.Int("cells", 3, "number of served cells")
+	rf := cliutil.RegisterRuntime(flag.CommandLine)
 	ues := flag.Int("ues", 8, "UEs per cell")
-	workers := flag.Int("workers", 4, "decode worker pool size")
-	width := flag.Int("width", 512, cliutil.WidthHelp)
-	mech := flag.String("mech", "apcm", cliutil.MechHelp)
-	k := flag.Int("k", 40, "turbo code block size")
-	iters := flag.Int("iters", 4, "turbo decoder iteration budget")
 	rate := flag.Float64("rate", 0.3, "mean code blocks per cell per TTI")
 	burst := flag.Bool("burst", false, "bursty (on/off) arrivals instead of Poisson")
 	ttis := flag.Int("ttis", 2000, "run horizon in TTIs")
 	tti := flag.Duration("tti", time.Millisecond, "TTI length")
-	deadline := flag.Duration("deadline", 10*time.Millisecond, "per-block HARQ processing budget (the emulated decoder is ~1000x a real one, so the default budget is loose)")
-	window := flag.Duration("window", 500*time.Microsecond, "lane-fill batch window")
-	queue := flag.Int("queue", 64, "per-cell ingress queue depth")
 	saturate := flag.Bool("saturate", false, "submit without TTI pacing (saturating load)")
 	stats := flag.Duration("stats", time.Second, "live stats interval (0 disables)")
 	seed := flag.Int64("seed", 1, "traffic seed")
 	admin := flag.String("admin", "", "admin HTTP listen address (e.g. :9090; empty disables)")
 	notrace := flag.Bool("notrace", false, "disable span tracing even when -admin is set")
-	harqRetries := flag.Int("harq-retries", 3, "HARQ retransmission budget per block (0 disables the retry path)")
-	harqProcs := flag.Int("harq-procs", 8, "HARQ processes per (cell, UE)")
-	chaosOn := flag.Bool("chaos", false, "arm the fault injector (see -chaos-* rates)")
-	chaosSeed := flag.Int64("chaos-seed", 0, "fault injector seed (0: derive from -seed)")
-	chaosCorrupt := flag.Float64("chaos-corrupt", 0.05, "probability a submitted word is received noisily")
-	chaosCRC := flag.Float64("chaos-crc", 0.05, "probability a decode's CRC verdict is forced to fail")
-	chaosStall := flag.Float64("chaos-stall", 0, "probability a worker stalls before a batch decode")
-	chaosQueue := flag.Float64("chaos-queue", 0, "probability admission behaves as if the cell queue were full")
-	chaosEvict := flag.Float64("chaos-evict", 0, "probability a worker's plan cache is flushed before a batch")
-	chaosCompile := flag.Float64("chaos-compilefail", 0, "probability a program compile-verify is failed")
+	cf := cliutil.RegisterChaos(flag.CommandLine)
 	flag.Parse()
 
-	w, err := cliutil.ParseWidth(*width)
+	cfg, err := rf.Config()
 	if err != nil {
 		fatal("%v", err)
 	}
-	s, err := cliutil.ParseStrategy(*mech)
-	if err != nil {
-		fatal("%v", err)
-	}
-
-	cfg := ran.DefaultConfig(w, s)
-	cfg.Cells = *cells
-	cfg.Workers = *workers
-	cfg.QueueDepth = *queue
-	cfg.MaxIters = *iters
-	cfg.BatchWindow = *window
-	cfg.Deadline = *deadline
-	cfg.HARQ = ran.HARQConfig{MaxRetries: *harqRetries, Processes: *harqProcs}
+	k := rf.K
 
 	var tracer *telemetry.Tracer
 	if *admin != "" && !*notrace {
@@ -107,21 +78,8 @@ func main() {
 	// into the HARQ retry path instead of being delivered.
 	cfg.CheckCRC = pool.CheckCRC()
 
-	var inj *chaos.Injector
-	cs := *chaosSeed
-	if cs == 0 {
-		cs = *seed
-	}
-	if *chaosOn {
-		inj = chaos.New(chaos.Config{
-			Seed:        cs,
-			CorruptRate: *chaosCorrupt,
-			CRCRate:     *chaosCRC,
-			StallRate:   *chaosStall,
-			QueueRate:   *chaosQueue,
-			EvictRate:   *chaosEvict,
-			CompileRate: *chaosCompile,
-		})
+	inj := cf.Injector(*seed)
+	if inj != nil {
 		cfg.Chaos = inj
 	}
 
@@ -153,13 +111,17 @@ func main() {
 	}
 
 	fmt.Printf("vranserve: %d cells x %d UEs, %d workers, %v/%s, K=%d, %s arrivals at %.2f blocks/cell/TTI\n",
-		*cells, *ues, *workers, w, *mech, *k, arrivalName(*burst), *rate)
+		cfg.Cells, *ues, cfg.Workers, cfg.Width, *rf.Mech, *k, arrivalName(*burst), *rate)
 	fmt.Printf("deadline %v, batch window %v (%d lanes), queue depth %d, %d TTIs of %v\n",
-		*deadline, *window, rt.Lanes(), *queue, *ttis, *tti)
-	fmt.Printf("HARQ: %d retries, %d processes/UE\n", *harqRetries, *harqProcs)
+		cfg.Deadline, cfg.BatchWindow, rt.Lanes(), cfg.QueueDepth, *ttis, *tti)
+	fmt.Printf("HARQ: %d retries, %d processes/UE\n", cfg.HARQ.MaxRetries, cfg.HARQ.Processes)
 	if inj != nil {
+		cs := *cf.Seed
+		if cs == 0 {
+			cs = *seed
+		}
 		fmt.Printf("chaos armed (seed %d): corrupt=%.2f crc=%.2f stall=%.2f queue=%.2f evict=%.2f compilefail=%.2f\n",
-			cs, *chaosCorrupt, *chaosCRC, *chaosStall, *chaosQueue, *chaosEvict, *chaosCompile)
+			cs, *cf.Corrupt, *cf.CRC, *cf.Stall, *cf.Queue, *cf.Evict, *cf.Compile)
 	}
 	fmt.Println()
 

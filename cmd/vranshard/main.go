@@ -1,0 +1,114 @@
+// Command vranshard runs one shard worker of a distributed vRAN
+// deployment: a serving runtime (internal/ran) fronted by the fronthaul
+// frame protocol, ready to be driven by a vrancoord coordinator over
+// TCP.
+//
+// Usage:
+//
+//	vranshard -listen 127.0.0.1:7101 [-admin :9191]
+//	          [-cells 3] [-workers 4] [-width 512] [-mech apcm]
+//	          [-iters 4] [-deadline 10ms] [-window 500µs] [-queue 64]
+//	          [-harq-retries 3] [-harq-procs 8]
+//	          [-chaos] [-chaos-crc 0.05] [-chaos-corrupt 0.05] …
+//
+// The worker accepts any number of fronthaul connections on -listen and
+// serves each until EOF; the coordinator conventionally opens two per
+// shard (a lossy U-plane data link and a lock-step M-plane control
+// link), but the worker treats every connection uniformly. -cells is
+// the FLEET cell count — cell ids are global across shards, and the
+// coordinator routes each cell to exactly one worker.
+//
+// Decode acceptance is the content CRC24B check (shard.ContentCRC24B):
+// unlike vranserve's in-process truth table, a shard worker only ever
+// sees the bits that crossed the wire. Blocks whose payload does not
+// end in a valid CRC24B suffix route into the HARQ retry path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"vransim/internal/chaos"
+	"vransim/internal/cliutil"
+	"vransim/internal/fronthaul"
+	"vransim/internal/ran"
+	"vransim/internal/shard"
+)
+
+func main() {
+	rf := cliutil.RegisterRuntime(flag.CommandLine)
+	listen := flag.String("listen", "127.0.0.1:7101", "fronthaul listen address")
+	admin := flag.String("admin", "", "admin HTTP listen address (e.g. :9191; empty disables)")
+	seed := flag.Int64("seed", 1, "default chaos seed when -chaos-seed is 0")
+	cf := cliutil.RegisterChaos(flag.CommandLine)
+	flag.Parse()
+
+	cfg, err := rf.Config()
+	if err != nil {
+		fatal("%v", err)
+	}
+	cfg.CheckCRC = shard.ContentCRC24B()
+	var inj *chaos.Injector
+	if inj = cf.Injector(*seed); inj != nil {
+		cfg.Chaos = inj
+	}
+
+	rt, err := ran.New(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	w := shard.NewWorker(rt)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("vranshard: serving %d fleet cells on %s (%d workers, %v/%s, queue %d)\n",
+		cfg.Cells, ln.Addr(), cfg.Workers, cfg.Width, *rf.Mech, cfg.QueueDepth)
+
+	if *admin != "" {
+		srv := ran.MountAdmin(rt, nil, nil, *admin, ran.HealthPolicy{}, inj.Families)
+		if err := srv.Start(); err != nil {
+			fatal("admin endpoint: %v", err)
+		}
+		fmt.Printf("admin endpoint on %s\n", srv.Addr())
+	}
+
+	// Serve until signalled; each accepted connection gets its own
+	// serve loop and the listener close unblocks Accept.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var wg sync.WaitGroup
+	go func() {
+		<-stop
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break // listener closed
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			if err := w.ServeConn(fronthaul.NewLink(conn, nil)); err != nil {
+				fmt.Fprintf(os.Stderr, "vranshard: conn %s: %v\n", conn.RemoteAddr(), err)
+			}
+		}(conn)
+	}
+	wg.Wait()
+	s := rt.Stop()
+	fmt.Printf("vranshard: stopped; accepted %d, delivered %d, dropped %d\n",
+		s.Accepted, s.Delivered, s.Dropped())
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "vranshard: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,150 @@
+// Machine-readable distributed-path benchmark: the harness behind
+// cmd/vranbench -shardjson and the committed BENCH_shard.json. It runs
+// the same saturating block load through an in-process shard fleet —
+// coordinator, fronthaul pipes, frame codec, shard workers — at one and
+// two shards, reporting fleet goodput and delivered p99 per row, so the
+// perf trajectory covers the fronthaul serialization and routing
+// overhead, not just the raw decode.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"vransim/internal/core"
+	"vransim/internal/ran"
+	"vransim/internal/shard"
+	"vransim/internal/simd"
+)
+
+// ShardBenchRow is one fleet-size measurement.
+type ShardBenchRow struct {
+	Shards    int    `json:"shards"`
+	Cells     int    `json:"cells"`
+	Offered   uint64 `json:"offered_blocks"`
+	Delivered uint64 `json:"delivered_blocks"`
+	Dropped   uint64 `json:"dropped_blocks"`
+	// GoodputMbps sums the per-shard delivered-bit rates (emulated
+	// decode — rows compare fleet sizes, not hardware).
+	GoodputMbps  float64 `json:"goodput_mbps"`
+	LatencyP99Us float64 `json:"latency_p99_us"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
+}
+
+// ShardBenchReport is the BENCH_shard.json shape.
+type ShardBenchReport struct {
+	GoVersion string          `json:"go_version"`
+	GOARCH    string          `json:"goarch"`
+	K         int             `json:"k"`
+	Blocks    int             `json:"blocks"`
+	Workers   int             `json:"workers_per_shard"`
+	Rows      []ShardBenchRow `json:"rows"`
+}
+
+// RunShardBench measures the 1-shard and 2-shard fleets over the
+// in-process pipe transport. quick shrinks the block count for CI.
+func RunShardBench(quick bool) (*ShardBenchReport, error) {
+	const (
+		k       = 512
+		cells   = 4
+		workers = 2
+	)
+	blocks := 8192
+	if quick {
+		blocks = 2048
+	}
+	rep := &ShardBenchReport{
+		GoVersion: runtime.Version(), GOARCH: runtime.GOARCH,
+		K: k, Blocks: blocks, Workers: workers,
+	}
+	for _, shards := range []int{1, 2} {
+		row, err := runShardCell(shards, cells, workers, k, blocks)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// runShardCell drives one fleet size with a saturating load.
+func runShardCell(shards, cells, workers, k, blocks int) (ShardBenchRow, error) {
+	pool, err := shard.NewCRCPool(k, 64, 24, rand.New(rand.NewSource(7)))
+	if err != nil {
+		return ShardBenchRow{}, err
+	}
+	f, err := shard.NewFleet(shard.FleetConfig{
+		Coordinator: shard.Config{Cells: cells, Deadline: 30 * time.Second},
+		Runtime: func(int) ran.Config {
+			cfg := ran.DefaultConfig(simd.W256, core.StrategyAPCM)
+			cfg.Cells = cells
+			cfg.Workers = workers
+			// Deep queues: the load is saturating by design, and backlog
+			// drops would turn the goodput row into a drop-rate row.
+			cfg.QueueDepth = blocks
+			cfg.BatchWindow = 200 * time.Microsecond
+			cfg.Deadline = 30 * time.Second
+			cfg.AdmissionGuard = false
+			cfg.CheckCRC = shard.ContentCRC24B()
+			return cfg
+		},
+		Shards: shards,
+	})
+	if err != nil {
+		return ShardBenchRow{}, err
+	}
+	for i := 0; i < blocks; i++ {
+		cell := i % cells
+		w, _ := pool.Get(i)
+		// Distinct (UE, process) per concurrently-live block of a cell.
+		if err := f.Coord.Submit(cell, (i/cells)%8, (i/(cells*8))%8, pool.K, w); err != nil {
+			f.Stop()
+			return ShardBenchRow{}, err
+		}
+	}
+	// Settle: every offered block terminal (delivered or dropped) and
+	// stable — pipe buffers may still be draining when Submit returns.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		agg, _, err := f.Coord.FleetSnapshot()
+		if err != nil {
+			f.Stop()
+			return ShardBenchRow{}, err
+		}
+		if agg.Delivered+agg.Dropped() >= uint64(blocks) && agg.RetryDepth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			f.Stop()
+			return ShardBenchRow{}, fmt.Errorf("bench: %d-shard fleet did not drain %d blocks", shards, blocks)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	snaps, serveErrs := f.Stop()
+	for _, err := range serveErrs {
+		return ShardBenchRow{}, err
+	}
+	agg := shard.Aggregate(snaps)
+	return ShardBenchRow{
+		Shards: shards, Cells: cells,
+		Offered: uint64(blocks), Delivered: agg.Delivered, Dropped: agg.Dropped(),
+		GoodputMbps:  agg.GoodputMbps,
+		LatencyP99Us: float64(agg.LatencyP99.Nanoseconds()) / 1e3,
+		ElapsedMs:    float64(agg.Elapsed.Nanoseconds()) / 1e6,
+	}, nil
+}
+
+// WriteShardBenchJSON runs the shard benchmark and writes the report.
+func WriteShardBenchJSON(w io.Writer, quick bool) error {
+	rep, err := RunShardBench(quick)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

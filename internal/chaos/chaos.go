@@ -41,6 +41,14 @@ const (
 	SiteEvict
 	// SiteCompile fails program compile-verify, forcing the interpreter.
 	SiteCompile
+	// SiteLinkDrop loses a fronthaul user-plane frame in flight.
+	SiteLinkDrop
+	// SiteLinkDelay holds a fronthaul frame past its successor (a
+	// one-frame reorder — the jitter a switched fronthaul introduces).
+	SiteLinkDelay
+	// SiteLinkPart opens a partition window during which every
+	// user-plane frame on the link is lost.
+	SiteLinkPart
 	numSites
 )
 
@@ -59,6 +67,12 @@ func (s Site) String() string {
 		return "evict"
 	case SiteCompile:
 		return "compile"
+	case SiteLinkDrop:
+		return "linkdrop"
+	case SiteLinkDelay:
+		return "linkdelay"
+	case SiteLinkPart:
+		return "linkpart"
 	}
 	return "unknown"
 }
@@ -92,6 +106,19 @@ type Config struct {
 
 	// CompileRate fails a program's compile-time verification.
 	CompileRate float64
+
+	// LinkDropRate loses a fronthaul user-plane frame in flight (the
+	// control plane rides the reliable management plane and is never
+	// faulted).
+	LinkDropRate float64
+
+	// LinkDelayRate reorders a fronthaul frame behind its successor.
+	LinkDelayRate float64
+
+	// LinkPartRate opens a LinkPartFor-long partition (default 5ms)
+	// during which the link drops every user-plane frame.
+	LinkPartRate float64
+	LinkPartFor  time.Duration
 }
 
 // site is one fault point's seeded generator plus its counters.
@@ -121,6 +148,9 @@ func New(cfg Config) *Injector {
 	}
 	if cfg.StallFor <= 0 {
 		cfg.StallFor = 500 * time.Microsecond
+	}
+	if cfg.LinkPartFor <= 0 {
+		cfg.LinkPartFor = 5 * time.Millisecond
 	}
 	in := &Injector{cfg: cfg}
 	for i := range in.sites {
@@ -227,6 +257,36 @@ func (in *Injector) FailCompile() bool {
 		return false
 	}
 	return in.hit(SiteCompile, in.cfg.CompileRate)
+}
+
+// DropFrame reports whether a fronthaul user-plane frame should be
+// lost in flight.
+func (in *Injector) DropFrame() bool {
+	if in == nil {
+		return false
+	}
+	return in.hit(SiteLinkDrop, in.cfg.LinkDropRate)
+}
+
+// DelayFrame reports whether a fronthaul frame should be held back past
+// its successor (a one-frame reorder).
+func (in *Injector) DelayFrame() bool {
+	if in == nil {
+		return false
+	}
+	return in.hit(SiteLinkDelay, in.cfg.LinkDelayRate)
+}
+
+// PartitionFor returns how long the link should black-hole user-plane
+// frames (0 on the no-fault path).
+func (in *Injector) PartitionFor() time.Duration {
+	if in == nil {
+		return 0
+	}
+	if in.hit(SiteLinkPart, in.cfg.LinkPartRate) {
+		return in.cfg.LinkPartFor
+	}
+	return 0
 }
 
 // SiteCounters is one fault point's trial/fire view.

@@ -201,6 +201,68 @@ func TestFamilies(t *testing.T) {
 	}
 }
 
+// TestNilInjectorLinkSites: the fronthaul link methods follow the same
+// nil-safe contract as the original six sites.
+func TestNilInjectorLinkSites(t *testing.T) {
+	var in *Injector
+	if in.DropFrame() {
+		t.Error("nil DropFrame fired")
+	}
+	if in.DelayFrame() {
+		t.Error("nil DelayFrame fired")
+	}
+	if in.PartitionFor() != 0 {
+		t.Error("nil PartitionFor nonzero")
+	}
+}
+
+// TestLinkSites: rate-1 link sites always fire, counters track them, and
+// PartitionFor returns the configured (or default) window.
+func TestLinkSites(t *testing.T) {
+	in := New(Config{Seed: 11, LinkDropRate: 1.0, LinkDelayRate: 1.0, LinkPartRate: 1.0})
+	for i := 0; i < 25; i++ {
+		if !in.DropFrame() {
+			t.Fatal("rate-1 DropFrame did not fire")
+		}
+		if !in.DelayFrame() {
+			t.Fatal("rate-1 DelayFrame did not fire")
+		}
+		if d := in.PartitionFor(); d != 5*time.Millisecond {
+			t.Fatalf("PartitionFor = %v, want default 5ms", d)
+		}
+	}
+	cs := counters(in)
+	for _, s := range []Site{SiteLinkDrop, SiteLinkDelay, SiteLinkPart} {
+		if cs[s].Trials != 25 || cs[s].Fires != 25 {
+			t.Errorf("%s counters = %d/%d, want 25/25", s, cs[s].Fires, cs[s].Trials)
+		}
+	}
+	custom := New(Config{Seed: 11, LinkPartRate: 1.0, LinkPartFor: 250 * time.Microsecond})
+	if d := custom.PartitionFor(); d != 250*time.Microsecond {
+		t.Errorf("custom PartitionFor = %v, want 250µs", d)
+	}
+	off := New(Config{Seed: 11})
+	if off.DropFrame() || off.DelayFrame() || off.PartitionFor() != 0 {
+		t.Error("rate-0 link site fired")
+	}
+	if c := counters(off); c[SiteLinkDrop].Trials != 0 {
+		t.Errorf("disabled link site counted %d trials, want 0", c[SiteLinkDrop].Trials)
+	}
+}
+
+// TestLinkSitesDeterministic: same seed, same link decision sequence.
+func TestLinkSitesDeterministic(t *testing.T) {
+	cfg := Config{Seed: 21, LinkDropRate: 0.4, LinkDelayRate: 0.3, LinkPartRate: 0.1}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 200; i++ {
+		if a.DropFrame() != b.DropFrame() ||
+			a.DelayFrame() != b.DelayFrame() ||
+			a.PartitionFor() != b.PartitionFor() {
+			t.Fatalf("link decision diverged at call %d", i)
+		}
+	}
+}
+
 // counters indexes the Counters slice by site.
 func counters(in *Injector) map[Site]SiteCounters {
 	out := map[Site]SiteCounters{}

@@ -1,0 +1,355 @@
+// Package fronthaul implements the framed DU↔RU link of the O-RAN-style
+// split: a length-prefixed, versioned binary frame format carrying
+// packed LLR payloads between the coordinator (the DU-side router) and
+// shard workers (the RU-side decode runtimes). The same codec runs over
+// a real net.Conn and over the in-process pipe the tests and benchmarks
+// use, so the distributed path is exercised byte-identically either way.
+//
+// Two planes share the frame format but not the fault model: user-plane
+// Data frames ride the lossy fronthaul (the chaos injector may drop,
+// reorder or black-hole them), while management-plane frames (snapshot
+// and migration RPCs) model the reliable control channel and are never
+// faulted — mirroring how O-RAN separates the U-plane from the
+// M-plane.
+//
+// Data frames quantize LLRs to int8 (the fronthaul compression shape:
+// channel LLRs fit once clamped to ±127), but migration-state frames
+// pack int16 losslessly: HARQ-combined soft buffers saturate at
+// ±(LLRLimit−1) = ±255, which int8 would destroy — and a migrated
+// process must decode bit-identically on the target shard.
+package fronthaul
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vransim/internal/turbo"
+)
+
+// Version is the frame format version this build speaks.
+const Version = 1
+
+// HeaderLen is the fixed frame header size in bytes (excluding the
+// 4-byte length prefix).
+const HeaderLen = 32
+
+// MaxBody bounds a frame body (header + payload); a length prefix
+// beyond it is rejected before any allocation.
+const MaxBody = 1 << 20
+
+// Type discriminates frame kinds.
+type Type uint8
+
+// Frame types. Data is the user plane; everything else is the
+// management plane.
+const (
+	// TypeData carries one code block's int8-packed soft word.
+	TypeData Type = 1 + iota
+	// TypeSnapshotReq asks a shard for its metrics snapshot.
+	TypeSnapshotReq
+	// TypeSnapshotResp returns the JSON-encoded ran.Snapshot.
+	TypeSnapshotResp
+	// TypeMigrateStart tells the source shard to drain a cell.
+	TypeMigrateStart
+	// TypeMigrateState carries one in-flight block or HARQ soft buffer
+	// (int16-packed, per the Flag* bits) out of the draining shard.
+	TypeMigrateState
+	// TypeMigrateDone ends the source's state stream (Aux = entry count).
+	TypeMigrateDone
+	// TypeMigrateCommit asks the target shard to install the staged
+	// state for a cell (Aux = expected entry count).
+	TypeMigrateCommit
+	// TypeMigrateAck confirms a commit (Aux = entries installed).
+	TypeMigrateAck
+	// TypeError reports a management-plane failure (payload = message).
+	TypeError
+	maxType
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "data"
+	case TypeSnapshotReq:
+		return "snapshot_req"
+	case TypeSnapshotResp:
+		return "snapshot_resp"
+	case TypeMigrateStart:
+		return "migrate_start"
+	case TypeMigrateState:
+		return "migrate_state"
+	case TypeMigrateDone:
+		return "migrate_done"
+	case TypeMigrateCommit:
+		return "migrate_commit"
+	case TypeMigrateAck:
+		return "migrate_ack"
+	case TypeError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// MigrateState payload flags: which int16-packed words follow, in this
+// order.
+const (
+	// FlagHasWord: the in-flight received word (possibly HARQ-combined).
+	FlagHasWord uint16 = 1 << iota
+	// FlagHasTx: the originally transmitted reference word.
+	FlagHasTx
+	// FlagHasSoft: the HARQ process's soft combining buffer.
+	FlagHasSoft
+)
+
+// Frame is one decoded fronthaul frame. Aux is per-type: the deadline
+// budget hint in nanoseconds on Data frames, the soft-buffer attempt
+// count on MigrateState frames, entry counts on the migrate handshake.
+type Frame struct {
+	Type    Type
+	Flags   uint16
+	Cell    uint32
+	UE      uint32
+	Proc    uint32
+	K       uint32
+	Attempt uint32
+	Aux     uint64
+	Payload []byte
+}
+
+// Word8Len is the byte length of an int8-packed word for block size k.
+func Word8Len(k int) int { return 3*k + 6 }
+
+// Word16Len is the byte length of an int16-packed word for block size k.
+func Word16Len(k int) int { return 2 * (3*k + 6) }
+
+// clamp8 saturates a channel LLR into int8 range — the fronthaul
+// quantization. Channel LLRs already fit (±255 only after combining,
+// which never crosses the user plane), so this is defensive.
+func clamp8(v int16) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -127 {
+		return -127
+	}
+	return int8(v)
+}
+
+// AppendWord8 appends the int8 packing of w (Sys, P1, P2, TailSys,
+// TailP1) to dst.
+func AppendWord8(dst []byte, w *turbo.LLRWord) []byte {
+	for _, s := range [][]int16{w.Sys, w.P1, w.P2} {
+		for _, v := range s {
+			dst = append(dst, byte(clamp8(v)))
+		}
+	}
+	for _, v := range w.TailSys {
+		dst = append(dst, byte(clamp8(v)))
+	}
+	for _, v := range w.TailP1 {
+		dst = append(dst, byte(clamp8(v)))
+	}
+	return dst
+}
+
+// UnpackWord8 decodes an int8-packed word of block size k.
+func UnpackWord8(k int, b []byte) (*turbo.LLRWord, error) {
+	if len(b) != Word8Len(k) {
+		return nil, fmt.Errorf("fronthaul: word8 payload %d bytes, want %d for K=%d", len(b), Word8Len(k), k)
+	}
+	w := turbo.NewLLRWord(k)
+	for _, s := range [][]int16{w.Sys, w.P1, w.P2} {
+		for i := range s {
+			s[i] = int16(int8(b[0]))
+			b = b[1:]
+		}
+	}
+	for i := range w.TailSys {
+		w.TailSys[i] = int16(int8(b[i]))
+	}
+	b = b[3:]
+	for i := range w.TailP1 {
+		w.TailP1[i] = int16(int8(b[i]))
+	}
+	return w, nil
+}
+
+// AppendWord16 appends the lossless int16 big-endian packing of w to
+// dst — the migration-state encoding.
+func AppendWord16(dst []byte, w *turbo.LLRWord) []byte {
+	for _, s := range [][]int16{w.Sys, w.P1, w.P2} {
+		for _, v := range s {
+			dst = binary.BigEndian.AppendUint16(dst, uint16(v))
+		}
+	}
+	for _, v := range w.TailSys {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(v))
+	}
+	for _, v := range w.TailP1 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(v))
+	}
+	return dst
+}
+
+// UnpackWord16 decodes an int16-packed word of block size k.
+func UnpackWord16(k int, b []byte) (*turbo.LLRWord, error) {
+	if len(b) != Word16Len(k) {
+		return nil, fmt.Errorf("fronthaul: word16 payload %d bytes, want %d for K=%d", len(b), Word16Len(k), k)
+	}
+	w := turbo.NewLLRWord(k)
+	for _, s := range [][]int16{w.Sys, w.P1, w.P2} {
+		for i := range s {
+			s[i] = int16(binary.BigEndian.Uint16(b))
+			b = b[2:]
+		}
+	}
+	for i := range w.TailSys {
+		w.TailSys[i] = int16(binary.BigEndian.Uint16(b[2*i:]))
+	}
+	b = b[6:]
+	for i := range w.TailP1 {
+		w.TailP1[i] = int16(binary.BigEndian.Uint16(b[2*i:]))
+	}
+	return w, nil
+}
+
+// EncodeState builds the Flags and payload of a MigrateState frame from
+// the (optional) in-flight word, tx reference and soft buffer. At least
+// one must be non-nil.
+func EncodeState(word, tx, soft *turbo.LLRWord) (uint16, []byte) {
+	var flags uint16
+	var payload []byte
+	if word != nil {
+		flags |= FlagHasWord
+		payload = AppendWord16(payload, word)
+	}
+	if tx != nil {
+		flags |= FlagHasTx
+		payload = AppendWord16(payload, tx)
+	}
+	if soft != nil {
+		flags |= FlagHasSoft
+		payload = AppendWord16(payload, soft)
+	}
+	return flags, payload
+}
+
+// DecodeState splits a MigrateState payload back into its words per the
+// flags.
+func DecodeState(k int, flags uint16, payload []byte) (word, tx, soft *turbo.LLRWord, err error) {
+	n := 0
+	for _, f := range []uint16{FlagHasWord, FlagHasTx, FlagHasSoft} {
+		if flags&f != 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, nil, nil, fmt.Errorf("fronthaul: migrate_state with no word flags")
+	}
+	wl := Word16Len(k)
+	if len(payload) != n*wl {
+		return nil, nil, nil, fmt.Errorf("fronthaul: migrate_state payload %d bytes, want %d (%d words of K=%d)", len(payload), n*wl, n, k)
+	}
+	next := func() (*turbo.LLRWord, error) {
+		w, err := UnpackWord16(k, payload[:wl])
+		payload = payload[wl:]
+		return w, err
+	}
+	if flags&FlagHasWord != 0 {
+		if word, err = next(); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if flags&FlagHasTx != 0 {
+		if tx, err = next(); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if flags&FlagHasSoft != 0 {
+		if soft, err = next(); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return word, tx, soft, nil
+}
+
+// AppendFrame appends the wire encoding of f (length prefix + header +
+// payload) to dst.
+func AppendFrame(dst []byte, f *Frame) []byte {
+	body := HeaderLen + len(f.Payload)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, Version, byte(f.Type))
+	dst = binary.BigEndian.AppendUint16(dst, f.Flags)
+	dst = binary.BigEndian.AppendUint32(dst, f.Cell)
+	dst = binary.BigEndian.AppendUint32(dst, f.UE)
+	dst = binary.BigEndian.AppendUint32(dst, f.Proc)
+	dst = binary.BigEndian.AppendUint32(dst, f.K)
+	dst = binary.BigEndian.AppendUint32(dst, f.Attempt)
+	dst = binary.BigEndian.AppendUint64(dst, f.Aux)
+	return append(dst, f.Payload...)
+}
+
+// DecodeFrame parses one frame body (everything after the length
+// prefix). It validates the version, type and the per-type payload
+// shape; it never panics on malformed input — the fuzz target's
+// contract. The returned frame's Payload aliases body.
+func DecodeFrame(body []byte) (*Frame, error) {
+	if len(body) < HeaderLen {
+		return nil, fmt.Errorf("fronthaul: frame body %d bytes, need %d header", len(body), HeaderLen)
+	}
+	if body[0] != Version {
+		return nil, fmt.Errorf("fronthaul: version %d, want %d", body[0], Version)
+	}
+	f := &Frame{
+		Type:    Type(body[1]),
+		Flags:   binary.BigEndian.Uint16(body[2:]),
+		Cell:    binary.BigEndian.Uint32(body[4:]),
+		UE:      binary.BigEndian.Uint32(body[8:]),
+		Proc:    binary.BigEndian.Uint32(body[12:]),
+		K:       binary.BigEndian.Uint32(body[16:]),
+		Attempt: binary.BigEndian.Uint32(body[20:]),
+		Aux:     binary.BigEndian.Uint64(body[24:]),
+		Payload: body[HeaderLen:],
+	}
+	if f.Type < TypeData || f.Type >= maxType {
+		return nil, fmt.Errorf("fronthaul: unknown frame type %d", body[1])
+	}
+	switch f.Type {
+	case TypeData:
+		k := int(f.K)
+		if !turbo.ValidBlockSize(k) {
+			return nil, fmt.Errorf("fronthaul: data frame with invalid K=%d", k)
+		}
+		if len(f.Payload) != Word8Len(k) {
+			return nil, fmt.Errorf("fronthaul: data payload %d bytes, want %d for K=%d", len(f.Payload), Word8Len(k), k)
+		}
+	case TypeMigrateState:
+		k := int(f.K)
+		if !turbo.ValidBlockSize(k) {
+			return nil, fmt.Errorf("fronthaul: migrate_state with invalid K=%d", k)
+		}
+		if _, _, _, err := DecodeState(k, f.Flags, f.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// DataFrame packs one submitted block as a user-plane frame.
+func DataFrame(cell, ue, proc, k int, word *turbo.LLRWord, deadlineNs uint64) *Frame {
+	return &Frame{
+		Type: TypeData,
+		Cell: uint32(cell), UE: uint32(ue), Proc: uint32(proc), K: uint32(k),
+		Aux:     deadlineNs,
+		Payload: AppendWord8(nil, word),
+	}
+}
+
+// DataWord unpacks a Data frame's payload.
+func (f *Frame) DataWord() (*turbo.LLRWord, error) {
+	if f.Type != TypeData {
+		return nil, fmt.Errorf("fronthaul: DataWord on %s frame", f.Type)
+	}
+	return UnpackWord8(int(f.K), f.Payload)
+}

@@ -1,0 +1,182 @@
+package fronthaul
+
+import (
+	"bytes"
+	"testing"
+
+	"vransim/internal/turbo"
+)
+
+// testWord fills a word with a deterministic channel-LLR pattern.
+func testWord(k int, seed int16) *turbo.LLRWord {
+	w := turbo.NewLLRWord(k)
+	for i := range w.Sys {
+		w.Sys[i] = int16((i*7+int(seed))%200 - 100)
+		w.P1[i] = int16((i*13+int(seed))%200 - 100)
+		w.P2[i] = int16((i*29+int(seed))%200 - 100)
+	}
+	for i := 0; i < 3; i++ {
+		w.TailSys[i] = int16(40 + i + int(seed))
+		w.TailP1[i] = int16(-40 - i - int(seed))
+	}
+	return w
+}
+
+func wordsEqual(a, b *turbo.LLRWord) bool {
+	if len(a.Sys) != len(b.Sys) {
+		return false
+	}
+	for i := range a.Sys {
+		if a.Sys[i] != b.Sys[i] || a.P1[i] != b.P1[i] || a.P2[i] != b.P2[i] {
+			return false
+		}
+	}
+	return a.TailSys == b.TailSys && a.TailP1 == b.TailP1
+}
+
+// TestWord8RoundTrip: channel-range LLRs survive the int8 packing
+// exactly; out-of-range values clamp to ±127.
+func TestWord8RoundTrip(t *testing.T) {
+	for _, k := range []int{40, 512, 6144} {
+		w := testWord(k, 3)
+		got, err := UnpackWord8(k, AppendWord8(nil, w))
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if !wordsEqual(got, w) {
+			t.Fatalf("K=%d: word8 round trip changed samples", k)
+		}
+	}
+	w := turbo.NewLLRWord(40)
+	w.Sys[0] = 255
+	w.Sys[1] = -255
+	got, err := UnpackWord8(40, AppendWord8(nil, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sys[0] != 127 || got.Sys[1] != -127 {
+		t.Errorf("clamp = %d/%d, want 127/-127", got.Sys[0], got.Sys[1])
+	}
+}
+
+// TestWord16RoundTrip: the migration packing is lossless over the full
+// combined-LLR range (±255, beyond int8).
+func TestWord16RoundTrip(t *testing.T) {
+	w := testWord(104, 1)
+	w.Sys[0] = turbo.LLRLimit - 1
+	w.Sys[1] = -(turbo.LLRLimit - 1)
+	got, err := UnpackWord16(104, AppendWord16(nil, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wordsEqual(got, w) {
+		t.Fatal("word16 round trip changed samples")
+	}
+	if _, err := UnpackWord16(104, make([]byte, 10)); err == nil {
+		t.Error("short word16 payload accepted")
+	}
+}
+
+// TestDataFrameRoundTrip: a data frame survives encode/decode with all
+// header fields and payload intact.
+func TestDataFrameRoundTrip(t *testing.T) {
+	w := testWord(256, 9)
+	f := DataFrame(2, 17, 5, 256, w, 3_000_000)
+	body := AppendFrame(nil, f)
+	got, err := DecodeFrame(body[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeData || got.Cell != 2 || got.UE != 17 || got.Proc != 5 ||
+		got.K != 256 || got.Attempt != 0 || got.Aux != 3_000_000 {
+		t.Fatalf("header fields changed: %+v", got)
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatal("payload changed")
+	}
+	dw, err := got.DataWord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wordsEqual(dw, w) {
+		t.Fatal("data word changed across the wire")
+	}
+}
+
+// TestStateRoundTrip: every flag combination of the migrate-state
+// payload round-trips losslessly.
+func TestStateRoundTrip(t *testing.T) {
+	k := 88
+	word, tx, soft := testWord(k, 1), testWord(k, 2), testWord(k, 3)
+	soft.Sys[0] = 255 // combined-range value int8 would destroy
+	cases := []struct{ w, t, s *turbo.LLRWord }{
+		{word, nil, nil}, {nil, nil, soft}, {word, tx, nil}, {word, tx, soft},
+	}
+	for i, c := range cases {
+		flags, payload := EncodeState(c.w, c.t, c.s)
+		gw, gt, gs, err := DecodeState(k, flags, payload)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		check := func(want, got *turbo.LLRWord, name string) {
+			if (want == nil) != (got == nil) {
+				t.Fatalf("case %d: %s presence changed", i, name)
+			}
+			if want != nil && !wordsEqual(want, got) {
+				t.Fatalf("case %d: %s samples changed", i, name)
+			}
+		}
+		check(c.w, gw, "word")
+		check(c.t, gt, "tx")
+		check(c.s, gs, "soft")
+	}
+	if _, _, _, err := DecodeState(k, 0, nil); err == nil {
+		t.Error("flagless state accepted")
+	}
+	if _, _, _, err := DecodeState(k, FlagHasWord, make([]byte, 4)); err == nil {
+		t.Error("truncated state accepted")
+	}
+}
+
+// TestDecodeFrameRejects: the malformed shapes the fuzz target guards
+// must all error (and clearly, not panic).
+func TestDecodeFrameRejects(t *testing.T) {
+	w := testWord(40, 1)
+	good := AppendFrame(nil, DataFrame(0, 0, 0, 40, w, 0))[4:]
+	cases := map[string][]byte{
+		"short header": good[:HeaderLen-1],
+		"bad version":  append([]byte{9}, good[1:]...),
+		"bad type":     overwrite(good, 1, byte(maxType)),
+		"zero type":    overwrite(good, 1, 0),
+		"truncated":    good[:len(good)-1],
+		"bad K":        overwriteK(good, 41),
+	}
+	for name, body := range cases {
+		if _, err := DecodeFrame(body); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := DecodeFrame(good); err != nil {
+		t.Errorf("good frame rejected: %v", err)
+	}
+	// Management frames carry free-form payloads.
+	snap := AppendFrame(nil, &Frame{Type: TypeSnapshotResp, Payload: []byte(`{"x":1}`)})[4:]
+	if _, err := DecodeFrame(snap); err != nil {
+		t.Errorf("snapshot frame rejected: %v", err)
+	}
+}
+
+func overwrite(b []byte, i int, v byte) []byte {
+	c := append([]byte(nil), b...)
+	c[i] = v
+	return c
+}
+
+func overwriteK(b []byte, k uint32) []byte {
+	c := append([]byte(nil), b...)
+	c[16] = byte(k >> 24)
+	c[17] = byte(k >> 16)
+	c[18] = byte(k >> 8)
+	c[19] = byte(k)
+	return c
+}

@@ -1,0 +1,40 @@
+package fronthaul
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hardens the frame parser: arbitrary bytes must never
+// panic, and any frame DecodeFrame accepts must survive an
+// encode/decode round trip with identical fields. Malformed headers,
+// truncated payloads and bad versions error out before any payload
+// interpretation.
+func FuzzDecodeFrame(f *testing.F) {
+	w := testWord(40, 5)
+	f.Add(AppendFrame(nil, DataFrame(1, 2, 3, 40, w, 1000))[4:])
+	flags, payload := EncodeState(w, w, nil)
+	f.Add(AppendFrame(nil, &Frame{Type: TypeMigrateState, Flags: flags, K: 40, Aux: 2, Payload: payload})[4:])
+	f.Add(AppendFrame(nil, &Frame{Type: TypeSnapshotReq})[4:])
+	f.Add(AppendFrame(nil, &Frame{Type: TypeError, Payload: []byte("boom")})[4:])
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderLen))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fr, err := DecodeFrame(body)
+		if err != nil {
+			return
+		}
+		re := AppendFrame(nil, fr)
+		fr2, err := DecodeFrame(re[4:])
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if fr2.Type != fr.Type || fr2.Flags != fr.Flags || fr2.Cell != fr.Cell ||
+			fr2.UE != fr.UE || fr2.Proc != fr.Proc || fr2.K != fr.K ||
+			fr2.Attempt != fr.Attempt || fr2.Aux != fr.Aux ||
+			!bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatal("frame fields changed across encode/decode round trip")
+		}
+	})
+}

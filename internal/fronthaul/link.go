@@ -1,0 +1,232 @@
+package fronthaul
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vransim/internal/chaos"
+)
+
+// LinkStats is a link's frame accounting. Sent counts frames that
+// actually hit the wire; Dropped counts user-plane frames the chaos
+// injector lost (drop site or partition window); Reordered counts
+// frames delivered behind their successor.
+type LinkStats struct {
+	Sent      uint64 `json:"sent"`
+	Dropped   uint64 `json:"dropped"`
+	Reordered uint64 `json:"reordered"`
+}
+
+// Link frames an io.ReadWriter (a net.Conn, or the in-process Pipe) with
+// the fronthaul codec. Writes and reads are each serialized by their own
+// mutex, so one goroutine may stream frames while another reads.
+//
+// A chaos injector, when armed, faults only user-plane Data frames:
+// drops, one-frame reorders, and partition windows during which every
+// data frame is black-holed. Management-plane frames always go through
+// in order — the reliable M-plane contract the migration protocol
+// depends on.
+type Link struct {
+	rw io.ReadWriter
+
+	wmu sync.Mutex
+	// held is an encoded data frame the delay site pulled behind its
+	// successor; it goes out right after the next write (or Flush).
+	held []byte
+	// partUntil is the end of the current chaos partition window.
+	partUntil time.Time
+	chaos     *chaos.Injector
+
+	rmu  sync.Mutex
+	lbuf [4]byte
+	rbuf []byte
+
+	sent      atomic.Uint64
+	dropped   atomic.Uint64
+	reordered atomic.Uint64
+}
+
+// NewLink wraps rw. A nil injector means a perfectly reliable link.
+func NewLink(rw io.ReadWriter, inj *chaos.Injector) *Link {
+	return &Link{rw: rw, chaos: inj}
+}
+
+// WriteFrame encodes and sends f. Data frames pass the chaos sites and
+// may be silently lost (the caller sees nil — exactly what a lossy
+// fronthaul looks like to the DU); management frames bypass chaos.
+// A write error is always reported.
+func (l *Link) WriteFrame(f *Frame) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if f.Type == TypeData {
+		now := time.Now()
+		if now.Before(l.partUntil) {
+			l.dropped.Add(1)
+			return nil
+		}
+		if d := l.chaos.PartitionFor(); d > 0 {
+			l.partUntil = now.Add(d)
+			l.dropped.Add(1)
+			return nil
+		}
+		if l.chaos.DropFrame() {
+			l.dropped.Add(1)
+			return nil
+		}
+		if l.held == nil && l.chaos.DelayFrame() {
+			l.held = AppendFrame(nil, f)
+			l.reordered.Add(1)
+			return nil
+		}
+	}
+	buf := AppendFrame(nil, f)
+	if err := l.writeAll(buf); err != nil {
+		return err
+	}
+	return l.flushHeldLocked()
+}
+
+// Flush sends any reorder-held frame. Call before closing the
+// underlying conn so a delayed frame is late, not lost.
+func (l *Link) Flush() error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	return l.flushHeldLocked()
+}
+
+func (l *Link) flushHeldLocked() error {
+	if l.held == nil {
+		return nil
+	}
+	buf := l.held
+	l.held = nil
+	return l.writeAll(buf)
+}
+
+func (l *Link) writeAll(buf []byte) error {
+	if _, err := l.rw.Write(buf); err != nil {
+		return err
+	}
+	l.sent.Add(1)
+	return nil
+}
+
+// ReadFrame blocks for the next frame. io.EOF means the peer closed
+// cleanly between frames; a truncated frame is an ErrUnexpectedEOF.
+func (l *Link) ReadFrame() (*Frame, error) {
+	l.rmu.Lock()
+	defer l.rmu.Unlock()
+	if _, err := io.ReadFull(l.rw, l.lbuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(l.lbuf[:])
+	if n < HeaderLen || n > MaxBody {
+		return nil, fmt.Errorf("fronthaul: frame length %d outside [%d, %d]", n, HeaderLen, MaxBody)
+	}
+	if cap(l.rbuf) < int(n) {
+		l.rbuf = make([]byte, n)
+	}
+	body := l.rbuf[:n]
+	if _, err := io.ReadFull(l.rw, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	f, err := DecodeFrame(body)
+	if err != nil {
+		return nil, err
+	}
+	// The payload aliases the read buffer; copy so the next ReadFrame
+	// cannot scribble over a frame the caller still holds.
+	f.Payload = append([]byte(nil), f.Payload...)
+	return f, nil
+}
+
+// Stats snapshots the link counters.
+func (l *Link) Stats() LinkStats {
+	return LinkStats{
+		Sent:      l.sent.Load(),
+		Dropped:   l.dropped.Load(),
+		Reordered: l.reordered.Load(),
+	}
+}
+
+// ------------------------------------------------------- in-proc pipe
+
+// pipeBuf is one direction of the in-process pipe: an unbounded byte
+// queue with blocking reads.
+type pipeBuf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newPipeBuf() *pipeBuf {
+	b := &pipeBuf{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *pipeBuf) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, io.ErrClosedPipe
+	}
+	b.buf = append(b.buf, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *pipeBuf) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.buf) == 0 {
+		if b.closed {
+			return 0, io.EOF
+		}
+		b.cond.Wait()
+	}
+	n := copy(p, b.buf)
+	b.buf = b.buf[n:]
+	return n, nil
+}
+
+func (b *pipeBuf) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// PipeEnd is one side of an in-process fronthaul pipe. Unlike net.Pipe,
+// writes never block — the buffer is unbounded — so lock-step RPC and
+// streaming traffic cannot deadlock in tests.
+type PipeEnd struct {
+	in, out *pipeBuf
+}
+
+// Read implements io.Reader (blocks until data or peer close).
+func (p *PipeEnd) Read(b []byte) (int, error) { return p.in.read(b) }
+
+// Write implements io.Writer.
+func (p *PipeEnd) Write(b []byte) (int, error) { return p.out.write(b) }
+
+// Close closes both directions; the peer's reads drain then EOF.
+func (p *PipeEnd) Close() error {
+	p.in.close()
+	p.out.close()
+	return nil
+}
+
+// Pipe returns the two ends of an in-process bidirectional byte stream.
+func Pipe() (*PipeEnd, *PipeEnd) {
+	ab, ba := newPipeBuf(), newPipeBuf()
+	return &PipeEnd{in: ba, out: ab}, &PipeEnd{in: ab, out: ba}
+}

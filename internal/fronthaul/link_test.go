@@ -1,0 +1,165 @@
+package fronthaul
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"vransim/internal/chaos"
+)
+
+// TestLinkRoundTrip: frames written on one pipe end arrive decoded and
+// in order on the other, across both planes.
+func TestLinkRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	tx, rx := NewLink(a, nil), NewLink(b, nil)
+	w := testWord(40, 2)
+	frames := []*Frame{
+		DataFrame(0, 1, 2, 40, w, 500),
+		{Type: TypeSnapshotReq},
+		DataFrame(1, 0, 0, 40, w, 0),
+		{Type: TypeError, Payload: []byte("nope")},
+	}
+	done := make(chan error, 1)
+	go func() {
+		for _, f := range frames {
+			if err := tx.WriteFrame(f); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- a.Close()
+	}()
+	for i, want := range frames {
+		got, err := rx.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Cell != want.Cell {
+			t.Fatalf("frame %d: got type %s cell %d, want %s %d", i, got.Type, got.Cell, want.Type, want.Cell)
+		}
+	}
+	if _, err := rx.ReadFrame(); err != io.EOF {
+		t.Fatalf("after close: err = %v, want EOF", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if s := tx.Stats(); s.Sent != 4 || s.Dropped != 0 {
+		t.Errorf("stats = %+v, want 4 sent 0 dropped", s)
+	}
+}
+
+// TestLinkChaosDrop: a rate-1 drop site loses every data frame but no
+// management frame, and the counters say so.
+func TestLinkChaosDrop(t *testing.T) {
+	a, b := Pipe()
+	inj := chaos.New(chaos.Config{Seed: 1, LinkDropRate: 1.0})
+	tx, rx := NewLink(a, inj), NewLink(b, nil)
+	w := testWord(40, 1)
+	for i := 0; i < 5; i++ {
+		if err := tx.WriteFrame(DataFrame(0, 0, 0, 40, w, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.WriteFrame(&Frame{Type: TypeSnapshotReq}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rx.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeSnapshotReq {
+		t.Fatalf("first delivered frame is %s, want snapshot_req", got.Type)
+	}
+	if s := tx.Stats(); s.Dropped != 5 || s.Sent != 1 {
+		t.Errorf("stats = %+v, want 5 dropped 1 sent", s)
+	}
+}
+
+// TestLinkChaosReorder: a delayed frame comes out behind its successor,
+// and Flush releases a frame with no successor.
+func TestLinkChaosReorder(t *testing.T) {
+	a, b := Pipe()
+	inj := chaos.New(chaos.Config{Seed: 1, LinkDelayRate: 1.0})
+	tx, rx := NewLink(a, inj), NewLink(b, nil)
+	w := testWord(40, 1)
+	// Frame 0 is held (rate-1 delay); frame 1 is also eligible but the
+	// one-frame hold slot is occupied, so it goes straight out, flushing
+	// frame 0 behind it.
+	if err := tx.WriteFrame(DataFrame(0, 0, 0, 40, w, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.WriteFrame(DataFrame(0, 1, 0, 40, w, 0)); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := rx.ReadFrame()
+	second, _ := rx.ReadFrame()
+	if first == nil || second == nil || first.UE != 1 || second.UE != 0 {
+		t.Fatalf("order = %v, %v; want UE 1 then UE 0", first, second)
+	}
+	if s := tx.Stats(); s.Reordered != 1 {
+		t.Errorf("reordered = %d, want 1", s.Reordered)
+	}
+	// A held frame with no successor is released by Flush.
+	if err := tx.WriteFrame(DataFrame(0, 2, 0, 40, w, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rx.ReadFrame()
+	if err != nil || got.UE != 2 {
+		t.Fatalf("flushed frame = %v (%v), want UE 2", got, err)
+	}
+}
+
+// TestLinkChaosPartition: a partition window black-holes data frames
+// until it expires.
+func TestLinkChaosPartition(t *testing.T) {
+	a, b := Pipe()
+	inj := chaos.New(chaos.Config{Seed: 1, LinkPartRate: 1.0, LinkPartFor: 20 * time.Millisecond})
+	// Only the first write rolls the partition site; once the window is
+	// open, subsequent frames drop without consulting chaos.
+	tx, rx := NewLink(a, inj), NewLink(b, nil)
+	w := testWord(40, 1)
+	for i := 0; i < 3; i++ {
+		if err := tx.WriteFrame(DataFrame(0, uint32ToInt(uint32(i)), 0, 40, w, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := tx.Stats(); s.Dropped != 3 || s.Sent != 0 {
+		t.Fatalf("in-window stats = %+v, want 3 dropped 0 sent", s)
+	}
+	// After the window (plus the rate-1 site re-opening it each write we
+	// avoid by a zero-rate injector), frames flow again.
+	time.Sleep(25 * time.Millisecond)
+	tx.chaos = nil
+	if err := tx.WriteFrame(DataFrame(0, 9, 0, 40, w, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rx.ReadFrame()
+	if err != nil || got.UE != 9 {
+		t.Fatalf("post-partition frame = %v (%v), want UE 9", got, err)
+	}
+}
+
+func uint32ToInt(v uint32) int { return int(v) }
+
+// TestLinkBadWire: garbage length prefixes error instead of allocating
+// or hanging.
+func TestLinkBadWire(t *testing.T) {
+	a, b := Pipe()
+	rx := NewLink(b, nil)
+	a.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := rx.ReadFrame(); err == nil {
+		t.Error("oversized length prefix accepted")
+	}
+	a2, b2 := Pipe()
+	rx2 := NewLink(b2, nil)
+	a2.Write([]byte{0, 0, 0, 40, Version, byte(TypeSnapshotReq)}) // promises 40, delivers 2
+	a2.Close()
+	if _, err := rx2.ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated body err = %v, want unexpected EOF", err)
+	}
+}

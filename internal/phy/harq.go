@@ -2,6 +2,7 @@ package phy
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"vransim/internal/turbo"
@@ -207,6 +208,55 @@ func (ps *ProcessSet) Len() int {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	return len(ps.m)
+}
+
+// ProcState is one HARQ process's exported soft buffer — the unit the
+// cell-migration path serializes through the fronthaul. Word is the
+// live combined buffer (combined-range LLRs, up to ±2·(channel max)
+// before saturation — serialize losslessly).
+type ProcState struct {
+	UE, Proc int
+	K        int
+	Attempts int
+	Word     *turbo.LLRWord
+}
+
+// ExportCell removes and returns every live soft buffer belonging to
+// cell, ordered by (UE, Proc) for deterministic serialization. The
+// buffers leave the set — after export the cell owns no HARQ state
+// here, which is exactly the drain-and-migrate invariant.
+func (ps *ProcessSet) ExportCell(cell int) []ProcState {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	var out []ProcState
+	for k, e := range ps.m {
+		if k.Cell != cell {
+			continue
+		}
+		out = append(out, ProcState{UE: k.UE, Proc: k.Proc, K: e.k, Attempts: e.attempts, Word: e.word})
+		delete(ps.m, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].UE != out[j].UE {
+			return out[i].UE < out[j].UE
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	return out
+}
+
+// Inject installs an exported soft buffer for cell, replacing any
+// existing entry on the same key and evicting LRU if the set is at
+// capacity — the import side of a cell migration.
+func (ps *ProcessSet) Inject(cell int, st ProcState) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	key := ps.key(cell, st.UE, st.Proc)
+	if _, ok := ps.m[key]; !ok && len(ps.m) >= ps.Capacity {
+		ps.evictOldestLocked()
+	}
+	ps.clock++
+	ps.m[key] = &procEntry{word: st.Word, k: st.K, attempts: st.Attempts, tick: ps.clock}
 }
 
 // Stats reports lifetime combine and eviction counts.

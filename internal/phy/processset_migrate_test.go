@@ -1,0 +1,58 @@
+package phy
+
+import "testing"
+
+// TestProcessSetExportInject: exporting a cell removes exactly its
+// buffers (deterministically ordered), and injecting them into another
+// set reproduces the combined state bit for bit — the migration
+// invariant the shard layer rests on.
+func TestProcessSetExportInject(t *testing.T) {
+	src := NewProcessSet(8, 64)
+	for ue := 0; ue < 3; ue++ {
+		src.Combine(0, ue, ue, llrWord(40, int16(ue+1)))
+		src.Combine(0, ue, ue, llrWord(40, int16(ue+1)))
+	}
+	src.Combine(1, 9, 0, llrWord(40, 7)) // another cell's buffer stays
+
+	st := src.ExportCell(0)
+	if len(st) != 3 {
+		t.Fatalf("exported %d buffers, want 3", len(st))
+	}
+	if src.Len() != 1 {
+		t.Fatalf("source still holds %d buffers, want 1 (cell 1's)", src.Len())
+	}
+	if src.Attempts(0, 1, 1) != 0 {
+		t.Error("exported buffer still answers Attempts on the source")
+	}
+	for i, b := range st {
+		if b.UE != i || b.Proc != i || b.K != 40 || b.Attempts != 2 {
+			t.Fatalf("entry %d = %+v, want UE/Proc %d, K 40, attempts 2", i, b, i)
+		}
+		if b.Word.Sys[0] != int16(2*(i+1)) {
+			t.Fatalf("entry %d combined sample = %d, want %d", i, b.Word.Sys[0], 2*(i+1))
+		}
+	}
+
+	dst := NewProcessSet(8, 64)
+	for _, b := range st {
+		dst.Inject(0, b)
+	}
+	if dst.Len() != 3 {
+		t.Fatalf("target holds %d buffers, want 3", dst.Len())
+	}
+	if dst.Attempts(0, 2, 2) != 2 {
+		t.Errorf("injected attempts = %d, want 2", dst.Attempts(0, 2, 2))
+	}
+	// A further combine continues the accumulation seamlessly.
+	c, n, err := dst.Combine(0, 1, 1, llrWord(40, 2))
+	if err != nil || n != 3 {
+		t.Fatalf("post-inject combine: %v attempts=%d", err, n)
+	}
+	if c.Sys[0] != 6 {
+		t.Errorf("post-inject combined sample = %d, want 6", c.Sys[0])
+	}
+
+	if got := src.ExportCell(5); got != nil {
+		t.Errorf("export of empty cell = %v, want nil", got)
+	}
+}

@@ -167,8 +167,14 @@ func soak(t *testing.T, seed int64) {
 	}
 
 	// -- fault sites actually fired ------------------------------------
+	// Only the runtime's own sites: the fronthaul link sites fire on the
+	// shard transport path, exercised by the shard package's soak.
+	linkSites := map[string]bool{
+		chaos.SiteLinkDrop.String(): true, chaos.SiteLinkDelay.String(): true,
+		chaos.SiteLinkPart.String(): true,
+	}
 	for _, c := range inj.Counters() {
-		if c.Trials == 0 {
+		if c.Trials == 0 && !linkSites[c.Site] {
 			t.Errorf("site %s never consulted", c.Site)
 		}
 	}

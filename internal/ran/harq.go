@@ -174,10 +174,7 @@ func (r *Runtime) retryOrDrop(b *Block, now time.Time, busy time.Duration, iters
 	}
 	r.met.harqRetry()
 	r.recordSpan(b, now, busy, iters, "harq_retry")
-	select {
-	case r.notify <- struct{}{}:
-	default:
-	}
+	r.kick()
 }
 
 // updateDegrade recomputes the graceful-degradation level from queue

@@ -103,6 +103,28 @@ func NewMetrics(nCells int) *Metrics {
 func (m *Metrics) accept(cell int)                { m.cells[cell].accepted.Add(1) }
 func (m *Metrics) drop(cell int, cause DropCause) { m.cells[cell].drops[cause].Add(1) }
 
+// unaccept removes one block from a cell's accepted count — the export
+// side of a migration. The block is re-accepted on the target runtime,
+// so the fleet-wide ledger counts it exactly once.
+func (m *Metrics) unaccept(cell int) { m.cells[cell].accepted.Add(^uint64(0)) }
+
+// inflight estimates a cell's non-terminal block count (accepted minus
+// delivered and drops). Terminal counters are read before accepted, so
+// with a sealed cell (accepted frozen) the estimate never undercounts —
+// the drain loop's convergence rests on that.
+func (m *Metrics) inflight(cell int) uint64 {
+	c := &m.cells[cell]
+	term := c.delivered.Load()
+	for d := DropCause(0); d < numDropCauses; d++ {
+		term += c.drops[d].Load()
+	}
+	acc := c.accepted.Load()
+	if acc <= term {
+		return 0
+	}
+	return acc - term
+}
+
 func (m *Metrics) deliver(cell, bits int, latency time.Duration) {
 	c := &m.cells[cell]
 	c.delivered.Add(1)

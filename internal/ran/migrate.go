@@ -1,0 +1,171 @@
+package ran
+
+import (
+	"fmt"
+	"time"
+
+	"vransim/internal/phy"
+	"vransim/internal/turbo"
+)
+
+// This file is the runtime side of cell drain-and-migrate: the shard
+// coordinator moves a cell between two live runtimes without losing a
+// single in-flight block or HARQ soft buffer.
+//
+// Protocol, from this runtime's point of view (the source):
+//
+//  1. DrainCell seals the cell — new submissions bounce with
+//     RejectedSealed — and marks it migrating, which makes the
+//     dispatcher's sweep divert the cell's blocks into the migration
+//     queue instead of the decode path.
+//  2. Blocks already past the sweep (batcher, workers) finish normally:
+//     delivered, dropped, or CRC-failed into the retry queue, where the
+//     next sweep diverts them. The drain loop waits until the migration
+//     queue holds every non-terminal block of the cell.
+//  3. The drained blocks are un-accepted (the target re-accepts them,
+//     so the fleet ledger counts each exactly once) and returned with
+//     the cell's exported HARQ soft buffers. The cell stays sealed.
+//
+// ImportCell is the target side: inject the soft buffers, re-accept and
+// re-enqueue the blocks under fresh deadlines, unseal the cell.
+
+// MigratedBlock is one in-flight block leaving a runtime.
+type MigratedBlock struct {
+	UE, Proc, K int
+	// Attempt is the block's HARQ attempt counter.
+	Attempt int
+	// Word is the block's current soft input (a combined snapshot for
+	// retries); Tx is the originally submitted reference word the HARQ
+	// path regenerates retransmissions from.
+	Word, Tx *turbo.LLRWord
+}
+
+// CellState is everything a cell owns inside a runtime: its in-flight
+// blocks and HARQ soft buffers.
+type CellState struct {
+	Cell    int
+	Blocks  []MigratedBlock
+	Buffers []phy.ProcState
+}
+
+// Seal closes a cell for new submissions without draining it — the
+// coordinator uses it to fence traffic while a migration handshake is
+// in flight. Sealing an already-sealed cell is a no-op.
+func (r *Runtime) Seal(cell int) {
+	if cell >= 0 && cell < r.cfg.Cells {
+		r.sealed[cell].Store(true)
+	}
+}
+
+// Sealed reports whether a cell currently rejects submissions.
+func (r *Runtime) Sealed(cell int) bool {
+	return cell >= 0 && cell < r.cfg.Cells && r.sealed[cell].Load()
+}
+
+// DrainCell seals cell and extracts its complete state: every
+// non-terminal block (wherever it was — queued, batching, decoding,
+// awaiting retry) and every HARQ soft buffer. Blocks that reach a
+// terminal outcome while the drain converges are counted normally on
+// this runtime; everything else leaves with the state. At most one
+// drain runs at a time. On timeout the drain aborts: the cell unseals
+// and its blocks re-enter the decode path.
+func (r *Runtime) DrainCell(cell int, timeout time.Duration) (*CellState, error) {
+	if cell < 0 || cell >= r.cfg.Cells {
+		return nil, fmt.Errorf("ran: drain of unknown cell %d", cell)
+	}
+	if r.stopped.Load() {
+		return nil, fmt.Errorf("ran: drain during shutdown")
+	}
+	if !r.migrating.CompareAndSwap(-1, int64(cell)) {
+		return nil, fmt.Errorf("ran: a migration is already in progress")
+	}
+	r.sealed[cell].Store(true)
+	r.kick()
+	deadline := time.Now().Add(timeout)
+	for {
+		// Read inflight before the queue depth: with the cell sealed the
+		// accepted count is frozen, so inflight only overestimates and
+		// the equality below is reached exactly when every non-terminal
+		// block sits in the migration queue.
+		in := r.met.inflight(cell)
+		if uint64(r.migq.depth()) >= in {
+			break
+		}
+		if time.Now().After(deadline) {
+			r.abortDrain(cell)
+			return nil, fmt.Errorf("ran: drain of cell %d timed out with %d blocks in flight", cell, in)
+		}
+		r.kick()
+		time.Sleep(100 * time.Microsecond)
+	}
+	blocks := r.migq.drain()
+	r.migrating.Store(-1)
+	st := &CellState{Cell: cell}
+	for _, b := range blocks {
+		r.met.unaccept(cell)
+		st.Blocks = append(st.Blocks, MigratedBlock{
+			UE: b.UE, Proc: b.Process, K: b.K, Attempt: b.Attempt,
+			Word: b.Word, Tx: b.tx,
+		})
+	}
+	if r.harq != nil {
+		st.Buffers = r.harq.ExportCell(cell)
+	}
+	return st, nil
+}
+
+// abortDrain puts a timed-out drain's blocks back into the decode path
+// and unseals the cell.
+func (r *Runtime) abortDrain(cell int) {
+	r.migrating.Store(-1)
+	for _, b := range r.migq.drain() {
+		if !r.retryq.offer(b) {
+			r.met.drop(b.Cell, DropShutdown)
+			r.recordSpan(b, time.Now(), 0, 0, "migrate_shutdown")
+			r.harqRelease(b)
+		}
+	}
+	r.sealed[cell].Store(false)
+	r.kick()
+}
+
+// ImportCell installs a drained cell's state on this runtime: HARQ soft
+// buffers are injected, blocks are re-accepted and re-enqueued under
+// fresh arrival stamps and deadlines (a migrated block is re-scheduled,
+// and cross-process clocks make the original stamps meaningless), and
+// the cell is unsealed. Returns how many blocks re-entered the decode
+// path; a block the cell queue cannot hold is accounted as a backlog
+// drop, so conservation stays exact even under an overloaded target.
+func (r *Runtime) ImportCell(st *CellState) (int, error) {
+	if st.Cell < 0 || st.Cell >= r.cfg.Cells {
+		return 0, fmt.Errorf("ran: import of unknown cell %d", st.Cell)
+	}
+	if r.stopped.Load() {
+		return 0, fmt.Errorf("ran: import during shutdown")
+	}
+	if r.harq != nil {
+		for _, b := range st.Buffers {
+			r.harq.Inject(st.Cell, b)
+		}
+	}
+	now := time.Now()
+	n := 0
+	for _, mb := range st.Blocks {
+		b := &Block{
+			Cell: st.Cell, UE: mb.UE, Process: mb.Proc, K: mb.K,
+			Word: mb.Word, tx: mb.Tx, Attempt: mb.Attempt,
+			Arrived:  now,
+			Deadline: now.Add(r.cfg.Deadline),
+		}
+		r.met.accept(st.Cell)
+		if !r.queues[st.Cell].offer(b) {
+			r.met.drop(st.Cell, DropBacklog)
+			r.harqRelease(b)
+			continue
+		}
+		n++
+	}
+	r.sealed[st.Cell].Store(false)
+	r.kick()
+	return n, nil
+}

@@ -78,6 +78,9 @@ const (
 	RejectedDeadline
 	// RejectedStopped: the runtime is shut down.
 	RejectedStopped
+	// RejectedSealed: the cell is sealed for migration — it no longer
+	// (or does not yet) live on this runtime.
+	RejectedSealed
 )
 
 // Config parameterizes a Runtime.
@@ -169,6 +172,13 @@ type Runtime struct {
 	// callers never snapshot before the shutdown drops are counted.
 	recDone chan struct{}
 
+	// Cell-migration state: sealed cells reject new submissions,
+	// migrating is the one cell currently draining (-1 otherwise), and
+	// migq collects its diverted in-flight blocks (see migrate.go).
+	sealed    []atomic.Bool
+	migrating atomic.Int64
+	migq      *retryQueue
+
 	stopped atomic.Bool
 	// degrade is the current graceful-degradation level (0 = full
 	// iteration budget), recomputed by the dispatcher from queue
@@ -204,12 +214,15 @@ func New(cfg Config) (*Runtime, error) {
 		met:      NewMetrics(cfg.Cells),
 		queues:   make([]*cellQueue, cfg.Cells),
 		retryq:   &retryQueue{},
+		migq:     &retryQueue{},
+		sealed:   make([]atomic.Bool, cfg.Cells),
 		notify:   make(chan struct{}, 1),
 		batches:  make(chan batch, 2*cfg.Workers),
 		stop:     make(chan struct{}),
 		dispDone: make(chan struct{}),
 		recDone:  make(chan struct{}),
 	}
+	r.migrating.Store(-1)
 	if cfg.HARQ.MaxRetries > 0 {
 		r.harq = phy.NewProcessSet(cfg.HARQ.Processes, cfg.HARQ.BufferCap)
 	}
@@ -247,6 +260,9 @@ func (r *Runtime) SubmitProcess(cell, ue, proc, k int, word *turbo.LLRWord) Admi
 	if cell < 0 || cell >= r.cfg.Cells {
 		return RejectedStopped
 	}
+	if r.sealed[cell].Load() {
+		return RejectedSealed
+	}
 	now := time.Now()
 	// A chaos injector may hand back a corrupted private copy — the
 	// noisy reception; the submitted word stays untouched as tx.
@@ -271,11 +287,17 @@ func (r *Runtime) SubmitProcess(cell, ue, proc, k int, word *turbo.LLRWord) Admi
 		return RejectedBacklog
 	}
 	r.met.accept(cell)
+	r.kick()
+	return Admitted
+}
+
+// kick nudges the dispatcher without blocking (the notify channel is a
+// one-slot edge trigger).
+func (r *Runtime) kick() {
 	select {
 	case r.notify <- struct{}{}:
 	default:
 	}
-	return Admitted
 }
 
 // Stop flushes pending work, waits for the workers to drain, and
@@ -298,6 +320,14 @@ func (r *Runtime) Stop() *Snapshot {
 	for _, b := range r.retryq.closeAndDrain() {
 		r.met.drop(b.Cell, DropShutdown)
 		r.recordSpan(b, now, 0, 0, "harq_shutdown")
+		r.harqRelease(b)
+	}
+	// Likewise blocks parked for a migration that never completed: they
+	// were diverted out of the decode path and nothing will move them
+	// now. Shutdown drops keep the conservation ledger exact.
+	for _, b := range r.migq.closeAndDrain() {
+		r.met.drop(b.Cell, DropShutdown)
+		r.recordSpan(b, now, 0, 0, "migrate_shutdown")
 		r.harqRelease(b)
 	}
 	close(r.recDone)
@@ -381,16 +411,28 @@ func (r *Runtime) dispatch() {
 // pressure the workers respond to one batch later.
 func (r *Runtime) sweep(lb *laneBatcher) {
 	r.updateDegrade()
-	for _, b := range r.retryq.drain() {
+	// A draining cell's blocks are diverted into the migration queue
+	// instead of the batcher — they will decode on the target shard.
+	mig := r.migrating.Load()
+	route := func(b *Block) {
+		if mig >= 0 && int64(b.Cell) == mig {
+			if !r.migq.offer(b) {
+				r.met.drop(b.Cell, DropShutdown)
+				r.recordSpan(b, time.Now(), 0, 0, "migrate_shutdown")
+				r.harqRelease(b)
+			}
+			return
+		}
 		if bt, full := lb.add(b, time.Now()); full {
 			r.batches <- bt
 		}
 	}
+	for _, b := range r.retryq.drain() {
+		route(b)
+	}
 	for _, q := range r.queues {
 		for _, b := range q.drain() {
-			if bt, full := lb.add(b, time.Now()); full {
-				r.batches <- bt
-			}
+			route(b)
 		}
 	}
 }

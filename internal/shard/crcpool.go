@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vransim/internal/phy"
+	"vransim/internal/ran"
+	"vransim/internal/turbo"
+)
+
+// CRCPool pre-encodes random blocks whose payload carries a real CRC24B
+// suffix, so the decode check is content-based: any correctly decoded
+// block verifies, wherever it decodes. The in-process WordPool keys
+// truth by word pointer identity, which cannot survive serialization
+// over the fronthaul — a migrated or re-framed word is a different
+// allocation. Corrupted decodes still fail with probability ~1−2⁻²⁴.
+type CRCPool struct {
+	K     int
+	words []*turbo.LLRWord
+	truth [][]byte
+}
+
+// NewCRCPool encodes n random blocks of k bits (k−24 payload bits plus
+// the CRC24B suffix) at LLR amplitude amp.
+func NewCRCPool(k, n int, amp int16, rng *rand.Rand) (*CRCPool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: crc pool needs n > 0")
+	}
+	if k <= 24 {
+		return nil, fmt.Errorf("shard: crc pool needs k > 24, got %d", k)
+	}
+	c, err := turbo.NewCode(k)
+	if err != nil {
+		return nil, err
+	}
+	p := &CRCPool{K: k}
+	for i := 0; i < n; i++ {
+		msg := make([]byte, k-24)
+		for j := range msg {
+			msg[j] = byte(rng.Intn(2))
+		}
+		bits := phy.AppendCRC(msg, phy.CRC24BPoly, 24)
+		cw, err := c.Encode(bits)
+		if err != nil {
+			return nil, err
+		}
+		w := turbo.NewLLRWord(k)
+		w.FromHard(cw, amp)
+		p.words = append(p.words, w)
+		p.truth = append(p.truth, bits)
+	}
+	return p, nil
+}
+
+// Get returns word i (mod pool size) and its true payload bits.
+func (p *CRCPool) Get(i int) (*turbo.LLRWord, []byte) {
+	j := i % len(p.words)
+	return p.words[j], p.truth[j]
+}
+
+// Len reports the pool size.
+func (p *CRCPool) Len() int { return len(p.words) }
+
+// CheckCRC returns a ran.Config.CheckCRC hook that validates the CRC24B
+// suffix of the decoded bits — no lookup table, so it works across
+// process and serialization boundaries.
+func (p *CRCPool) CheckCRC() func(*ran.Block, []byte) bool {
+	return ContentCRC24B()
+}
+
+// ContentCRC24B is the fleet-standard decode check: a decoded payload
+// is accepted iff its CRC24B suffix verifies. Shard workers use it
+// directly — unlike the in-process WordPool they never see the truth
+// table, only the bits that arrived over the fronthaul.
+func ContentCRC24B() func(*ran.Block, []byte) bool {
+	return func(_ *ran.Block, bits []byte) bool {
+		return phy.CheckCRC(bits, phy.CRC24BPoly, 24)
+	}
+}

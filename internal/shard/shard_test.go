@@ -1,0 +1,233 @@
+package shard
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vransim/internal/core"
+	"vransim/internal/ran"
+	"vransim/internal/simd"
+)
+
+// fleetRuntime is the shard-test runtime shape: fleet-global cell
+// count, generous deadline (the tests are about routing and state
+// movement, not the clock), content-based CRC so verdicts survive the
+// fronthaul serialization boundary.
+func fleetRuntime(cells int, pool *CRCPool) func(int) ran.Config {
+	return func(int) ran.Config {
+		cfg := ran.DefaultConfig(simd.W256, core.StrategyAPCM)
+		cfg.Cells = cells
+		cfg.Workers = 2
+		// Deep enough that the soak never overflows a cell queue, even
+		// under -race — keeps DropBacklog out of the ledger, so the
+		// conservation assertions can demand exact equality.
+		cfg.QueueDepth = 1024
+		cfg.BatchWindow = 200 * time.Microsecond
+		cfg.Deadline = 30 * time.Second
+		cfg.AdmissionGuard = false
+		cfg.CheckCRC = pool.CheckCRC()
+		return cfg
+	}
+}
+
+// postDrops totals the drop causes a block can only reach after being
+// accepted (the terminal side of the runtime's ledger).
+func postDrops(s *ran.Snapshot) uint64 {
+	return s.Drops[ran.DropExpired] + s.Drops[ran.DropLate] +
+		s.Drops[ran.DropHARQ] + s.Drops[ran.DropShutdown]
+}
+
+func mustCRCPool(t *testing.T, k, n int, seed int64) *CRCPool {
+	t.Helper()
+	p, err := NewCRCPool(k, n, 24, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// settle polls the fleet until at least minAccepted blocks are
+// accepted, every accepted block is terminal, the retry queues are
+// empty, and the picture holds still across several consecutive polls —
+// the stability requirement covers frames still draining out of the
+// pipe buffers and blocks transiting the migration handshake (which are
+// momentarily un-accepted everywhere).
+func settle(t *testing.T, c *Coordinator, maxWait time.Duration, minAccepted uint64) *ran.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(maxWait)
+	stable := 0
+	var last uint64
+	for {
+		agg, _, err := c.FleetSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Post-admission drops only: submit-path backlog/admission drops
+		// count blocks that were never accepted.
+		term := agg.Delivered + postDrops(agg)
+		if term >= agg.Accepted && agg.RetryDepth == 0 && agg.Accepted >= minAccepted {
+			if agg.Accepted == last {
+				stable++
+				if stable >= 5 {
+					return agg
+				}
+			} else {
+				stable = 0
+			}
+			last = agg.Accepted
+		} else {
+			stable = 0
+		}
+		if time.Now().After(deadline) {
+			_, per, _ := c.FleetSnapshot()
+			for i, s := range per {
+				if s == nil {
+					continue
+				}
+				t.Logf("shard %d: accepted %d delivered %d drops %v retry %d harqbuf %d", i,
+					s.Accepted, s.Delivered, s.DropsByCause(), s.RetryDepth, s.HARQBuffers)
+				for cl, cs := range s.Cells {
+					if cs.Accepted+cs.Delivered != 0 || cs.QueueDepth != 0 {
+						t.Logf("  cell %d: accepted %d delivered %d queue %d", cl, cs.Accepted, cs.Delivered, cs.QueueDepth)
+					}
+				}
+			}
+			t.Fatalf("fleet did not settle: accepted %d (want ≥ %d), terminal %d, retry %d",
+				agg.Accepted, minAccepted, term, agg.RetryDepth)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFleetRoutesAndAggregates: blocks submitted through the
+// coordinator land on the shard owning their cell, and the aggregated
+// snapshot's families sum exactly to the per-shard values.
+func TestFleetRoutesAndAggregates(t *testing.T) {
+	const cells, n = 4, 48
+	pool := mustCRCPool(t, 64, 32, 1)
+	f, err := NewFleet(FleetConfig{
+		Coordinator: Config{Cells: cells, Deadline: 30 * time.Second},
+		Runtime:     fleetRuntime(cells, pool),
+		Shards:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		w, _ := pool.Get(i)
+		if err := f.Coord.Submit(i%cells, i%8, i, pool.K, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := settle(t, f.Coord, 10*time.Second, n)
+	if agg.Accepted != n || agg.Delivered != n {
+		t.Errorf("aggregate accepted/delivered = %d/%d, want %d/%d", agg.Accepted, agg.Delivered, n, n)
+	}
+
+	// The aggregate equals the per-shard sum, counter by counter.
+	_, per, err := f.Coord.FleetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted, delivered, dropped uint64
+	for _, s := range per {
+		accepted += s.Accepted
+		delivered += s.Delivered
+		dropped += s.Dropped()
+	}
+	if agg2 := Aggregate(per); agg2.Accepted != accepted || agg2.Delivered != delivered || agg2.Dropped() != dropped {
+		t.Errorf("aggregate %d/%d/%d != per-shard sums %d/%d/%d",
+			agg2.Accepted, agg2.Delivered, agg2.Dropped(), accepted, delivered, dropped)
+	}
+	// Each shard decoded only its routed cells.
+	for i, s := range per {
+		for cell := 0; cell < cells; cell++ {
+			if f.Coord.Route(cell) != i && s.Cells[cell].Accepted != 0 {
+				t.Errorf("shard %d accepted %d blocks of cell %d it does not own",
+					i, s.Cells[cell].Accepted, cell)
+			}
+		}
+	}
+
+	// The coordinator /metrics exposition carries both the aggregated
+	// vran_* families and the vran_shard_* overlay.
+	srv := httptest.NewServer(f.Coord.MountAdmin("127.0.0.1:0").Handler())
+	defer srv.Close()
+	body := httpGet(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"vran_accepted_total", "vran_delivered_total",
+		"vran_shard_routed_total", "vran_shard_cells", "vran_shard_migrations_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing family %s", want)
+		}
+	}
+
+	snaps, serveErrs := f.Stop()
+	for _, err := range serveErrs {
+		t.Errorf("worker serve error: %v", err)
+	}
+	var routed uint64
+	for i := range snaps {
+		routed += f.Coord.shards[i].routed.Load()
+	}
+	if routed != n {
+		t.Errorf("routed %d frames, want %d", routed, n)
+	}
+}
+
+// TestAggregateGauges: the weighted and max-folded gauges behave.
+func TestAggregateGauges(t *testing.T) {
+	a := &ran.Snapshot{Batches: 10, LaneOccupancy: 1.0, DecodedBlocks: 10, AvgDecodeUs: 4,
+		WorkerUtilization: 0.5, DecodeAllocsPerOp: -1, ProgramHits: 8, ProgramMisses: 2,
+		LatencyP99: 5 * time.Millisecond, DegradeLevel: 1}
+	b := &ran.Snapshot{Batches: 30, LaneOccupancy: 0.5, DecodedBlocks: 30, AvgDecodeUs: 8,
+		WorkerUtilization: 0.7, DecodeAllocsPerOp: 2, ProgramHits: 0, ProgramMisses: 10,
+		LatencyP99: 9 * time.Millisecond}
+	agg := Aggregate([]*ran.Snapshot{a, nil, b})
+	if got, want := agg.LaneOccupancy, (1.0*10+0.5*30)/40; got != want {
+		t.Errorf("lane occupancy %v, want %v", got, want)
+	}
+	if got, want := agg.AvgDecodeUs, (4.0*10+8.0*30)/40; got != want {
+		t.Errorf("decode cost %v, want %v", got, want)
+	}
+	if got := agg.WorkerUtilization; got < 0.59 || got > 0.61 {
+		t.Errorf("utilization %v, want 0.6", got)
+	}
+	if agg.DecodeAllocsPerOp != 2 {
+		t.Errorf("allocs/op %v, want 2 (unsampled shard excluded)", agg.DecodeAllocsPerOp)
+	}
+	if got, want := agg.CompiledRatio, 8.0/20.0; got != want {
+		t.Errorf("compiled ratio %v, want %v", got, want)
+	}
+	if agg.LatencyP99 != 9*time.Millisecond || agg.DegradeLevel != 1 {
+		t.Errorf("max folds: p99 %v degrade %d", agg.LatencyP99, agg.DegradeLevel)
+	}
+	if empty := Aggregate(nil); empty.DecodeAllocsPerOp != -1 {
+		t.Errorf("empty aggregate allocs/op %v, want -1", empty.DecodeAllocsPerOp)
+	}
+}
+
+// TestCRCPool: encoded words decode to bits whose CRC24B suffix
+// verifies; a corrupted payload fails the check.
+func TestCRCPool(t *testing.T) {
+	pool := mustCRCPool(t, 64, 4, 2)
+	check := pool.CheckCRC()
+	for i := 0; i < pool.Len(); i++ {
+		_, bits := pool.Get(i)
+		if !check(nil, bits) {
+			t.Errorf("true payload %d fails its own CRC", i)
+		}
+		bad := append([]byte(nil), bits...)
+		bad[3] ^= 1
+		if check(nil, bad) {
+			t.Errorf("corrupted payload %d passes CRC", i)
+		}
+	}
+	if _, err := NewCRCPool(24, 1, 24, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("k ≤ 24 pool accepted")
+	}
+}

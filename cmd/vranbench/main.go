@@ -7,6 +7,7 @@
 //	vranbench [-quick] fig13 fig14 …
 //	vranbench [-quick] -decodejson BENCH_decode.json
 //	vranbench [-quick] -shardjson BENCH_shard.json
+//	vranbench [-quick] -tracejson BENCH_trace.json [-tracegate 5]
 package main
 
 import (
@@ -23,6 +24,8 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	decodeJSON := flag.String("decodejson", "", "write the steady-state decode benchmark report to this file and exit")
 	shardJSON := flag.String("shardjson", "", "write the 1-vs-2-shard fleet benchmark report to this file and exit")
+	traceJSON := flag.String("tracejson", "", "write the distributed-tracing overhead report to this file and exit")
+	traceGate := flag.Float64("tracegate", 0, "fail if -tracejson measures trace overhead above this percent (0 disables)")
 	flag.Parse()
 
 	if *list {
@@ -37,6 +40,13 @@ func main() {
 	}
 	if *shardJSON != "" {
 		writeReport(*shardJSON, *quick, bench.WriteShardBenchJSON)
+		return
+	}
+	if *traceJSON != "" {
+		gate := *traceGate
+		writeReport(*traceJSON, *quick, func(w io.Writer, quick bool) error {
+			return bench.WriteTraceBenchJSON(w, quick, gate)
+		})
 		return
 	}
 	runExperiments(flag.Args(), *quick)

@@ -39,6 +39,7 @@ import (
 	"vransim/internal/fronthaul"
 	"vransim/internal/ran"
 	"vransim/internal/shard"
+	"vransim/internal/telemetry"
 )
 
 func main() {
@@ -54,6 +55,10 @@ func main() {
 	hold := flag.Duration("hold", 0, "keep the admin endpoint up this long after the run")
 	migrateCell := flag.Int("migrate-cell", -1, "cell to force-migrate mid-run (-1 disables)")
 	migrateAt := flag.Int("migrate-at", -1, "TTI index of the forced migration (-1: half the horizon)")
+	traceSample := flag.Int("trace-sample", 1, "trace every Nth submission end to end (0 disables tracing)")
+	sloTarget := flag.Duration("slo-target", 0, "SLO latency target (0: the -deadline value)")
+	sloObjective := flag.Float64("slo-objective", 0.999, "SLO success objective (fraction of blocks delivered within target)")
+	sloWindow := flag.Duration("slo-window", time.Minute, "fast burn-rate window (slow window is 10x)")
 	connectTimeout := flag.Duration("connect-timeout", 10*time.Second, "per-shard dial budget (retries until it expires)")
 	settleTimeout := flag.Duration("settle", 30*time.Second, "post-traffic settle budget")
 	rb := cliutil.RegisterRebalance(flag.CommandLine)
@@ -87,6 +92,12 @@ func main() {
 
 	coord, err := shard.NewCoordinator(shard.Config{
 		Cells: *cells, Deadline: *deadline, Rebalance: rb.Config(),
+		Trace: shard.TraceConfig{
+			Sample: *traceSample,
+			SLO: telemetry.SLOConfig{
+				Target: *sloTarget, Objective: *sloObjective, Fast: *sloWindow,
+			},
+		},
 	}, conns)
 	if err != nil {
 		fatal("%v", err)
@@ -239,6 +250,31 @@ func report(c *shard.Coordinator, agg *ran.Snapshot, per []*ran.Snapshot, offere
 			fmt.Printf("%s=%d/%d ", ct.Site, ct.Fires, ct.Trials)
 		}
 		fmt.Println("(injected/trials)")
+	}
+	if col := c.Collector(); col.SpanCount() > 0 {
+		fmt.Printf("\ntraces: %d spans merged\n", col.SpanCount())
+		fmt.Printf("%-12s %8s %12s %12s %12s\n", "hop", "spans", "mean", "p99", "budget")
+		sums := col.HopSummaries()
+		var meanSum time.Duration
+		for _, h := range sums {
+			meanSum += time.Duration(float64(h.Mean) * float64(h.Count))
+		}
+		for _, h := range sums {
+			if h.Count == 0 {
+				continue
+			}
+			share := 0.0
+			if meanSum > 0 {
+				share = float64(h.Mean) * float64(h.Count) / float64(meanSum)
+			}
+			fmt.Printf("%-12s %8d %12v %12v %11.1f%%\n", h.Stage, h.Count,
+				h.Mean.Round(time.Microsecond), h.P99.Round(time.Microsecond), 100*share)
+		}
+		slo := col.SLO()
+		good, bad := slo.Totals()
+		fmt.Printf("SLO: target %v objective %.4f — %d good / %d bad, fast burn %.2f, budget remaining %.2f\n",
+			slo.Config().Target, slo.Config().Objective, good, bad,
+			slo.BurnRate(slo.Config().Fast), slo.BudgetRemaining(slo.Config().Fast))
 	}
 }
 

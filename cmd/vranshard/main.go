@@ -38,6 +38,7 @@ import (
 	"vransim/internal/fronthaul"
 	"vransim/internal/ran"
 	"vransim/internal/shard"
+	"vransim/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7101", "fronthaul listen address")
 	admin := flag.String("admin", "", "admin HTTP listen address (e.g. :9191; empty disables)")
 	seed := flag.Int64("seed", 1, "default chaos seed when -chaos-seed is 0")
+	traceRing := flag.Int("trace-ring", 256, "local span ring size for the admin /spans view")
 	cf := cliutil.RegisterChaos(flag.CommandLine)
 	flag.Parse()
 
@@ -53,6 +55,8 @@ func main() {
 		fatal("%v", err)
 	}
 	cfg.CheckCRC = shard.ContentCRC24B()
+	tr := telemetry.NewTracer(*traceRing, 0)
+	cfg.Tracer = tr
 	var inj *chaos.Injector
 	if inj = cf.Injector(*seed); inj != nil {
 		cfg.Chaos = inj
@@ -72,7 +76,7 @@ func main() {
 		cfg.Cells, ln.Addr(), cfg.Workers, cfg.Width, *rf.Mech, cfg.QueueDepth)
 
 	if *admin != "" {
-		srv := ran.MountAdmin(rt, nil, nil, *admin, ran.HealthPolicy{}, inj.Families)
+		srv := ran.MountAdmin(rt, tr, nil, *admin, ran.HealthPolicy{}, inj.Families)
 		if err := srv.Start(); err != nil {
 			fatal("admin endpoint: %v", err)
 		}

@@ -1,0 +1,223 @@
+// Trace-overhead benchmark: the harness behind cmd/vranbench
+// -tracejson and the committed BENCH_trace.json. It drives the same
+// saturating block load through a two-shard pipe fleet with tracing
+// off and with every block traced (Sample=1, the worst case), and
+// reports the elapsed-time overhead the trace path adds — frame
+// extension encode/decode, span accumulation, the shipping
+// backchannel and the coordinator-side merge. The reps interleave
+// traced/untraced and the min elapsed per arm is compared, so a
+// one-off scheduler stall cannot fake (or mask) an overhead.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"vransim/internal/core"
+	"vransim/internal/ran"
+	"vransim/internal/shard"
+	"vransim/internal/simd"
+)
+
+// TraceBenchArm is one measurement arm (traced or untraced).
+type TraceBenchArm struct {
+	Traced       bool    `json:"traced"`
+	Reps         int     `json:"reps"`
+	MinElapsedMs float64 `json:"min_elapsed_ms"`
+	Delivered    uint64  `json:"delivered_blocks"`
+	GoodputMbps  float64 `json:"goodput_mbps"`
+	// Spans/ShipDropped only populate on the traced arm.
+	Spans       uint64 `json:"spans,omitempty"`
+	ShipDropped uint64 `json:"ship_dropped,omitempty"`
+}
+
+// TraceHopRow is one hop's aggregate from the traced arm's last rep.
+type TraceHopRow struct {
+	Hop    string  `json:"hop"`
+	Spans  uint64  `json:"spans"`
+	MeanUs float64 `json:"mean_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+// TraceBenchReport is the BENCH_trace.json shape.
+type TraceBenchReport struct {
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	K         int    `json:"k"`
+	Blocks    int    `json:"blocks"`
+	Shards    int    `json:"shards"`
+	Workers   int    `json:"workers_per_shard"`
+
+	Untraced TraceBenchArm `json:"untraced"`
+	Traced   TraceBenchArm `json:"traced"`
+	// OverheadPct compares the min elapsed of each arm:
+	// 100 * (traced - untraced) / untraced.
+	OverheadPct float64       `json:"overhead_pct"`
+	Hops        []TraceHopRow `json:"hops"`
+}
+
+// RunTraceBench measures the tracing overhead on a two-shard fleet.
+// quick shrinks blocks and reps for CI.
+func RunTraceBench(quick bool) (*TraceBenchReport, error) {
+	const (
+		k       = 512
+		cells   = 4
+		shards  = 2
+		workers = 2
+	)
+	blocks, reps := 8192, 5
+	if quick {
+		blocks, reps = 2048, 3
+	}
+	rep := &TraceBenchReport{
+		GoVersion: runtime.Version(), GOARCH: runtime.GOARCH,
+		K: k, Blocks: blocks, Shards: shards, Workers: workers,
+		Untraced: TraceBenchArm{Reps: reps},
+		Traced:   TraceBenchArm{Traced: true, Reps: reps},
+	}
+	// Interleave the arms so ambient machine noise hits both equally.
+	for i := 0; i < reps; i++ {
+		for _, traced := range [...]bool{false, true} {
+			res, err := runTraceRep(traced, shards, cells, workers, k, blocks)
+			if err != nil {
+				return nil, err
+			}
+			arm := &rep.Untraced
+			if traced {
+				arm = &rep.Traced
+			}
+			if arm.MinElapsedMs == 0 || res.elapsedMs < arm.MinElapsedMs {
+				arm.MinElapsedMs = res.elapsedMs
+				arm.Delivered = res.delivered
+				arm.GoodputMbps = res.goodput
+			}
+			if traced {
+				arm.Spans = res.spans
+				arm.ShipDropped = res.shipDropped
+				rep.Hops = res.hops
+			}
+		}
+	}
+	if rep.Untraced.MinElapsedMs > 0 {
+		rep.OverheadPct = 100 * (rep.Traced.MinElapsedMs - rep.Untraced.MinElapsedMs) / rep.Untraced.MinElapsedMs
+	}
+	return rep, nil
+}
+
+type traceRepResult struct {
+	elapsedMs   float64
+	delivered   uint64
+	goodput     float64
+	spans       uint64
+	shipDropped uint64
+	hops        []TraceHopRow
+}
+
+// runTraceRep drives one rep of the block load through a fresh fleet.
+func runTraceRep(traced bool, shards_, cells, workers, k, blocks int) (traceRepResult, error) {
+	pool, err := shard.NewCRCPool(k, 64, 24, rand.New(rand.NewSource(7)))
+	if err != nil {
+		return traceRepResult{}, err
+	}
+	ccfg := shard.Config{Cells: cells, Deadline: 30 * time.Second}
+	if traced {
+		ccfg.Trace = shard.TraceConfig{Sample: 1}
+	}
+	f, err := shard.NewFleet(shard.FleetConfig{
+		Coordinator: ccfg,
+		Runtime: func(int) ran.Config {
+			cfg := ran.DefaultConfig(simd.W256, core.StrategyAPCM)
+			cfg.Cells = cells
+			cfg.Workers = workers
+			cfg.QueueDepth = blocks
+			cfg.BatchWindow = 200 * time.Microsecond
+			cfg.Deadline = 30 * time.Second
+			cfg.AdmissionGuard = false
+			cfg.CheckCRC = shard.ContentCRC24B()
+			return cfg
+		},
+		Shards: shards_,
+	})
+	if err != nil {
+		return traceRepResult{}, err
+	}
+	start := time.Now()
+	for i := 0; i < blocks; i++ {
+		cell := i % cells
+		w, _ := pool.Get(i)
+		if err := f.Coord.Submit(cell, (i/cells)%8, (i/(cells*8))%8, pool.K, w); err != nil {
+			f.Stop()
+			return traceRepResult{}, err
+		}
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		agg, _, err := f.Coord.FleetSnapshot()
+		if err != nil {
+			f.Stop()
+			return traceRepResult{}, err
+		}
+		if agg.Delivered+agg.Dropped() >= uint64(blocks) && agg.RetryDepth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			f.Stop()
+			return traceRepResult{}, fmt.Errorf("bench: trace rep (traced=%v) did not drain %d blocks", traced, blocks)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	res := traceRepResult{elapsedMs: float64(elapsed.Nanoseconds()) / 1e6}
+	if traced {
+		col := f.Coord.Collector()
+		// Give the 2ms shipper flush a moment to land the tail batch
+		// before the teardown snapshot.
+		waitFor := time.Now().Add(time.Second)
+		for col.SpanCount() < uint64(blocks) && time.Now().Before(waitFor) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		res.spans = col.SpanCount()
+		for _, h := range col.HopSummaries() {
+			if h.Count == 0 {
+				continue
+			}
+			res.hops = append(res.hops, TraceHopRow{
+				Hop: h.Stage, Spans: h.Count,
+				MeanUs: float64(h.Mean.Nanoseconds()) / 1e3,
+				P99Us:  float64(h.P99.Nanoseconds()) / 1e3,
+			})
+		}
+	}
+	snaps, serveErrs := f.Stop()
+	for _, err := range serveErrs {
+		return traceRepResult{}, err
+	}
+	agg := shard.Aggregate(snaps)
+	res.delivered = agg.Delivered
+	res.goodput = agg.GoodputMbps
+	return res, nil
+}
+
+// WriteTraceBenchJSON runs the trace benchmark and writes the report.
+// When gatePct > 0 the run fails if the measured overhead exceeds it —
+// the CI guard keeping full tracing within its latency budget.
+func WriteTraceBenchJSON(w io.Writer, quick bool, gatePct float64) error {
+	rep, err := RunTraceBench(quick)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if gatePct > 0 && rep.OverheadPct > gatePct {
+		return fmt.Errorf("bench: trace overhead %.2f%% exceeds gate %.2f%% (untraced %.1fms, traced %.1fms)",
+			rep.OverheadPct, gatePct, rep.Untraced.MinElapsedMs, rep.Traced.MinElapsedMs)
+	}
+	return nil
+}

@@ -26,8 +26,15 @@ import (
 	"vransim/internal/turbo"
 )
 
-// Version is the frame format version this build speaks.
-const Version = 1
+// Version is the frame format version this build emits. Version 2
+// added the optional trace-context header extension (FlagTraceCtx);
+// version-1 frames (no extension) are still accepted, so a v1 peer can
+// feed a v2 runtime across a rolling upgrade.
+const Version = 2
+
+// VersionNoTrace is the pre-trace frame format still accepted on
+// decode.
+const VersionNoTrace = 1
 
 // HeaderLen is the fixed frame header size in bytes (excluding the
 // 4-byte length prefix).
@@ -63,6 +70,13 @@ const (
 	TypeMigrateAck
 	// TypeError reports a management-plane failure (payload = message).
 	TypeError
+	// TypeSpanReport ships a batch of completed telemetry spans from a
+	// shard back to the coordinator's fleet collector (payload = JSON
+	// []telemetry.Span, Aux = the shard's cumulative dropped-span
+	// count). It rides the data link in the shard→coordinator direction
+	// but is management-plane for the fault model: the chaos injector
+	// never touches it.
+	TypeSpanReport
 	maxType
 )
 
@@ -87,6 +101,8 @@ func (t Type) String() string {
 		return "migrate_ack"
 	case TypeError:
 		return "error"
+	case TypeSpanReport:
+		return "span_report"
 	}
 	return "unknown"
 }
@@ -102,6 +118,67 @@ const (
 	FlagHasSoft
 )
 
+// FlagTraceCtx marks a version-2 frame that carries the TraceCtxLen
+// trace-context extension between the fixed header and the payload.
+// It lives in the top flag bit, far from the migrate-state bits, and is
+// only legal on version >= 2 frames.
+const FlagTraceCtx uint16 = 1 << 15
+
+// TraceCtxLen is the wire size of the trace-context header extension.
+const TraceCtxLen = 40
+
+// TraceCtx is the frame header's trace-context extension: the fleet
+// trace identity plus the stage dwell the block accumulated before it
+// hit the wire. Durations are monotonic offsets measured on the
+// sender's clock (uint32 nanoseconds, saturating at ~4.29s — far past
+// any serving deadline); only SentUnixNs is a wall-clock stamp, and the
+// receiver clamps the derived link dwell at zero so clock skew can
+// never produce a negative stage.
+type TraceCtx struct {
+	// TraceID is the fleet-unique trace; ParentID the sending hop's
+	// span.
+	TraceID, ParentID uint64
+	// SentUnixNs is the sender's wall clock at write time (0 = unknown).
+	SentUnixNs int64
+	// RouteNs, EncodeNs and ParkNs are the upstream stage dwells:
+	// routing decision, wire serialization, and migration-hold parking.
+	RouteNs, EncodeNs, ParkNs uint32
+}
+
+// SatNs32 saturates a duration into the uint32 nanosecond wire fields.
+func SatNs32(d int64) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	if d > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(d)
+}
+
+// appendTraceCtx appends the TraceCtxLen wire encoding of tc.
+func appendTraceCtx(dst []byte, tc *TraceCtx) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, tc.TraceID)
+	dst = binary.BigEndian.AppendUint64(dst, tc.ParentID)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(tc.SentUnixNs))
+	dst = binary.BigEndian.AppendUint32(dst, tc.RouteNs)
+	dst = binary.BigEndian.AppendUint32(dst, tc.EncodeNs)
+	dst = binary.BigEndian.AppendUint32(dst, tc.ParkNs)
+	return binary.BigEndian.AppendUint32(dst, 0) // reserved
+}
+
+// decodeTraceCtx parses a TraceCtxLen extension.
+func decodeTraceCtx(b []byte) *TraceCtx {
+	return &TraceCtx{
+		TraceID:    binary.BigEndian.Uint64(b),
+		ParentID:   binary.BigEndian.Uint64(b[8:]),
+		SentUnixNs: int64(binary.BigEndian.Uint64(b[16:])),
+		RouteNs:    binary.BigEndian.Uint32(b[24:]),
+		EncodeNs:   binary.BigEndian.Uint32(b[28:]),
+		ParkNs:     binary.BigEndian.Uint32(b[32:]),
+	}
+}
+
 // Frame is one decoded fronthaul frame. Aux is per-type: the deadline
 // budget hint in nanoseconds on Data frames, the soft-buffer attempt
 // count on MigrateState frames, entry counts on the migrate handshake.
@@ -114,6 +191,10 @@ type Frame struct {
 	K       uint32
 	Attempt uint32
 	Aux     uint64
+	// Trace, when non-nil, is encoded as the version-2 header extension
+	// (and sets FlagTraceCtx on the wire). Frames decoded from v1 peers
+	// always leave it nil.
+	Trace   *TraceCtx
 	Payload []byte
 }
 
@@ -277,16 +358,25 @@ func DecodeState(k int, flags uint16, payload []byte) (word, tx, soft *turbo.LLR
 // AppendFrame appends the wire encoding of f (length prefix + header +
 // payload) to dst.
 func AppendFrame(dst []byte, f *Frame) []byte {
-	body := HeaderLen + len(f.Payload)
+	flags := f.Flags &^ FlagTraceCtx
+	ext := 0
+	if f.Trace != nil {
+		flags |= FlagTraceCtx
+		ext = TraceCtxLen
+	}
+	body := HeaderLen + ext + len(f.Payload)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
 	dst = append(dst, Version, byte(f.Type))
-	dst = binary.BigEndian.AppendUint16(dst, f.Flags)
+	dst = binary.BigEndian.AppendUint16(dst, flags)
 	dst = binary.BigEndian.AppendUint32(dst, f.Cell)
 	dst = binary.BigEndian.AppendUint32(dst, f.UE)
 	dst = binary.BigEndian.AppendUint32(dst, f.Proc)
 	dst = binary.BigEndian.AppendUint32(dst, f.K)
 	dst = binary.BigEndian.AppendUint32(dst, f.Attempt)
 	dst = binary.BigEndian.AppendUint64(dst, f.Aux)
+	if f.Trace != nil {
+		dst = appendTraceCtx(dst, f.Trace)
+	}
 	return append(dst, f.Payload...)
 }
 
@@ -298,8 +388,9 @@ func DecodeFrame(body []byte) (*Frame, error) {
 	if len(body) < HeaderLen {
 		return nil, fmt.Errorf("fronthaul: frame body %d bytes, need %d header", len(body), HeaderLen)
 	}
-	if body[0] != Version {
-		return nil, fmt.Errorf("fronthaul: version %d, want %d", body[0], Version)
+	ver := body[0]
+	if ver != Version && ver != VersionNoTrace {
+		return nil, fmt.Errorf("fronthaul: version %d, want %d or %d", ver, VersionNoTrace, Version)
 	}
 	f := &Frame{
 		Type:    Type(body[1]),
@@ -314,6 +405,17 @@ func DecodeFrame(body []byte) (*Frame, error) {
 	}
 	if f.Type < TypeData || f.Type >= maxType {
 		return nil, fmt.Errorf("fronthaul: unknown frame type %d", body[1])
+	}
+	if f.Flags&FlagTraceCtx != 0 {
+		if ver < Version {
+			return nil, fmt.Errorf("fronthaul: trace-context flag on version-%d frame", ver)
+		}
+		if len(f.Payload) < TraceCtxLen {
+			return nil, fmt.Errorf("fronthaul: frame body %d bytes, need %d trace extension", len(body), HeaderLen+TraceCtxLen)
+		}
+		f.Trace = decodeTraceCtx(f.Payload)
+		f.Payload = f.Payload[TraceCtxLen:]
+		f.Flags &^= FlagTraceCtx
 	}
 	switch f.Type {
 	case TypeData:

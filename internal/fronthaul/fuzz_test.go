@@ -17,6 +17,17 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, &Frame{Type: TypeMigrateState, Flags: flags, K: 40, Aux: 2, Payload: payload})[4:])
 	f.Add(AppendFrame(nil, &Frame{Type: TypeSnapshotReq})[4:])
 	f.Add(AppendFrame(nil, &Frame{Type: TypeError, Payload: []byte("boom")})[4:])
+	traced := DataFrame(1, 2, 3, 40, w, 1000)
+	traced.Trace = &TraceCtx{TraceID: 0xabcd, ParentID: 1, SentUnixNs: 1 << 40,
+		RouteNs: 100, EncodeNs: 200, ParkNs: 300}
+	f.Add(AppendFrame(nil, traced)[4:])
+	f.Add(AppendFrame(nil, &Frame{Type: TypeSpanReport, Aux: 9,
+		Trace: &TraceCtx{TraceID: 1}, Payload: []byte(`[]`)})[4:])
+	// The trace flag truncated mid-extension, and on the legacy version.
+	f.Add(AppendFrame(nil, traced)[4 : 4+HeaderLen+TraceCtxLen/2])
+	v1flag := AppendFrame(nil, traced)[4:]
+	v1flag[0] = VersionNoTrace
+	f.Add(v1flag)
 	f.Add([]byte{})
 	f.Add([]byte{Version})
 	f.Add(bytes.Repeat([]byte{0xff}, HeaderLen))
@@ -35,6 +46,12 @@ func FuzzDecodeFrame(f *testing.F) {
 			fr2.Attempt != fr.Attempt || fr2.Aux != fr.Aux ||
 			!bytes.Equal(fr2.Payload, fr.Payload) {
 			t.Fatal("frame fields changed across encode/decode round trip")
+		}
+		if (fr2.Trace == nil) != (fr.Trace == nil) {
+			t.Fatal("trace extension presence changed across round trip")
+		}
+		if fr.Trace != nil && *fr2.Trace != *fr.Trace {
+			t.Fatal("trace extension fields changed across round trip")
 		}
 	})
 }

@@ -1,0 +1,147 @@
+package fronthaul
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTraceCtxRoundTrip: a frame carrying the trace extension must come
+// back with identical trace fields, an untouched payload and the flag
+// bit already consumed (Trace non-nil stands in for it).
+func TestTraceCtxRoundTrip(t *testing.T) {
+	w := testWord(40, 9)
+	f := DataFrame(3, 1, 2, 40, w, 5_000_000)
+	f.Trace = &TraceCtx{
+		TraceID: 0xfeedbeefcafe, ParentID: 77,
+		SentUnixNs: 1_700_000_000_123_456_789,
+		RouteNs:    1500, EncodeNs: 2500, ParkNs: 42,
+	}
+	got, err := DecodeFrame(AppendFrame(nil, f)[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil {
+		t.Fatal("trace extension lost across the round trip")
+	}
+	if *got.Trace != *f.Trace {
+		t.Errorf("trace ctx = %+v, want %+v", *got.Trace, *f.Trace)
+	}
+	if got.Flags&FlagTraceCtx != 0 {
+		t.Error("FlagTraceCtx should be consumed by decode")
+	}
+	word, err := got.DataWord()
+	if err != nil {
+		t.Fatalf("payload after trace extension: %v", err)
+	}
+	if !wordsEqual(word, w) {
+		t.Error("payload samples changed when the trace extension was present")
+	}
+}
+
+// TestTraceCtxUntracedUnchanged: frames without a trace context encode
+// byte-compatibly with what a v1 decoder expects after the version
+// byte — the extension is strictly opt-in.
+func TestTraceCtxUntracedUnchanged(t *testing.T) {
+	f := &Frame{Type: TypeSnapshotReq}
+	body := AppendFrame(nil, f)[4:]
+	if body[0] != Version {
+		t.Fatalf("version byte %d, want %d", body[0], Version)
+	}
+	got, err := DecodeFrame(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != nil {
+		t.Error("untraced frame decoded with a trace context")
+	}
+	if len(body) != HeaderLen {
+		t.Errorf("untraced header-only frame is %d bytes, want %d", len(body), HeaderLen)
+	}
+}
+
+// TestDecodeFrameV1Compat: a version-1 frame (the pre-trace format) must
+// decode cleanly on a version-2 runtime — the rolling-upgrade contract.
+func TestDecodeFrameV1Compat(t *testing.T) {
+	w := testWord(512, 4)
+	body := AppendFrame(nil, DataFrame(1, 2, 3, 512, w, 9000))[4:]
+	body[0] = VersionNoTrace // what a v1 peer would have written
+	f, err := DecodeFrame(body)
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	if f.Trace != nil {
+		t.Error("v1 frame decoded with a trace context")
+	}
+	word, err := f.DataWord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wordsEqual(word, w) {
+		t.Error("v1 payload changed across decode")
+	}
+}
+
+// TestDecodeFrameV1TraceFlagRejected: the trace flag is not legal on a
+// version-1 frame; a corrupted or confused peer must be rejected, not
+// misparsed.
+func TestDecodeFrameV1TraceFlagRejected(t *testing.T) {
+	f := DataFrame(0, 0, 0, 40, testWord(40, 1), 0)
+	f.Trace = &TraceCtx{TraceID: 1}
+	body := AppendFrame(nil, f)[4:]
+	body[0] = VersionNoTrace
+	if _, err := DecodeFrame(body); err == nil {
+		t.Fatal("v1 frame with FlagTraceCtx decoded; want error")
+	} else if !strings.Contains(err.Error(), "trace-context") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestDecodeFrameTruncatedTraceCtx: the flag set with fewer than
+// TraceCtxLen bytes after the header must error, never slice out of
+// range.
+func TestDecodeFrameTruncatedTraceCtx(t *testing.T) {
+	f := &Frame{Type: TypeSnapshotReq, Trace: &TraceCtx{TraceID: 5}}
+	body := AppendFrame(nil, f)[4:]
+	for cut := 1; cut <= TraceCtxLen; cut++ {
+		if _, err := DecodeFrame(body[:len(body)-cut]); err == nil {
+			t.Fatalf("frame truncated %d bytes into the trace extension decoded", cut)
+		}
+	}
+}
+
+// TestSatNs32 covers the saturating nanosecond conversion the stamp
+// path uses.
+func TestSatNs32(t *testing.T) {
+	for _, tc := range []struct {
+		in   int64
+		want uint32
+	}{
+		{-5, 0}, {0, 0}, {1500, 1500},
+		{int64(^uint32(0)), ^uint32(0)},
+		{int64(^uint32(0)) + 1, ^uint32(0)},
+		{1 << 60, ^uint32(0)},
+	} {
+		if got := SatNs32(tc.in); got != tc.want {
+			t.Errorf("SatNs32(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSpanReportFrame: span report frames carry an opaque payload and
+// the cumulative drop counter in Aux; the codec must not interpret the
+// body.
+func TestSpanReportFrame(t *testing.T) {
+	payload := []byte(`[{"Outcome":"delivered"}]`)
+	f := &Frame{Type: TypeSpanReport, Aux: 17, Payload: payload}
+	got, err := DecodeFrame(AppendFrame(nil, f)[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeSpanReport || got.Aux != 17 || !bytes.Equal(got.Payload, payload) {
+		t.Errorf("span report round trip: %+v", got)
+	}
+	if got.Type.String() != "span_report" {
+		t.Errorf("type name %q", got.Type.String())
+	}
+}

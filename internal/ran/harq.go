@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"vransim/internal/telemetry"
 	"vransim/internal/turbo"
 )
 
@@ -165,7 +166,20 @@ func (r *Runtime) retryOrDrop(b *Block, now time.Time, busy time.Duration, iters
 		// transmission.
 		Arrived:  b.Arrived,
 		Deadline: now.Add(r.cfg.Deadline),
+		// The trace follows the retransmission: the failed attempt's
+		// entire local dwell folds into the harq-retry stage, and the
+		// successor's queue/batch/decode stages restart from its own
+		// (monotonic, local) requeue instant — so the final span's
+		// stages still sum to the block's end-to-end latency.
+		traceID: b.traceID, traceParent: b.traceParent, origin: b.origin,
+		acc:        b.acc,
+		hopArrived: now,
 	}
+	prev := b.hopArrived
+	if prev.IsZero() {
+		prev = b.Arrived
+	}
+	nb.acc[telemetry.SpanHARQRetry] += clampDur(now.Sub(prev))
 	if !r.retryq.offer(nb) {
 		r.met.drop(b.Cell, DropShutdown)
 		r.recordSpan(b, now, busy, iters, "harq_shutdown")

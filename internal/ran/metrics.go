@@ -239,6 +239,12 @@ type Snapshot struct {
 	LatencyP50 time.Duration
 	LatencyP90 time.Duration
 	LatencyP99 time.Duration
+
+	// LatencyBuckets is the raw delivered-latency histogram (trimmed
+	// telemetry.Hist bucket counters). Percentiles do not compose
+	// across runtimes, bucket counts do — shard.Aggregate merges these
+	// to reconstruct correct fleet-wide percentiles.
+	LatencyBuckets []uint64
 }
 
 // Dropped totals drops across cells and causes.
@@ -324,5 +330,6 @@ func (m *Metrics) snapshot(queueDepths []int, workers int) *Snapshot {
 	s.LatencyP50 = m.latency.Percentile(0.50)
 	s.LatencyP90 = m.latency.Percentile(0.90)
 	s.LatencyP99 = m.latency.Percentile(0.99)
+	s.LatencyBuckets = m.latency.Buckets()
 	return s
 }

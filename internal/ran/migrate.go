@@ -154,8 +154,9 @@ func (r *Runtime) ImportCell(st *CellState) (int, error) {
 		b := &Block{
 			Cell: st.Cell, UE: mb.UE, Process: mb.Proc, K: mb.K,
 			Word: mb.Word, tx: mb.Tx, Attempt: mb.Attempt,
-			Arrived:  now,
-			Deadline: now.Add(r.cfg.Deadline),
+			Arrived:    now,
+			Deadline:   now.Add(r.cfg.Deadline),
+			hopArrived: now,
 		}
 		r.met.accept(st.Cell)
 		if !r.queues[st.Cell].offer(b) {

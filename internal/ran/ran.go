@@ -63,6 +63,19 @@ type Block struct {
 	// lane-fill batcher. Zero when tracing never saw the block.
 	dequeued time.Time
 	batched  time.Time
+
+	// Distributed-trace state (zero traceID = untraced). acc carries
+	// the stage dwell accumulated before this runtime saw the block
+	// (upstream fronthaul hops) plus any earlier HARQ attempts here;
+	// origin is the trace start reconstructed on the LOCAL clock;
+	// hopArrived is the local arrival of the CURRENT attempt — the
+	// monotonic base all of this host's stage stamps measure from, so a
+	// skewed origin wall clock can never make a stage negative.
+	traceID     uint64
+	traceParent uint64
+	origin      time.Time
+	acc         [telemetry.NumStages]time.Duration
+	hopArrived  time.Time
 }
 
 // Admit is the outcome of Submit.
@@ -179,6 +192,12 @@ type Runtime struct {
 	migrating atomic.Int64
 	migq      *retryQueue
 
+	// spanSink, when set, receives every terminal-outcome span of a
+	// traced block (shard-side span shipping). Stored as a
+	// func(telemetry.Span) in an atomic.Value so SetSpanSink can race
+	// the workers safely.
+	spanSink atomic.Value
+
 	stopped atomic.Bool
 	// degrade is the current graceful-degradation level (0 = full
 	// iteration budget), recomputed by the dispatcher from queue
@@ -254,6 +273,15 @@ func (r *Runtime) Submit(cell, ue, k int, word *turbo.LLRWord) Admit {
 // blocks per UE must cycle the process id (as LTE's 8-process
 // stop-and-wait does).
 func (r *Runtime) SubmitProcess(cell, ue, proc, k int, word *turbo.LLRWord) Admit {
+	return r.SubmitTraced(cell, ue, proc, k, word, telemetry.SpanContext{})
+}
+
+// SubmitTraced is SubmitProcess for a block that crossed the fronthaul
+// with a live trace: tc carries the trace identity and the stage dwell
+// already paid upstream, which the block's final span folds in so its
+// stages sum to the true end-to-end latency. A zero tc is exactly
+// SubmitProcess.
+func (r *Runtime) SubmitTraced(cell, ue, proc, k int, word *turbo.LLRWord, tc telemetry.SpanContext) Admit {
 	if r.stopped.Load() {
 		return RejectedStopped
 	}
@@ -269,8 +297,13 @@ func (r *Runtime) SubmitProcess(cell, ue, proc, k int, word *turbo.LLRWord) Admi
 	b := &Block{
 		Cell: cell, UE: ue, Process: proc, K: k,
 		Word: r.cfg.Chaos.CorruptWord(word), tx: word,
-		Arrived:  now,
-		Deadline: now.Add(r.cfg.Deadline),
+		Arrived:    now,
+		Deadline:   now.Add(r.cfg.Deadline),
+		hopArrived: now,
+	}
+	if tc.Valid() {
+		b.traceID, b.traceParent, b.acc = tc.TraceID, tc.Parent, tc.Upstream
+		b.origin = tc.Start
 	}
 	if r.cfg.AdmissionGuard {
 		// Feasibility: the block must survive the batch window plus one
@@ -583,19 +616,45 @@ func (r *Runtime) worker() {
 	}
 }
 
+// SetSpanSink installs fn as the receiver of every terminal span of a
+// traced block (delivered, late, expired, or HARQ-terminated — not the
+// intermediate harq_retry records, whose dwell the final span already
+// folds in). The shard worker uses it to ship completed spans back to
+// the coordinator's fleet collector. fn must be safe for concurrent
+// use; nil-safe to never set.
+func (r *Runtime) SetSpanSink(fn func(telemetry.Span)) {
+	r.spanSink.Store(fn)
+}
+
 // recordSpan attributes a finished block's life to the tracing stages:
 // queue wait (Submit → dispatcher drain), batch wait (batcher entry →
-// decode start) and the decode itself. The whole batch decode cost is
-// attributed to each of its blocks — they occupied lanes of the same
-// register, so each one's wall-clock decode time really is the batch's.
+// decode start) and the decode itself, on top of whatever the block
+// already accumulated upstream (fronthaul hops, earlier HARQ attempts).
+// The whole batch decode cost is attributed to each of its blocks —
+// they occupied lanes of the same register, so each one's wall-clock
+// decode time really is the batch's.
+//
+// Every local stage measures from hopArrived — the current attempt's
+// LOCAL arrival stamp — never from a propagated wall-clock time, so a
+// skewed origin clock cannot make a cross-host stage negative.
 func (r *Runtime) recordSpan(b *Block, end time.Time, decode time.Duration, iters int, outcome string) {
 	tr := r.cfg.Tracer
-	if tr == nil {
+	sink, _ := r.spanSink.Load().(func(telemetry.Span))
+	shipping := sink != nil && b.traceID != 0 && outcome != "harq_retry"
+	if tr == nil && !shipping {
 		return
 	}
 	sp := telemetry.Span{
 		Cell: b.Cell, UE: b.UE, K: b.K,
+		TraceID: b.traceID, Parent: b.traceParent,
 		Start: b.Arrived, Iters: iters, Outcome: outcome,
+	}
+	if b.traceID != 0 && !b.origin.IsZero() {
+		sp.Start = b.origin
+	}
+	start := b.hopArrived
+	if start.IsZero() {
+		start = b.Arrived
 	}
 	dq := b.dequeued
 	if dq.IsZero() {
@@ -605,10 +664,14 @@ func (r *Runtime) recordSpan(b *Block, end time.Time, decode time.Duration, iter
 	if bt.IsZero() {
 		bt = dq
 	}
-	sp.Stages[telemetry.SpanQueue] = clampDur(dq.Sub(b.Arrived))
-	sp.Stages[telemetry.SpanBatch] = clampDur(end.Sub(bt) - decode)
-	sp.Stages[telemetry.SpanDecode] = decode
+	sp.Stages = b.acc
+	sp.Stages[telemetry.SpanQueue] += clampDur(dq.Sub(start))
+	sp.Stages[telemetry.SpanBatch] += clampDur(end.Sub(bt) - decode)
+	sp.Stages[telemetry.SpanDecode] += decode
 	tr.Record(sp)
+	if shipping {
+		sink(sp)
+	}
 }
 
 func clampDur(d time.Duration) time.Duration {

@@ -1,0 +1,221 @@
+package ran
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"vransim/internal/simd"
+	"vransim/internal/telemetry"
+)
+
+// spanTrap captures every span the runtime ships to its sink.
+type spanTrap struct {
+	mu    sync.Mutex
+	spans []telemetry.Span
+}
+
+func (tr *spanTrap) sink(sp telemetry.Span) {
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+}
+
+func (tr *spanTrap) all() []telemetry.Span {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]telemetry.Span(nil), tr.spans...)
+}
+
+// TestSubmitTracedShipsCompleteSpans: a propagated trace context folds
+// the upstream hop dwells into the shipped span, the local stages come
+// on top, and the stage sum equals the span's total — the invariant the
+// fleet budget attribution is built on.
+func TestSubmitTracedShipsCompleteSpans(t *testing.T) {
+	const k, n = 40, 16
+	cfg := testConfig(simd.W512)
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trap := &spanTrap{}
+	rt.SetSpanSink(trap.sink)
+	pool := mustPool(t, k, n, 5)
+
+	var up [telemetry.NumStages]time.Duration
+	up[telemetry.SpanRoute] = 1500 * time.Nanosecond
+	up[telemetry.SpanEncodeWire] = 2 * time.Microsecond
+	up[telemetry.SpanLink] = 80 * time.Microsecond
+	up[telemetry.SpanIngest] = 3 * time.Microsecond
+	var upstream time.Duration
+	for _, d := range up {
+		upstream += d
+	}
+	for i := 0; i < n; i++ {
+		w, _ := pool.Get(i)
+		tc := telemetry.SpanContext{
+			TraceID:  uint64(1000 + i),
+			Parent:   7,
+			Start:    time.Now().Add(-upstream),
+			Upstream: up,
+		}
+		if rt.SubmitTraced(i%cfg.Cells, i, i, k, w, tc) != Admitted {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	waitSettle(t, rt, n)
+	rt.Stop()
+
+	spans := trap.all()
+	if len(spans) != n {
+		t.Fatalf("sink saw %d spans, want %d", len(spans), n)
+	}
+	seen := map[uint64]bool{}
+	for _, sp := range spans {
+		if sp.TraceID < 1000 || sp.TraceID >= 1000+n || sp.Parent != 7 {
+			t.Fatalf("span identity %d/%d not propagated", sp.TraceID, sp.Parent)
+		}
+		if seen[sp.TraceID] {
+			t.Fatalf("trace %d shipped twice", sp.TraceID)
+		}
+		seen[sp.TraceID] = true
+		if sp.Outcome != "delivered" {
+			t.Errorf("trace %d outcome %q", sp.TraceID, sp.Outcome)
+		}
+		for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+			if sp.Stages[st] < 0 {
+				t.Errorf("trace %d stage %s negative: %v", sp.TraceID, st.Name(), sp.Stages[st])
+			}
+			if up[st] > 0 && sp.Stages[st] < up[st] {
+				t.Errorf("trace %d stage %s = %v, upstream dwell %v lost", sp.TraceID, st.Name(), sp.Stages[st], up[st])
+			}
+		}
+		if sp.Stages[telemetry.SpanDecode] <= 0 {
+			t.Errorf("trace %d has no decode time", sp.TraceID)
+		}
+		// The acceptance invariant: the stage sum is the end-to-end
+		// latency — everything upstream plus the local
+		// queue+batch+decode, nothing double-counted, nothing lost.
+		if total := sp.Total(); total < upstream+sp.Stages[telemetry.SpanDecode] {
+			t.Errorf("trace %d total %v lost dwell (upstream %v + decode %v)",
+				sp.TraceID, total, upstream, sp.Stages[telemetry.SpanDecode])
+		} else if total > time.Minute {
+			t.Errorf("trace %d total %v implausibly large", sp.TraceID, total)
+		}
+	}
+}
+
+// TestSubmitTracedSkewedOrigin: a trace context whose origin clock runs
+// far ahead of ours (Start in the local future) must still produce
+// non-negative local stages — the runtime measures queue/batch/decode
+// from its own monotonic arrival instant, never from the propagated
+// wall time.
+func TestSubmitTracedSkewedOrigin(t *testing.T) {
+	const k, n = 40, 8
+	cfg := testConfig(simd.W512)
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trap := &spanTrap{}
+	rt.SetSpanSink(trap.sink)
+	pool := mustPool(t, k, n, 6)
+	for i := 0; i < n; i++ {
+		w, _ := pool.Get(i)
+		tc := telemetry.SpanContext{
+			TraceID: uint64(1 + i),
+			// An origin clock 10s ahead: without the monotonic rebase every
+			// local stage would come out negative.
+			Start: time.Now().Add(10 * time.Second),
+		}
+		if rt.SubmitTraced(i%cfg.Cells, i, i, k, w, tc) != Admitted {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	waitSettle(t, rt, n)
+	rt.Stop()
+
+	spans := trap.all()
+	if len(spans) != n {
+		t.Fatalf("sink saw %d spans, want %d", len(spans), n)
+	}
+	for _, sp := range spans {
+		for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+			if sp.Stages[st] < 0 {
+				t.Errorf("skewed trace %d stage %s negative: %v", sp.TraceID, st.Name(), sp.Stages[st])
+			}
+		}
+		if sp.Stages[telemetry.SpanDecode] <= 0 {
+			t.Errorf("skewed trace %d lost its decode time", sp.TraceID)
+		}
+		if sp.Total() < 0 {
+			t.Errorf("skewed trace %d total negative: %v", sp.TraceID, sp.Total())
+		}
+	}
+}
+
+// TestSubmitTracedHARQRetryStage: when the first attempt fails CRC, the
+// time that attempt consumed must surface as the harq-retry stage on
+// the (single) terminal span — intermediate attempts never ship a span
+// of their own.
+func TestSubmitTracedHARQRetryStage(t *testing.T) {
+	const k, n = 40, 16
+	cfg := testConfig(simd.W512)
+	cfg.CheckCRC = func(b *Block, bits []byte) bool { return b.Attempt > 0 }
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trap := &spanTrap{}
+	rt.SetSpanSink(trap.sink)
+	pool := mustPool(t, k, n, 3)
+	for i := 0; i < n; i++ {
+		w, _ := pool.Get(i)
+		tc := telemetry.SpanContext{TraceID: uint64(1 + i)}
+		if rt.SubmitTraced(i%cfg.Cells, i, i, k, w, tc) != Admitted {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	waitSettle(t, rt, n)
+	s := rt.Stop()
+	if s.Delivered != n || s.HARQRecovered != n {
+		t.Fatalf("delivered/recovered = %d/%d, want %d/%d", s.Delivered, s.HARQRecovered, n, n)
+	}
+	spans := trap.all()
+	if len(spans) != n {
+		t.Fatalf("sink saw %d spans for %d recovered blocks, want exactly one terminal span each", len(spans), n)
+	}
+	for _, sp := range spans {
+		if sp.Outcome != "delivered" {
+			t.Errorf("trace %d outcome %q, want delivered (intermediates must not ship)", sp.TraceID, sp.Outcome)
+		}
+		if sp.Stages[telemetry.SpanHARQRetry] <= 0 {
+			t.Errorf("trace %d recovered via HARQ but has no harq-retry dwell", sp.TraceID)
+		}
+	}
+}
+
+// TestUntracedBlocksSkipSink: blocks without a trace context never
+// reach the span sink even when one is installed.
+func TestUntracedBlocksSkipSink(t *testing.T) {
+	const k, n = 40, 8
+	cfg := testConfig(simd.W512)
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trap := &spanTrap{}
+	rt.SetSpanSink(trap.sink)
+	pool := mustPool(t, k, n, 9)
+	for i := 0; i < n; i++ {
+		w, _ := pool.Get(i)
+		if rt.SubmitProcess(i%cfg.Cells, i, i, k, w) != Admitted {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	waitSettle(t, rt, n)
+	rt.Stop()
+	if got := trap.all(); len(got) != 0 {
+		t.Errorf("untraced traffic shipped %d spans", len(got))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"vransim/internal/ran"
+	"vransim/internal/telemetry"
 )
 
 // Aggregate combines shard snapshots. Nil entries are skipped; a nil or
@@ -72,12 +73,21 @@ func Aggregate(snaps []*ran.Snapshot) *ran.Snapshot {
 		}
 
 		out.Elapsed = maxDur(out.Elapsed, s.Elapsed)
+		// Percentiles do not compose across shards — merge the raw
+		// histogram buckets and reconstruct below. The max-fold is only
+		// the fallback for snapshots predating LatencyBuckets.
+		out.LatencyBuckets = telemetry.MergeBuckets(out.LatencyBuckets, s.LatencyBuckets)
 		out.LatencyP50 = maxDur(out.LatencyP50, s.LatencyP50)
 		out.LatencyP90 = maxDur(out.LatencyP90, s.LatencyP90)
 		out.LatencyP99 = maxDur(out.LatencyP99, s.LatencyP99)
 		if s.DegradeLevel > out.DegradeLevel {
 			out.DegradeLevel = s.DegradeLevel
 		}
+	}
+	if len(out.LatencyBuckets) > 0 {
+		out.LatencyP50 = telemetry.PercentileFromBuckets(out.LatencyBuckets, 0.50)
+		out.LatencyP90 = telemetry.PercentileFromBuckets(out.LatencyBuckets, 0.90)
+		out.LatencyP99 = telemetry.PercentileFromBuckets(out.LatencyBuckets, 0.99)
 	}
 	if out.Batches > 0 {
 		out.LaneOccupancy = laneWeighted / float64(out.Batches)

@@ -9,6 +9,7 @@ import (
 
 	"vransim/internal/fronthaul"
 	"vransim/internal/ran"
+	"vransim/internal/telemetry"
 	"vransim/internal/turbo"
 )
 
@@ -64,6 +65,10 @@ type Config struct {
 	Deadline time.Duration
 	// Rebalance shapes the automatic load rebalancer.
 	Rebalance RebalanceConfig
+	// Trace shapes distributed tracing and SLO accounting (Sample 0
+	// disables trace propagation; the collector still exists so the
+	// metric schema is stable).
+	Trace TraceConfig
 }
 
 // ShardConn is one shard's pair of fronthaul links: Data carries the
@@ -81,6 +86,16 @@ type shardLink struct {
 	ctrl   *fronthaul.Link
 	ctrlMu sync.Mutex // serializes lock-step RPC exchanges
 	routed atomic.Uint64
+	// shipDropped mirrors the shard's cumulative dropped-span count
+	// (carried on every span report frame's Aux).
+	shipDropped atomic.Uint64
+}
+
+// heldFrame is one data frame parked during a migration handshake,
+// with its park instant so the trace context can account the dwell.
+type heldFrame struct {
+	f  *fronthaul.Frame
+	at time.Time
 }
 
 // Coordinator is the DU side: it owns the cell→shard route, streams
@@ -97,7 +112,14 @@ type Coordinator struct {
 	// handshake runs (-1 otherwise); held is the parking buffer.
 	holdCell atomic.Int64
 	holdMu   sync.Mutex
-	held     []*fronthaul.Frame
+	held     []heldFrame
+
+	// collector merges shipped shard spans into the fleet trace view;
+	// traceSeq/traceBase generate sampled trace IDs.
+	collector *SpanCollector
+	traceSeq  atomic.Uint64
+	traceBase uint64
+	readerWG  sync.WaitGroup
 
 	// migMu serializes migrations (one cell moves at a time).
 	migMu sync.Mutex
@@ -127,6 +149,8 @@ func NewCoordinator(cfg Config, conns []*ShardConn) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:       cfg,
 		route:     make([]atomic.Int32, cfg.Cells),
+		collector: newSpanCollector(cfg.Trace, cfg.Deadline),
+		traceBase: uint64(time.Now().UnixNano()) << 20,
 		stopRebal: make(chan struct{}),
 		rebalDone: make(chan struct{}),
 	}
@@ -136,7 +160,13 @@ func NewCoordinator(cfg Config, conns []*ShardConn) (*Coordinator, error) {
 		if name == "" {
 			name = fmt.Sprintf("shard%d", i)
 		}
-		c.shards = append(c.shards, &shardLink{name: name, data: sc.Data, ctrl: sc.Ctrl})
+		sh := &shardLink{name: name, data: sc.Data, ctrl: sc.Ctrl}
+		c.shards = append(c.shards, sh)
+		// One reader per data link drains the shard→coordinator
+		// direction (span reports). The link is full-duplex; the writer
+		// side (Submit) never contends with this read loop.
+		c.readerWG.Add(1)
+		go c.readSpans(sh)
 	}
 	for cell := 0; cell < cfg.Cells; cell++ {
 		c.route[cell].Store(int32(cell % len(c.shards)))
@@ -147,6 +177,45 @@ func NewCoordinator(cfg Config, conns []*ShardConn) (*Coordinator, error) {
 		close(c.rebalDone)
 	}
 	return c, nil
+}
+
+// readSpans is the per-shard backchannel reader: it drains span report
+// frames off the data link into the collector until the link dies
+// (shutdown, or a real transport failure — either way the backchannel
+// just ends; it is best-effort by design).
+func (c *Coordinator) readSpans(sh *shardLink) {
+	defer c.readerWG.Done()
+	for {
+		f, err := sh.data.ReadFrame()
+		if err != nil {
+			return
+		}
+		if f.Type != fronthaul.TypeSpanReport {
+			continue
+		}
+		sh.shipDropped.Store(f.Aux)
+		c.collector.ingest(sh.name, f.Payload)
+	}
+}
+
+// Collector exposes the fleet span collector.
+func (c *Coordinator) Collector() *SpanCollector { return c.collector }
+
+// nextTraceID decides whether this submission is traced (every
+// cfg.Trace.Sample-th one) and returns its fleet-unique trace ID, or 0
+// for untraced. IDs are the coordinator start stamp high bits OR a
+// monotonic sequence, so concurrent coordinators in one fleet cannot
+// collide in practice.
+func (c *Coordinator) nextTraceID() uint64 {
+	n := c.cfg.Trace.Sample
+	if n <= 0 {
+		return 0
+	}
+	seq := c.traceSeq.Add(1)
+	if n > 1 && seq%uint64(n) != 0 {
+		return 0
+	}
+	return c.traceBase | (seq & (1<<20 - 1))
 }
 
 // Route reports which shard currently owns a cell.
@@ -162,11 +231,25 @@ func (c *Coordinator) Shards() int { return len(c.shards) }
 // owner after the route flips. A nil error does not mean delivery — the
 // U-plane is lossy by design; it means the frame was routed.
 func (c *Coordinator) Submit(cell, ue, proc, k int, word *turbo.LLRWord) error {
+	t0 := time.Now()
 	if cell < 0 || cell >= c.cfg.Cells {
 		c.routeErrors.Add(1)
 		return fmt.Errorf("shard: unknown cell %d", cell)
 	}
+	id := c.nextTraceID()
+	tEnc := time.Now()
 	f := fronthaul.DataFrame(cell, ue, proc, k, word, uint64(c.cfg.Deadline))
+	if id != 0 {
+		// Route = admission + routing decision; encode-wire = packing
+		// the soft word. Both are monotonic local offsets; the send
+		// stamp (the link stage's base) is taken in send(), as late as
+		// possible.
+		f.Trace = &fronthaul.TraceCtx{
+			TraceID: id, ParentID: id,
+			RouteNs:  fronthaul.SatNs32(tEnc.Sub(t0).Nanoseconds()),
+			EncodeNs: fronthaul.SatNs32(time.Since(tEnc).Nanoseconds()),
+		}
+	}
 	if c.holdCell.Load() == int64(cell) {
 		c.holdMu.Lock()
 		if c.holdCell.Load() == int64(cell) {
@@ -175,7 +258,7 @@ func (c *Coordinator) Submit(cell, ue, proc, k int, word *turbo.LLRWord) error {
 				c.heldDropped.Add(1)
 				return nil
 			}
-			c.held = append(c.held, f)
+			c.held = append(c.held, heldFrame{f: f, at: time.Now()})
 			c.holdMu.Unlock()
 			return nil
 		}
@@ -186,6 +269,9 @@ func (c *Coordinator) Submit(cell, ue, proc, k int, word *turbo.LLRWord) error {
 
 func (c *Coordinator) send(shard int, f *fronthaul.Frame) error {
 	sh := c.shards[shard]
+	if f.Trace != nil {
+		f.Trace.SentUnixNs = time.Now().UnixNano()
+	}
 	if err := sh.data.WriteFrame(f); err != nil {
 		c.routeErrors.Add(1)
 		return err
@@ -256,25 +342,54 @@ func (c *Coordinator) MigrateCell(cell, to int, drainTimeout time.Duration) erro
 	}
 
 	// Park new frames for the cell while the handshake runs.
+	holdStart := time.Now()
 	c.holdMu.Lock()
 	c.holdCell.Store(int64(cell))
 	c.holdMu.Unlock()
 	unholdTo := from // on failure, flush back to the old owner
+	var drainDur, installDur time.Duration
+	outcome := "migrate_failed"
 	defer func() {
 		c.holdMu.Lock()
 		c.holdCell.Store(-1)
 		held := c.held
 		c.held = nil
 		c.holdMu.Unlock()
-		for _, f := range held {
-			if c.send(unholdTo, f) == nil {
+		now := time.Now()
+		for _, h := range held {
+			if h.f.Trace != nil {
+				// The park dwell rides the frame's trace context so the
+				// block's final span accounts time spent in the hold
+				// buffer — measured on this host's clock.
+				parked := h.f.Trace.ParkNs + fronthaul.SatNs32(now.Sub(h.at).Nanoseconds())
+				if parked < h.f.Trace.ParkNs { // saturate on wrap
+					parked = ^uint32(0)
+				}
+				h.f.Trace.ParkNs = parked
+			}
+			if c.send(unholdTo, h.f) == nil {
 				c.heldFlushed.Add(1)
 			}
 		}
+		// The migration itself is a coordinator-local trace: park window
+		// plus the drain and install RPC legs, visible in /spans and the
+		// drain/install hop histograms.
+		sp := telemetry.Span{
+			Cell: cell, TraceID: c.traceBase | (1<<20 - 1), Origin: "coordinator",
+			Start: holdStart, Outcome: outcome,
+		}
+		sp.Stages[telemetry.SpanPark] = now.Sub(holdStart) - drainDur - installDur
+		if sp.Stages[telemetry.SpanPark] < 0 {
+			sp.Stages[telemetry.SpanPark] = 0
+		}
+		sp.Stages[telemetry.SpanDrain] = drainDur
+		sp.Stages[telemetry.SpanInstall] = installDur
+		c.collector.Record(sp)
 	}()
 
 	// Source: drain the cell, collecting the state stream.
 	src := c.shards[from]
+	drainT0 := time.Now()
 	src.ctrlMu.Lock()
 	var state []*fronthaul.Frame
 	err := func() error {
@@ -304,12 +419,14 @@ func (c *Coordinator) MigrateCell(cell, to int, drainTimeout time.Duration) erro
 		}
 	}()
 	src.ctrlMu.Unlock()
+	drainDur = time.Since(drainT0)
 	if err != nil {
 		return err
 	}
 
 	// Target: forward the state verbatim, then commit.
 	dst := c.shards[to]
+	installT0 := time.Now()
 	dst.ctrlMu.Lock()
 	err = func() error {
 		for _, f := range state {
@@ -335,6 +452,7 @@ func (c *Coordinator) MigrateCell(cell, to int, drainTimeout time.Duration) erro
 		return nil
 	}()
 	dst.ctrlMu.Unlock()
+	installDur = time.Since(installT0)
 	if err != nil {
 		// The cell's state now lives on the target's staging (or was
 		// rejected); the source cell stays sealed. Surface the failure —
@@ -344,6 +462,7 @@ func (c *Coordinator) MigrateCell(cell, to int, drainTimeout time.Duration) erro
 
 	c.route[cell].Store(int32(to))
 	unholdTo = to
+	outcome = "migrated"
 	c.migrations.Add(1)
 	for _, f := range state {
 		if f.Flags&fronthaul.FlagHasWord != 0 {

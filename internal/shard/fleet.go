@@ -109,17 +109,27 @@ func (f *Fleet) close() {
 	f.wg.Wait()
 }
 
-// Stop tears the fleet down — rebalancer, links, workers, runtimes —
-// and returns each runtime's final snapshot plus any worker serve
-// errors (EOF on clean close is not an error).
+// Stop tears the fleet down — rebalancer, runtimes, span shippers,
+// links — and returns each runtime's final snapshot plus any worker
+// serve errors (EOF on clean close is not an error). Runtimes stop
+// before the links close so the shutdown-drain spans still ship to the
+// collector; workers close before the links so the final flush lands.
 func (f *Fleet) Stop() ([]*ran.Snapshot, []error) {
 	if f.Coord != nil {
 		f.Coord.Stop()
 	}
-	f.close()
 	snaps := make([]*ran.Snapshot, len(f.Runtimes))
 	for i, rt := range f.Runtimes {
 		snaps[i] = rt.Stop()
+	}
+	for _, w := range f.Workers {
+		w.Close()
+	}
+	f.close()
+	if f.Coord != nil {
+		// The pipes are closed, so the span readers see EOF; wait them
+		// out so nothing touches the collector after Stop returns.
+		f.Coord.readerWG.Wait()
 	}
 	return snaps, f.serve
 }

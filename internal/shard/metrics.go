@@ -31,7 +31,11 @@ func (c *Coordinator) Families() []telemetry.Family {
 		dropped.Samples = append(dropped.Samples, telemetry.Sample{Labels: lbl, Value: float64(st.Dropped)})
 		reordered.Samples = append(reordered.Samples, telemetry.Sample{Labels: lbl, Value: float64(st.Reordered)})
 	}
-	return []telemetry.Family{
+	var shipDropped uint64
+	for _, sh := range c.shards {
+		shipDropped += sh.shipDropped.Load()
+	}
+	fams := []telemetry.Family{
 		routed, cells, sent, dropped, reordered,
 		telemetry.F("vran_shard_route_errors_total", "Submissions that failed to route (bad cell or link write error).",
 			telemetry.Counter, float64(c.routeErrors.Load())),
@@ -50,6 +54,9 @@ func (c *Coordinator) Families() []telemetry.Family {
 		telemetry.F("vran_shard_held_dropped_total", "Parked frames dropped when the migration hold buffer overflowed.",
 			telemetry.Counter, float64(c.heldDropped.Load())),
 	}
+	// The fleet trace view: per-hop latency/budget attribution, trace
+	// counters and the SLO burn-rate gauges.
+	return append(fams, c.collector.Families(shipDropped)...)
 }
 
 // MountAdmin builds an admin server (not yet started) whose /metrics
@@ -72,7 +79,23 @@ func (c *Coordinator) MountAdmin(addr string) *telemetry.AdminServer {
 			if err != nil {
 				return map[string]string{"error": err.Error()}
 			}
-			return map[string]any{"fleet": agg, "shards": per}
+			return map[string]any{
+				"fleet":  agg,
+				"shards": per,
+				"hops":   c.collector.HopSummaries(),
+			}
+		},
+		Spans: func() any {
+			tr := c.collector.Tracer()
+			slowest := map[string][]telemetry.Span{}
+			for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+				slowest[st.Name()] = tr.Slowest(st)
+			}
+			return map[string]any{
+				"recent":  tr.Recent(),
+				"slowest": slowest,
+				"hops":    c.collector.HopSummaries(),
+			}
 		},
 	})
 }

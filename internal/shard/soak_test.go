@@ -58,7 +58,10 @@ func shardSoak(t *testing.T, seed int64) {
 		})
 	}
 	f, err := NewFleet(FleetConfig{
-		Coordinator: Config{Cells: cells, Deadline: 30 * time.Second},
+		// Full-rate tracing under chaos: the span backchannel must never
+		// perturb the ledger, and every surviving span must merge cleanly.
+		Coordinator: Config{Cells: cells, Deadline: 30 * time.Second,
+			Trace: TraceConfig{Sample: 1}},
 		Runtime: func(i int) ran.Config {
 			cfg := base(i)
 			cfg.Chaos = chaos.New(chaos.Config{
@@ -152,6 +155,20 @@ func shardSoak(t *testing.T, seed int64) {
 		f.Coord.migratedBlocks.Load(), f.Coord.migratedBuffers.Load(), 100*recovery, affected)
 	if recovery < 0.95 {
 		t.Errorf("HARQ recovery %.1f%% below the 95%% acceptance bar", 100*recovery)
+	}
+
+	// -- tracing under chaos -------------------------------------------
+	col := f.Coord.Collector()
+	if col.SpanCount() == 0 {
+		t.Error("full-rate tracing merged no spans through the chaos soak")
+	}
+	if col.badReports.Load() != 0 {
+		t.Errorf("%d span reports failed to parse under chaos", col.badReports.Load())
+	}
+	// Spans ship only for blocks that reached a shard; the count can
+	// never exceed accepted plus the migration span.
+	if col.SpanCount() > accepted+1 {
+		t.Errorf("collector merged %d spans for %d accepted blocks", col.SpanCount(), accepted)
 	}
 
 	// -- link fault sites fired ----------------------------------------

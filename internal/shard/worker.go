@@ -29,6 +29,10 @@ const DefaultDrainTimeout = 5 * time.Second
 type Worker struct {
 	rt *ran.Runtime
 
+	// shipper batches the runtime's completed traced spans back to the
+	// coordinator over the last link that carried data traffic.
+	shipper *spanShipper
+
 	mu sync.Mutex
 	// pending stages migrate-state frames per cell between the first
 	// TypeMigrateState and the TypeMigrateCommit that installs them.
@@ -40,7 +44,15 @@ type Worker struct {
 // queues for all of them (idle queues are cheap, and migration needs no
 // id remapping).
 func NewWorker(rt *ran.Runtime) *Worker {
-	return &Worker{rt: rt, pending: make(map[int]*ran.CellState)}
+	w := &Worker{rt: rt, pending: make(map[int]*ran.CellState), shipper: newSpanShipper()}
+	rt.SetSpanSink(w.shipper.offer)
+	return w
+}
+
+// Close stops the span shipper after a final flush. The runtime is the
+// caller's to stop; spans recorded after Close are counted dropped.
+func (w *Worker) Close() {
+	w.shipper.close()
 }
 
 // Runtime exposes the wrapped runtime (tests and process mains need its
@@ -71,15 +83,24 @@ func (w *Worker) ServeConn(link *fronthaul.Link) error {
 func (w *Worker) handle(link *fronthaul.Link, f *fronthaul.Frame) error {
 	switch f.Type {
 	case fronthaul.TypeData:
+		recv := time.Now()
 		word, err := f.DataWord()
 		if err != nil {
 			// A data frame that decoded as a frame but carries a bad
 			// payload: drop it like the lossy fronthaul would.
 			return nil
 		}
+		// Span reports flow back on whichever link the coordinator sends
+		// data over — the Link is full-duplex (separate read/write locks).
+		w.shipper.link.Store(link)
 		// Admission is the runtime's job; a reject here is exactly a
 		// reject on a single-process deployment (counted there).
-		w.rt.SubmitProcess(int(f.Cell), int(f.UE), int(f.Proc), int(f.K), word)
+		if f.Trace != nil {
+			tc := spanContextFromWire(f.Trace, recv, time.Since(recv))
+			w.rt.SubmitTraced(int(f.Cell), int(f.UE), int(f.Proc), int(f.K), word, tc)
+		} else {
+			w.rt.SubmitProcess(int(f.Cell), int(f.UE), int(f.Proc), int(f.K), word)
+		}
 		return nil
 
 	case fronthaul.TypeSnapshotReq:

@@ -71,6 +71,72 @@ func (h *Hist) Mean() time.Duration {
 	return time.Duration(h.sumNs.Load() / int64(n))
 }
 
+// Buckets snapshots the raw bucket counters, trimmed of trailing
+// zeros so sparse histograms stay cheap to ship in a snapshot RPC.
+// The result feeds MergeBuckets/PercentileFromBuckets, which is how
+// per-shard histograms are folded into correct fleet-wide percentiles
+// (percentiles themselves do not compose; bucket counts do).
+func (h *Hist) Buckets() []uint64 {
+	var out []uint64
+	for i := range h.buckets {
+		if v := h.buckets[i].Load(); v != 0 {
+			if out == nil {
+				out = make([]uint64, 0, HistBuckets)
+			}
+			for len(out) < i {
+				out = append(out, 0)
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MergeBuckets adds src into dst element-wise, growing dst as needed,
+// and returns the merged slice. Either argument may be nil or trimmed
+// (as produced by Buckets).
+func MergeBuckets(dst, src []uint64) []uint64 {
+	if len(src) > len(dst) {
+		grown := make([]uint64, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
+// PercentileFromBuckets reconstructs quantile q (0..1) from bucket
+// counters as produced by Buckets (possibly merged across histograms),
+// using the same midpoint rule as Hist.Percentile.
+func PercentileFromBuckets(buckets []uint64, q float64) time.Duration {
+	var total uint64
+	for _, v := range buckets {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	last := 0
+	for i, v := range buckets {
+		if v == 0 {
+			continue
+		}
+		cum += v
+		last = i
+		if cum > target {
+			return time.Duration(HistValue(i))
+		}
+	}
+	return time.Duration(HistValue(last))
+}
+
 // Percentile reconstructs quantile q (0..1) from the live counters.
 func (h *Hist) Percentile(q float64) time.Duration {
 	total := h.count.Load()

@@ -83,6 +83,74 @@ func TestHistOverflow(t *testing.T) {
 	}
 }
 
+// TestHistBucketsRoundTrip: the exported bucket snapshot must
+// reproduce the histogram's own percentiles exactly — it is the same
+// data, just portable.
+func TestHistBucketsRoundTrip(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	b := h.Buckets()
+	if len(b) == 0 || b[len(b)-1] == 0 {
+		t.Fatalf("buckets not trimmed: len %d", len(b))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got, want := PercentileFromBuckets(b, q), h.Percentile(q); got != want {
+			t.Errorf("p%.0f from buckets = %v, want %v", q*100, got, want)
+		}
+	}
+	if h.Count() == 0 || h.Buckets() == nil {
+		t.Error("populated histogram must export buckets")
+	}
+	var empty Hist
+	if empty.Buckets() != nil {
+		t.Error("empty histogram should export nil buckets")
+	}
+	if PercentileFromBuckets(nil, 0.99) != 0 {
+		t.Error("nil buckets should report zero percentiles")
+	}
+}
+
+// TestMergeBuckets: merging two shards' buckets must yield the
+// percentiles of the pooled population — the property the fleet
+// aggregate relies on (max-folding per-shard percentiles does not have
+// it).
+func TestMergeBuckets(t *testing.T) {
+	var fast, slow Hist
+	for i := 0; i < 900; i++ {
+		fast.Observe(time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		slow.Observe(100 * time.Millisecond)
+	}
+	merged := MergeBuckets(nil, fast.Buckets())
+	merged = MergeBuckets(merged, slow.Buckets())
+
+	var pooled Hist
+	for i := 0; i < 900; i++ {
+		pooled.Observe(time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		pooled.Observe(100 * time.Millisecond)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got, want := PercentileFromBuckets(merged, q), pooled.Percentile(q); got != want {
+			t.Errorf("merged p%.0f = %v, want pooled %v", q*100, got, want)
+		}
+	}
+	// The pooled p50 is the fast mode — NOT the max of the per-shard
+	// p50s, which the old max-fold would have reported.
+	if p50 := PercentileFromBuckets(merged, 0.5); p50 > 10*time.Millisecond {
+		t.Errorf("merged p50 = %v, expected the fast mode (~1ms)", p50)
+	}
+	// Merging into a shorter dst grows it.
+	short := MergeBuckets([]uint64{1}, slow.Buckets())
+	if len(short) < len(slow.Buckets()) {
+		t.Errorf("dst did not grow: %d < %d", len(short), len(slow.Buckets()))
+	}
+}
+
 // TestHistConcurrent exercises the lock-free counters under the race
 // detector.
 func TestHistConcurrent(t *testing.T) {

@@ -9,20 +9,43 @@ import (
 // Stage indexes the serving stages of a Span.
 type Stage int
 
-// Serving stages in pipeline order. SpanCompile is out-of-band: it is
-// recorded once per (worker, block size) when the decoder compiles a
-// replay program, not on every block's path.
+// Serving stages in pipeline order. The cross-hop prefix (route →
+// ingest) is populated only for blocks that crossed the fronthaul
+// split; a single-process runtime leaves it zero. SpanCompile is
+// out-of-band: it is recorded once per (worker, block size) when the
+// decoder compiles a replay program, not on every block's path.
+// SpanHARQRetry folds the dwell of failed earlier HARQ attempts into
+// the final span. SpanDrain/SpanInstall appear only on coordinator-side
+// migration spans.
 const (
-	SpanQueue Stage = iota
+	SpanRoute Stage = iota
+	SpanEncodeWire
+	SpanPark
+	SpanLink
+	SpanIngest
+	SpanQueue
 	SpanBatch
 	SpanDecode
 	SpanCompile
+	SpanHARQRetry
+	SpanDrain
+	SpanInstall
 	NumStages
 )
 
 // Name returns the shared stage vocabulary string.
 func (s Stage) Name() string {
 	switch s {
+	case SpanRoute:
+		return StageRoute
+	case SpanEncodeWire:
+		return StageEncodeWire
+	case SpanPark:
+		return StagePark
+	case SpanLink:
+		return StageLink
+	case SpanIngest:
+		return StageIngest
 	case SpanQueue:
 		return StageQueue
 	case SpanBatch:
@@ -31,9 +54,38 @@ func (s Stage) Name() string {
 		return StageDecode
 	case SpanCompile:
 		return StageCompile
+	case SpanHARQRetry:
+		return StageHARQRetry
+	case SpanDrain:
+		return StageDrain
+	case SpanInstall:
+		return StageInstall
 	}
 	return "unknown"
 }
+
+// SpanContext is the trace state that crosses a process boundary with a
+// block: the fleet-unique trace ID, the parent span on the origin hop,
+// and the stage dwell already accumulated upstream. Upstream durations
+// are monotonic offsets measured on the clock of whichever host paid
+// them — never absolute wall times — so a receiving host folds them in
+// without comparing clocks. Start is the trace origin reconstructed on
+// the LOCAL clock (receive instant minus the accumulated upstream
+// offsets), which keeps every derived stamp monotonic on this host even
+// when the origin's wall clock is skewed.
+type SpanContext struct {
+	TraceID uint64
+	Parent  uint64
+	Start   time.Time
+	// Upstream holds per-stage dwell accumulated before this hop,
+	// indexed by Stage (route/encode-wire/park/link/ingest for a frame
+	// that just crossed the fronthaul).
+	Upstream [NumStages]time.Duration
+}
+
+// Valid reports whether the context carries a live trace (untraced
+// blocks propagate the zero SpanContext).
+func (c SpanContext) Valid() bool { return c.TraceID != 0 }
 
 // Span is the record of one transport block's trip through the serving
 // runtime: ingress → queue → batcher → decode → delivery. It is a plain
@@ -42,7 +94,15 @@ func (s Stage) Name() string {
 type Span struct {
 	// Cell, UE and K identify the block.
 	Cell, UE, K int
-	// Start is the Submit instant.
+	// TraceID is the fleet-unique trace this span belongs to (0 for a
+	// process-local, untraced block). Parent is the originating span on
+	// the previous hop (the coordinator uses the trace ID itself).
+	TraceID, Parent uint64
+	// Origin names the hop that completed the span (shard name on
+	// shipped spans, empty for process-local ones).
+	Origin string
+	// Start is the trace origin: the Submit instant for a local block,
+	// or the reconstructed origin-hop start for a propagated one.
 	Start time.Time
 	// Stages holds the per-stage dwell times, indexed by Stage.
 	Stages [NumStages]time.Duration

@@ -24,11 +24,18 @@ func TestNilTracerIsSafe(t *testing.T) {
 }
 
 func TestTracerStageNames(t *testing.T) {
-	want := []string{"queue", "batch", "decode"}
+	want := []string{
+		"route", "encode-wire", "park", "link", "ingest",
+		"queue", "batch", "decode", "compile",
+		"harq-retry", "drain", "install",
+	}
 	for i, n := range want {
 		if Stage(i).Name() != n {
 			t.Errorf("stage %d named %q, want %q", i, Stage(i).Name(), n)
 		}
+	}
+	if Stage(99).Name() != "unknown" {
+		t.Error("out-of-range stage should name as unknown")
 	}
 	if got := ServeStages(); len(got) != int(NumStages) {
 		t.Errorf("ServeStages has %d entries, want %d", len(got), NumStages)

@@ -157,15 +157,15 @@ func TestDecodeBenchQuick(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("report does not round-trip: %v", err)
 	}
-	if len(rep.Rows) != 3*3*2 { // modes x widths x quick Ks
-		t.Fatalf("report has %d rows, want 18", len(rep.Rows))
+	if len(rep.Rows) != 4*3*2 { // modes x widths x quick Ks
+		t.Fatalf("report has %d rows, want 24", len(rep.Rows))
 	}
 	perOp := map[string]float64{} // mode/width/K -> ns/op
 	for _, r := range rep.Rows {
 		if r.NsPerOp <= 0 || r.Iterations <= 0 || r.GoodputMbps <= 0 {
 			t.Errorf("%s/%s/K=%d: degenerate row %+v", r.Mode, r.Width, r.K, r)
 		}
-		if (r.Mode == "steady" || r.Mode == "compiled") && r.AllocsOp > 8 {
+		if (r.Mode == "packed" || r.Mode == "steady" || r.Mode == "compiled") && r.AllocsOp > 8 {
 			t.Errorf("%s/K=%d %s: %d allocs/op over budget 8", r.Width, r.K, r.Mode, r.AllocsOp)
 		}
 		if r.Mode == "fresh" && r.AllocsOp <= 8 {
@@ -183,6 +183,17 @@ func TestDecodeBenchQuick(t *testing.T) {
 		}
 		if c >= s {
 			t.Errorf("%s K=512: compiled %.0f ns/op not faster than interpreted %.0f", w, c, s)
+		}
+	}
+	// Cross-block SoA packing must beat the per-block compiled path in
+	// the small-K band on the widest registers (4 blocks per register).
+	for _, k := range []string{"104", "512"} {
+		p, c := perOp["packed/AVX512/"+k], perOp["compiled/AVX512/"+k]
+		if p == 0 || c == 0 {
+			t.Fatalf("missing packed/compiled K=%s rows for AVX512 (rows: %v)", k, perOp)
+		}
+		if p >= c {
+			t.Errorf("AVX512 K=%s: packed %.0f ns/op not faster than per-block compiled %.0f", k, p, c)
 		}
 	}
 }

@@ -1,11 +1,13 @@
 // Machine-readable steady-state decode benchmark: the harness behind
 // cmd/vranbench -decodejson and the committed BENCH_decode.json. It
-// drives testing.Benchmark over the compiled (plan cache + trace-replay
-// program), steady (plan cache, interpreter pinned) and fresh
-// (pre-refactor replica) decode paths for every width × a spread of K,
-// reporting ns/op, B/op, allocs/op and emulated goodput per row. The
-// compiled/steady row pairs are the tentpole's speedup evidence; CI
-// gates their ratio at W512 K=6144.
+// drives testing.Benchmark over the packed (cross-block SoA + replay),
+// compiled (per-block plan cache + trace-replay program), steady (plan
+// cache, interpreter pinned) and fresh (pre-refactor replica) decode
+// paths for every width × a spread of K, reporting ns/op, B/op,
+// allocs/op and emulated goodput per row. The compiled/steady row pairs
+// are the replay compiler's speedup evidence (CI gates their ratio at
+// W512 K=6144); the packed/compiled pairs are the SoA packing's
+// small-K evidence (CI gates W512 K=512).
 package bench
 
 import (
@@ -40,9 +42,11 @@ func flagSet(name, value string) error {
 
 // DecodeBenchRow is one (mode, width, K) measurement.
 type DecodeBenchRow struct {
-	// Mode is "compiled" (pooled, replaying the compiled program),
-	// "steady" (pooled, interpreter pinned via Compile=false) or
-	// "fresh" (decoder and working set rebuilt every op).
+	// Mode is "packed" (pooled, cross-block SoA stream replayed as one
+	// compiled program per iteration), "compiled" (pooled, replaying
+	// the per-block compiled program), "steady" (pooled, interpreter
+	// pinned via Compile=false) or "fresh" (decoder and working set
+	// rebuilt every op).
 	Mode     string  `json:"mode"`
 	Width    string  `json:"width"`
 	K        int     `json:"k"`
@@ -66,8 +70,9 @@ type DecodeBenchReport struct {
 }
 
 // decodeBenchKs is the block-size spread of the JSON artifact: the
-// smallest LTE size, two mid sizes and the largest.
-var decodeBenchKs = []int{40, 512, 2048, 6144}
+// smallest LTE size, the small-K band where cross-block packing pays
+// (104, 208, 512), a mid size and the largest.
+var decodeBenchKs = []int{40, 104, 208, 512, 2048, 6144}
 
 const decodeBenchIters = 4
 
@@ -97,7 +102,7 @@ func RunDecodeBench(quick bool) (*DecodeBenchReport, error) {
 	ks := decodeBenchKs
 	benchtime := "200ms"
 	if quick {
-		ks = []int{40, 512}
+		ks = []int{104, 512}
 		benchtime = "50ms"
 	}
 	rep := &DecodeBenchReport{
@@ -111,7 +116,7 @@ func RunDecodeBench(quick bool) (*DecodeBenchReport, error) {
 	}
 	for _, w := range []simd.Width{simd.W128, simd.W256, simd.W512} {
 		for _, k := range ks {
-			for _, mode := range []string{"compiled", "steady", "fresh"} {
+			for _, mode := range []string{"packed", "compiled", "steady", "fresh"} {
 				row, err := runDecodeCell(mode, w, k)
 				if err != nil {
 					return nil, err
@@ -137,20 +142,24 @@ func runDecodeCell(mode string, w simd.Width, k int) (DecodeBenchRow, error) {
 	var inner error
 	var res testing.BenchmarkResult
 	switch mode {
-	case "compiled", "steady":
+	case "packed", "compiled", "steady":
 		bd := turbo.NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
 		bd.MaxIters = decodeBenchIters
-		// "steady" pins the interpreter so the compiled/steady row pair
-		// isolates exactly the replay win over the same plan cache.
-		bd.Compile = mode == "compiled"
-		// Two warm-ups: plan build, then (compiled mode) the recording
-		// decode; the measured loop starts on the hot path.
+		// "packed" keeps the cross-block SoA stream; "compiled" and
+		// "steady" pin Packed=false so they stay the per-block
+		// baseline the packing is measured against. "steady"
+		// additionally pins the interpreter so the compiled/steady
+		// pair isolates exactly the replay win over the same cache.
+		bd.Packed = mode == "packed"
+		bd.Compile = mode != "steady"
+		// Two warm-ups: plan build, then (compiling modes) the
+		// recording decode; the measured loop starts on the hot path.
 		for i := 0; i < 2; i++ {
 			if _, _, err := bd.Decode(k, words); err != nil {
 				return DecodeBenchRow{}, err
 			}
 		}
-		if mode == "compiled" && bd.ProgramStats().CompiledPlans == 0 {
+		if bd.Compile && bd.ProgramStats().CompiledPlans == 0 {
 			return DecodeBenchRow{}, fmt.Errorf("bench: warm-up did not compile a program for K=%d at %v", k, w)
 		}
 		res = testing.Benchmark(func(b *testing.B) {

@@ -250,6 +250,30 @@ func WriteInterleaved(mem *simd.Memory, base int64, s, p1, p2 []int16) int {
 // InterleavedBytes is the size of an n-triple interleaved input stream.
 func InterleavedBytes(n int) int { return 6 * n }
 
+// WriteInterleavedPacked writes one block's triples into a cross-block
+// SoA-packed interleaved stream: nb same-K blocks share one stream in
+// which element i of block b sits at packed position i*nb+b, so element
+// i of blocks 0..nb-1 are adjacent. One Arrange call over the packed
+// stream (n = nb*K elements) then arranges every in-flight block at
+// once — the packed layout is what lets the K-indexed decode phases
+// (gamma, extrinsic finalize, interleave, hard decisions) run once per
+// iteration for all blocks instead of once per block. Like
+// WriteInterleaved this is input copy-in, not part of the measured
+// arrangement mechanism, so it uses plain memory writes and emits no
+// µops.
+func WriteInterleavedPacked(mem *simd.Memory, base int64, b, nb int, s, p1, p2 []int16) int {
+	if len(s) != len(p1) || len(s) != len(p2) {
+		panic("core: cluster length mismatch")
+	}
+	for i := range s {
+		o := base + int64(6*(i*nb+b))
+		mem.WriteI16(o, s[i])
+		mem.WriteI16(o+2, p1[i])
+		mem.WriteI16(o+4, p2[i])
+	}
+	return len(s)
+}
+
 // scalarTail copies triples [from, n) with plain scalar loads and stores,
 // used by every SIMD mechanism for the non-multiple-of-group remainder.
 func scalarTail(e *simd.Engine, src int64, dst Dest, lay Layout, from, n int) {

@@ -64,6 +64,18 @@ type Metrics struct {
 	laneSlotsTotal atomic.Uint64 // lane groups available across batches
 	batches        atomic.Uint64
 
+	// decodeIters is the per-block iterations-to-converge histogram:
+	// fixed buckets 1..7 plus an 8+ overflow. Per-block early-exit
+	// masking makes this per block, not per batch — a batch whose blocks
+	// froze at different iterations contributes to several buckets.
+	decodeIters [numIterBuckets]atomic.Uint64
+
+	// Packed-path lane accounting (only batches decoded through the
+	// cross-block SoA path): real blocks over packed capacity is the
+	// vran_decode_pack_fill gauge.
+	packSlotsUsed  atomic.Uint64
+	packSlotsTotal atomic.Uint64
+
 	decodedBlocks atomic.Uint64
 	decodeBusyNs  atomic.Int64
 
@@ -160,6 +172,30 @@ func (m *Metrics) batchDone(used, lanes int, busy time.Duration) {
 	m.decodeBusyNs.Add(busy.Nanoseconds())
 }
 
+// numIterBuckets sizes the iterations histogram: buckets 1..7 and 8+.
+const numIterBuckets = 8
+
+// observeIters folds one batch's per-block iterations-to-converge into
+// the histogram.
+func (m *Metrics) observeIters(itersB []int) {
+	for _, it := range itersB {
+		b := it - 1
+		if b < 0 {
+			b = 0
+		}
+		if b >= numIterBuckets {
+			b = numIterBuckets - 1
+		}
+		m.decodeIters[b].Add(1)
+	}
+}
+
+// packedBatch accounts one batch decoded through the packed path.
+func (m *Metrics) packedBatch(used, lanes int) {
+	m.packSlotsUsed.Add(uint64(used))
+	m.packSlotsTotal.Add(uint64(lanes))
+}
+
 // CellSnapshot is one cell's view in a Snapshot.
 type CellSnapshot struct {
 	Accepted   uint64
@@ -194,6 +230,14 @@ type Snapshot struct {
 	// LaneOccupancy is the fraction of register lane groups that carried
 	// a real block (1.0 = every decode used the full width).
 	LaneOccupancy float64
+	// DecodeIters is the per-block iterations-to-converge histogram
+	// (buckets 1..7 and 8+): per-block early-exit masking records each
+	// block's own latch iteration, not the batch total.
+	DecodeIters [numIterBuckets]uint64
+	// PackFill is the fraction of packed lane slots that carried a real
+	// block across batches decoded through the cross-block SoA path
+	// (-1 until the first packed decode).
+	PackFill float64
 	// AvgDecodeUs is the mean per-block decode cost in microseconds.
 	AvgDecodeUs float64
 	// DecodeAllocsPerOp is the sampled mean of heap objects allocated per
@@ -303,6 +347,14 @@ func (m *Metrics) snapshot(queueDepths []int, workers int) *Snapshot {
 	s.DecodedBlocks = m.decodedBlocks.Load()
 	if tot := m.laneSlotsTotal.Load(); tot > 0 {
 		s.LaneOccupancy = float64(m.laneSlotsUsed.Load()) / float64(tot)
+	}
+	for i := range s.DecodeIters {
+		s.DecodeIters[i] = m.decodeIters[i].Load()
+	}
+	if tot := m.packSlotsTotal.Load(); tot > 0 {
+		s.PackFill = float64(m.packSlotsUsed.Load()) / float64(tot)
+	} else {
+		s.PackFill = -1
 	}
 	if s.DecodedBlocks > 0 {
 		s.AvgDecodeUs = float64(m.decodeBusyNs.Load()) / 1e3 / float64(s.DecodedBlocks)

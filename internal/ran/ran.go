@@ -577,6 +577,14 @@ func (r *Runtime) worker() {
 		}
 		reportProgram()
 		r.met.batchDone(len(live), lanes, busy)
+		if err == nil {
+			// Per-block convergence histogram and packed-path fill: the
+			// decoder reports each block's own early-exit latch iteration.
+			r.met.observeIters(bd.BlockIters())
+			if bd.Packed {
+				r.met.packedBatch(len(live), lanes)
+			}
+		}
 		r.updateEstimate(busy, len(live))
 		if err != nil {
 			// A decode error (bad K reaching the pool) wastes the whole

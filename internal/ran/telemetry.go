@@ -42,6 +42,17 @@ func (s *Snapshot) Families() []telemetry.Family {
 		cellMbps.Samples = append(cellMbps.Samples, telemetry.Sample{
 			Labels: []telemetry.Label{cell}, Value: c.Mbps})
 	}
+	iters := telemetry.Family{Name: "vran_decode_iters",
+		Help: "Per-block decode iterations to converge (per-block early-exit latch; bucket 8+ absorbs the tail).",
+		Type: telemetry.Counter}
+	for i, n := range s.DecodeIters {
+		lbl := strconv.Itoa(i + 1)
+		if i == len(s.DecodeIters)-1 {
+			lbl += "+"
+		}
+		iters.Samples = append(iters.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{telemetry.L("iters", lbl)}, Value: float64(n)})
+	}
 	lat := telemetry.Family{Name: "vran_latency_seconds",
 		Help: "Delivered-block end-to-end latency quantiles.", Type: telemetry.Gauge}
 	for _, q := range []struct {
@@ -67,6 +78,8 @@ func (s *Snapshot) Families() []telemetry.Family {
 		telemetry.F("vran_batches_total", "Decode batches dispatched to the worker pool.", telemetry.Counter, float64(s.Batches)),
 		telemetry.F("vran_decoded_blocks_total", "Blocks decoded (delivered or late).", telemetry.Counter, float64(s.DecodedBlocks)),
 		telemetry.F("vran_lane_occupancy", "Fraction of register lane groups carrying a real block.", telemetry.Gauge, s.LaneOccupancy),
+		iters,
+		telemetry.F("vran_decode_pack_fill", "Fraction of packed lane slots carrying a real block (cross-block SoA path; -1 before the first packed decode).", telemetry.Gauge, s.PackFill),
 		telemetry.F("vran_worker_utilization", "Decode busy time over workers x elapsed.", telemetry.Gauge, s.WorkerUtilization),
 		telemetry.F("vran_decode_cost_seconds", "Mean per-block decode cost.", telemetry.Gauge, s.AvgDecodeUs/1e6),
 		telemetry.F("vran_decode_allocs_per_op", "Sampled heap objects allocated per batch decode (upper bound; -1 before first sample).", telemetry.Gauge, s.DecodeAllocsPerOp),

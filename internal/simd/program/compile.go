@@ -54,6 +54,15 @@ const (
 	mRecurse   // vpermw ×2 + padds ×2 (+ pmax) trellis recursion step
 	mHmax      // vpermw+pmax ×3 intra-block horizontal max
 	mNormSub   // vpermw + psubs renormalization
+
+	// Packed-stream fusions (the cross-block SoA decode path; see the
+	// try*P matchers in fuse.go). Each replaces a whole recorded phase
+	// step with one single-pass op while still writing every
+	// intermediate register its final value.
+	mQuadScatter // vpermw + (vpermw+por)×m + store: quad branch-metric scatter
+	mQuadGather  // load+vpermw (+load+vpermw+por)×m + store: interleave gather
+	mAlphaStepP  // load quad + 4 vpermw + 2 padds + pmax + norm + store: alpha step
+	mBetaStepP   // beta recursion step, optionally with fused posterior extract
 )
 
 // regStride is the register-file stride in lanes. Every register gets
@@ -87,6 +96,9 @@ type Program struct {
 	aux      []int64
 
 	tmp [regStride]int16
+	// Scratch for the packed-step fused ops. Each op writes the active
+	// lanes before reading them, so no clearing between ops is needed.
+	s0, s1, s2, s3 [regStride]int16
 
 	// RawOps and FusedOps count the recorded ops and the executable ops
 	// per segment — the compression the fusion pass achieved.

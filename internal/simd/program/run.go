@@ -311,7 +311,270 @@ func (p *Program) Run(mem *simd.Memory, seg int) {
 			for i := 0; i < L; i++ {
 				d[i] = satSub(d[i], norm[i])
 			}
+		case mQuadScatter:
+			ns := int(op.n)
+			t := p.aux[op.tab : op.tab+int32(3+2*ns)]
+			acc := r[t[0] : t[0]+regStride]
+			tmp := r[t[1] : t[1]+regStride]
+			dstA := t[2]
+			vs, last := &p.s0, &p.s1
+			for s := 0; s < ns; s++ {
+				src := r[t[3+2*s] : t[3+2*s]+regStride]
+				tb := p.idxTabs[t[4+2*s]]
+				for i := 0; i < L; i++ {
+					var x int16
+					if j := tb[i]; j >= 0 && int(j) < L {
+						x = src[j]
+					}
+					if s == 0 {
+						vs[i] = x
+					} else {
+						vs[i] |= x
+						last[i] = x
+					}
+				}
+			}
+			for i := 0; i < L; i++ {
+				acc[i] = vs[i]
+				tmp[i] = last[i]
+				wr16(data, dstA+int64(2*i), vs[i])
+			}
+		case mQuadGather:
+			ns := int(op.n)
+			t := p.aux[op.tab : op.tab+int32(4+2*ns)]
+			acc := r[t[1] : t[1]+regStride]
+			dstA := t[3]
+			vs, last := &p.s0, &p.s1
+			for s := 0; s < ns; s++ {
+				sa := t[4+2*s]
+				tb := p.idxTabs[t[5+2*s]]
+				for i := 0; i < L; i++ {
+					var x int16
+					if j := tb[i]; j >= 0 && int(j) < L {
+						x = rd16(data, sa+int64(2*j))
+					}
+					if s == 0 {
+						vs[i] = x
+					} else {
+						vs[i] |= x
+						last[i] = x
+					}
+				}
+			}
+			if ns > 1 {
+				tmp := r[t[2] : t[2]+regStride]
+				copy(tmp[:L], last[:L])
+			}
+			for i := 0; i < L; i++ {
+				acc[i] = vs[i]
+				wr16(data, dstA+int64(2*i), vs[i])
+			}
+			// The source register's final value is the last load (the
+			// store range is disjoint from every load range, checked at
+			// fuse time, so re-reading after the store is safe).
+			rr := r[t[0] : t[0]+regStride]
+			if L < regStride {
+				clear(rr)
+			}
+			lastA := t[4+2*(ns-1)]
+			for i := 0; i < L; i++ {
+				rr[i] = rd16(data, lastA+int64(2*i))
+			}
+		case mAlphaStepP:
+			t := p.aux[op.tab : op.tab+16]
+			qd := r[t[0] : t[0]+regStride]
+			bm0 := r[t[1] : t[1]+regStride]
+			bm1 := r[t[2] : t[2]+regStride]
+			a0 := r[t[3] : t[3]+regStride]
+			a1 := r[t[4] : t[4]+regStride]
+			c0 := r[t[5] : t[5]+regStride]
+			c1 := r[t[6] : t[6]+regStride]
+			norm := r[t[7] : t[7]+regStride]
+			al := r[t[8] : t[8]+regStride]
+			qA, sA := t[9], t[10]
+			tb0, tb1 := p.idxTabs[t[11]], p.idxTabs[t[12]]
+			tp0, tp1, tn := p.idxTabs[t[13]], p.idxTabs[t[14]], p.idxTabs[t[15]]
+			if L < regStride {
+				clear(qd)
+			}
+			for i := 0; i < L; i++ {
+				qd[i] = rd16(data, qA+int64(2*i))
+			}
+			na := &p.s0
+			for i := 0; i < L; i++ {
+				var x0, x1, y0, y1 int16
+				if j := tb0[i]; j >= 0 && int(j) < L {
+					x0 = qd[j]
+				}
+				if j := tb1[i]; j >= 0 && int(j) < L {
+					x1 = qd[j]
+				}
+				if j := tp0[i]; j >= 0 && int(j) < L {
+					y0 = al[j]
+				}
+				if j := tp1[i]; j >= 0 && int(j) < L {
+					y1 = al[j]
+				}
+				bm0[i], bm1[i], a0[i], a1[i] = x0, x1, y0, y1
+				s0 := satAdd(y0, x0)
+				s1 := satAdd(y1, x1)
+				c0[i], c1[i] = s0, s1
+				if s1 > s0 {
+					s0 = s1
+				}
+				na[i] = s0
+			}
+			for i := 0; i < L; i++ {
+				var nv int16
+				if j := tn[i]; j >= 0 && int(j) < L {
+					nv = na[j]
+				}
+				norm[i] = nv
+				v := satSub(na[i], nv)
+				al[i] = v
+				wr16(data, sA+int64(2*i), v)
+			}
+		case mBetaStepP:
+			t := p.aux[op.tab:]
+			qd := r[t[0] : t[0]+regStride]
+			bm0 := r[t[1] : t[1]+regStride]
+			bm1 := r[t[2] : t[2]+regStride]
+			b0 := r[t[3] : t[3]+regStride]
+			b1 := r[t[4] : t[4]+regStride]
+			v0 := r[t[5] : t[5]+regStride]
+			v1 := r[t[6] : t[6]+regStride]
+			beta := r[t[7] : t[7]+regStride]
+			norm := r[t[8] : t[8]+regStride]
+			qA := t[9]
+			tb0, tb1 := p.idxTabs[t[10]], p.idxTabs[t[11]]
+			tn0, tn1, tn := p.idxTabs[t[12]], p.idxTabs[t[13]], p.idxTabs[t[14]]
+			if L < regStride {
+				clear(qd)
+			}
+			for i := 0; i < L; i++ {
+				qd[i] = rd16(data, qA+int64(2*i))
+			}
+			for i := 0; i < L; i++ {
+				var x0, x1, y0, y1 int16
+				if j := tb0[i]; j >= 0 && int(j) < L {
+					x0 = qd[j]
+				}
+				if j := tb1[i]; j >= 0 && int(j) < L {
+					x1 = qd[j]
+				}
+				if j := tn0[i]; j >= 0 && int(j) < L {
+					y0 = beta[j]
+				}
+				if j := tn1[i]; j >= 0 && int(j) < L {
+					y1 = beta[j]
+				}
+				bm0[i], bm1[i], b0[i], b1[i] = x0, x1, y0, y1
+				v0[i] = satAdd(y0, x0)
+				v1[i] = satAdd(y1, x1)
+			}
+			if op.imm != 0 {
+				// Fused posterior extraction for in-block steps.
+				al := r[t[15] : t[15]+regStride]
+				e0 := r[t[16] : t[16]+regStride]
+				e1 := r[t[17] : t[17]+regStride]
+				m0 := r[t[18] : t[18]+regStride]
+				m1 := r[t[19] : t[19]+regStride]
+				tmp := r[t[20] : t[20]+regStride]
+				dvOff := t[21]
+				dv := r[dvOff : dvOff+regStride]
+				alA := t[22]
+				h0, h1, h2 := p.idxTabs[t[23]], p.idxTabs[t[24]], p.idxTabs[t[25]]
+				if L < regStride {
+					clear(al)
+				}
+				for i := 0; i < L; i++ {
+					av := rd16(data, alA+int64(2*i))
+					al[i] = av
+					e0[i] = satAdd(av, v0[i])
+					e1[i] = satAdd(av, v1[i])
+				}
+				p.hmax3Pair(e0, e1, m0, m1, tmp, h0, h1, h2)
+				for i := 0; i < L; i++ {
+					dv[i] = satSub(m0[i], m1[i])
+				}
+				et := t[26 : 26+2*op.n]
+				for x := 0; x < len(et); x += 2 {
+					wr16(data, et[x], dv[et[x+1]])
+				}
+			}
+			nb := &p.s0
+			for i := 0; i < L; i++ {
+				w := v0[i]
+				if v1[i] > w {
+					w = v1[i]
+				}
+				nb[i] = w
+			}
+			for i := 0; i < L; i++ {
+				var nv int16
+				if j := tn[i]; j >= 0 && int(j) < L {
+					nv = nb[j]
+				}
+				norm[i] = nv
+				beta[i] = satSub(nb[i], nv)
+			}
 		}
+	}
+}
+
+// hmax3Pair simulates two three-stage permute+max butterflies (sharing
+// one index-table set and one scratch register, as the packed posterior
+// extraction records them) exactly as the engine executes them, staging
+// each stage's full reduction in scratch — the engine's permute reads
+// the complete pre-permute register, so a stage may not observe its own
+// updates. Only final register values are written: ma/mb get the
+// stage-3 reductions and tmp the second butterfly's stage-3 permute
+// output; the intermediate tmp values are dead, overwritten within the
+// fused sequence. All registers are pairwise distinct (checked at fuse
+// time).
+func (p *Program) hmax3Pair(va, vb, ma, mb, tmp []int16, h0, h1, h2 []int32) {
+	L := p.lanes
+	va, vb, ma, mb, tmp = va[:L], vb[:L], ma[:L], mb[:L], tmp[:L]
+	h0, h1, h2 = h0[:L], h1[:L], h2[:L]
+	a1, b1, a2, b2 := &p.s0, &p.s1, &p.s2, &p.s3
+	for i := 0; i < L; i++ {
+		var x, y int16
+		if j := h0[i]; j >= 0 && int(j) < L {
+			x, y = va[j], vb[j]
+		}
+		if va[i] > x {
+			x = va[i]
+		}
+		if vb[i] > y {
+			y = vb[i]
+		}
+		a1[i], b1[i] = x, y
+	}
+	for i := 0; i < L; i++ {
+		x, y := a1[i], b1[i]
+		if j := h1[i]; j >= 0 && int(j) < L {
+			if a1[j] > x {
+				x = a1[j]
+			}
+			if b1[j] > y {
+				y = b1[j]
+			}
+		}
+		a2[i], b2[i] = x, y
+	}
+	for i := 0; i < L; i++ {
+		var x, y int16
+		if j := h2[i]; j >= 0 && int(j) < L {
+			x, y = a2[j], b2[j]
+		}
+		tmp[i] = y
+		if x < a2[i] {
+			x = a2[i]
+		}
+		if y < b2[i] {
+			y = b2[i]
+		}
+		ma[i], mb[i] = x, y
 	}
 }
 

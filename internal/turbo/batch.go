@@ -19,8 +19,12 @@ import (
 // memory, allocating nothing.
 type decodePlan struct {
 	code *Code
-	st   *multiState
-	dec  *MultiSIMDDecoder
+	// Exactly one of st/pst is populated, matching the plan key's
+	// packing: st is the per-block working set, pst the cross-block
+	// SoA-packed one.
+	st  *multiState
+	pst *packedState
+	dec *MultiSIMDDecoder
 
 	// prog is the compiled replay program (nil until the first decode
 	// of this K records and compiles one; see BatchDecoder.Compile).
@@ -30,6 +34,16 @@ type decodePlan struct {
 	// noCompile latches a failed compilation so the plan does not
 	// re-record on every decode; eviction resets it with the state.
 	noCompile bool
+}
+
+// planKey identifies one cached decode plan. Width and strategy are
+// fixed per BatchDecoder (one engine, one arranger), so the key space
+// a decoder manages is (K, packing): the same K decoded packed and
+// unpacked yields two independent plans with disjoint arena regions
+// and programs.
+type planKey struct {
+	k      int
+	packed bool
 }
 
 // BatchDecoder is the serving-side entry point for lane-parallel
@@ -45,11 +59,28 @@ type decodePlan struct {
 type BatchDecoder struct {
 	eng   *simd.Engine
 	ar    core.Arranger
-	plans map[int]*decodePlan
+	plans map[planKey]*decodePlan
+	// codes caches the (packing-independent) code tables per K, shared
+	// by the packed and unpacked plan of the same block size.
+	codes map[int]*Code
+
+	// lastIters holds the per-block iterations-to-converge of the most
+	// recent successful Decode (reused backing array; see BlockIters).
+	lastIters []int
 
 	// MaxIters and EarlyExit configure every decode (defaults: 6, true).
 	MaxIters  int
 	EarlyExit bool
+
+	// Packed selects the cross-block SoA-packed decode path (default
+	// true): the K-indexed phases — gamma, extrinsic finalize, the QPP
+	// interleave, hard decisions — run once per iteration for all
+	// in-flight blocks instead of once per block, and the interleave is
+	// vector gather programs instead of per-element copies. Outputs are
+	// bit-identical to the per-block path (and the scalar reference) at
+	// every fill level. Flipping it mid-stream is safe: the two paths
+	// cache independent plans.
+	Packed bool
 
 	// ItersOverride, when positive, clamps the effective iteration
 	// budget to min(MaxIters, ItersOverride) without touching the
@@ -106,9 +137,11 @@ func NewBatchDecoder(w simd.Width, s core.Strategy, memBytes int) *BatchDecoder 
 	return &BatchDecoder{
 		eng:       simd.NewEngine(w, simd.NewMemory(memBytes), nil),
 		ar:        core.ByStrategy(s),
-		plans:     make(map[int]*decodePlan),
+		plans:     make(map[planKey]*decodePlan),
+		codes:     make(map[int]*Code),
 		MaxIters:  6,
 		EarlyExit: true,
+		Packed:    true,
 		Compile:   true,
 	}
 }
@@ -120,28 +153,39 @@ func (bd *BatchDecoder) Lanes() int { return BlocksPerRegister(bd.eng.W) }
 func (bd *BatchDecoder) Plans() int { return len(bd.plans) }
 
 // Code returns the cached turbo code for block size k (building the
-// code alone, without the decode state, if k has not been decoded yet).
+// code alone, without any decode state, if k has not been decoded yet).
 func (bd *BatchDecoder) Code(k int) (*Code, error) {
-	p, err := bd.plan(k)
-	if err != nil {
-		return nil, err
-	}
-	return p.code, nil
-}
-
-// plan returns the cached plan for k, creating it (code only — the
-// decode state is built lazily on first Decode, when the batch width is
-// known to matter) on miss.
-func (bd *BatchDecoder) plan(k int) (*decodePlan, error) {
-	if p, ok := bd.plans[k]; ok {
-		return p, nil
+	if c, ok := bd.codes[k]; ok {
+		return c, nil
 	}
 	c, err := NewCode(k)
 	if err != nil {
 		return nil, err
 	}
+	bd.codes[k] = c
+	return c, nil
+}
+
+// BlockIters reports the per-block iterations-to-converge of the most
+// recent successful Decode, one entry per submitted word: a block that
+// froze via per-block early exit records the iteration that latched it,
+// the rest record the batch's total iteration count. The slice is
+// reused across Decodes — read it before the next call.
+func (bd *BatchDecoder) BlockIters() []int { return bd.lastIters }
+
+// plan returns the cached plan for key, creating it (code only — the
+// decode state is built lazily on first Decode, when the batch width is
+// known to matter) on miss.
+func (bd *BatchDecoder) plan(key planKey) (*decodePlan, error) {
+	if p, ok := bd.plans[key]; ok {
+		return p, nil
+	}
+	c, err := bd.Code(key.k)
+	if err != nil {
+		return nil, err
+	}
 	p := &decodePlan{code: c}
-	bd.plans[k] = p
+	bd.plans[key] = p
 	return p, nil
 }
 
@@ -154,6 +198,7 @@ func (bd *BatchDecoder) plan(k int) (*decodePlan, error) {
 func (bd *BatchDecoder) EvictAll() {
 	for _, q := range bd.plans {
 		q.st = nil
+		q.pst = nil
 		q.dec = nil
 		q.prog = nil
 		q.noCompile = false
@@ -171,16 +216,22 @@ func (bd *BatchDecoder) effIters() int {
 	return bd.MaxIters
 }
 
-// buildState allocates plan p's decode state, evicting every cached
-// state and rewinding the arena if the remaining arena space cannot
-// hold it. Scratch contents are rewritten on every decode, so eviction
-// never affects results — it only costs the rebuild.
-func (bd *BatchDecoder) buildState(p *decodePlan) error {
+// buildState allocates plan p's decode state (per-block or packed,
+// matching the key it was cached under), evicting every cached state
+// and rewinding the arena if the remaining arena space cannot hold it.
+// Scratch contents are rewritten on every decode, so eviction never
+// affects results — it only costs the rebuild.
+func (bd *BatchDecoder) buildState(p *decodePlan, packed bool) error {
 	nb := bd.Lanes()
-	need := multiStateBytes(p.code, bd.ar.Layout(bd.eng.W), bd.eng.W, nb)
+	lay := bd.ar.Layout(bd.eng.W)
+	need := multiStateBytes(p.code, lay, bd.eng.W, nb)
+	if packed {
+		need = packedStateBytes(p.code, lay, bd.eng.W, nb)
+	}
 	if bd.eng.Mem.Remaining() < need {
 		for _, q := range bd.plans {
 			q.st = nil
+			q.pst = nil
 			q.dec = nil
 			// Compiled programs address the evicted arena regions
 			// directly; replaying one after the reset would corrupt
@@ -194,7 +245,11 @@ func (bd *BatchDecoder) buildState(p *decodePlan) error {
 			return fmt.Errorf("turbo: arena too small for K=%d at %v (need %d bytes)", p.code.K, bd.eng.W, need)
 		}
 	}
-	p.st = newMultiState(bd.eng, bd.ar, p.code, nb)
+	if packed {
+		p.pst = newPackedState(bd.eng, bd.ar, p.code, nb)
+	} else {
+		p.st = newMultiState(bd.eng, bd.ar, p.code, nb)
+	}
 	p.dec = NewMultiSIMDDecoder(p.code)
 	return nil
 }
@@ -207,12 +262,13 @@ func (bd *BatchDecoder) Decode(k int, words []*LLRWord) ([][]byte, int, error) {
 	if len(words) == 0 {
 		return nil, 0, fmt.Errorf("turbo: empty batch")
 	}
-	p, err := bd.plan(k)
+	packed := bd.Packed
+	p, err := bd.plan(planKey{k: k, packed: packed})
 	if err != nil {
 		return nil, 0, err
 	}
-	if p.st == nil {
-		if err := bd.buildState(p); err != nil {
+	if p.st == nil && p.pst == nil {
+		if err := bd.buildState(p, packed); err != nil {
 			return nil, 0, err
 		}
 	}
@@ -227,19 +283,34 @@ func (bd *BatchDecoder) Decode(k int, words []*LLRWord) ([][]byte, int, error) {
 	switch {
 	case p.prog != nil:
 		bd.progHits++
-		bits, iters, err = bd.runCompiled(p, words)
+		if packed {
+			bits, iters, err = bd.runCompiledPacked(p, words)
+		} else {
+			bits, iters, err = bd.runCompiled(p, words)
+		}
 	case bd.Compile && !p.noCompile && bd.eng.Recorder() == nil:
 		bd.progMisses++
-		bits, iters, err = bd.recordAndCompile(p, words)
+		bits, iters, err = bd.recordAndCompile(p, packed, words)
 	default:
 		if bd.Compile && bd.eng.Recorder() == nil {
 			bd.progMisses++
 		}
-		bits, iters, err = p.dec.run(p.st, words)
+		if packed {
+			bits, iters, err = p.dec.runPacked(p.pst, words)
+		} else {
+			bits, iters, err = p.dec.run(p.st, words)
+		}
 	}
 	if err != nil {
 		return nil, 0, err
 	}
+	var itersB []int
+	if packed {
+		itersB = p.pst.itersB
+	} else {
+		itersB = p.st.itersB
+	}
+	bd.lastIters = append(bd.lastIters[:0], itersB[:len(words)]...)
 	if bd.OnDecode != nil {
 		bd.OnDecode(k, len(words), iters, time.Since(start))
 	}

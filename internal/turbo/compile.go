@@ -62,11 +62,24 @@ func (bd *BatchDecoder) ProgramStats() ProgramStats {
 // recorder attached and compiles the recorded stream into p's replay
 // program. The decode's results are returned either way; a failed
 // compilation (too few iterations, unstable stream, unsupported op)
-// latches noCompile and the plan stays interpreted.
-func (bd *BatchDecoder) recordAndCompile(p *decodePlan, words []*LLRWord) ([][]byte, int, error) {
+// latches noCompile and the plan stays interpreted. Both decode paths
+// record the same way — per-block early exit freezes blocks only in
+// the Go-side extraction, so the op stream stays identical across
+// iterations and the builder's stability check holds no matter when
+// individual blocks converge.
+func (bd *BatchDecoder) recordAndCompile(p *decodePlan, packed bool, words []*LLRWord) ([][]byte, int, error) {
 	b := program.NewBuilder()
 	bd.eng.SetProgSink(b)
-	bits, iters, err := p.dec.run(p.st, words)
+	var (
+		bits  [][]byte
+		iters int
+		err   error
+	)
+	if packed {
+		bits, iters, err = p.dec.runPacked(p.pst, words)
+	} else {
+		bits, iters, err = p.dec.run(p.st, words)
+	}
 	bd.eng.SetProgSink(nil)
 	if err != nil {
 		return nil, 0, err
@@ -110,8 +123,6 @@ func (bd *BatchDecoder) runCompiled(p *decodePlan, words []*LLRWord) ([][]byte, 
 		st.words = append(st.words, words[0])
 	}
 	mem := bd.eng.Mem
-	k := st.code.K
-	qpp := st.code.qpp
 
 	for b := 0; b < nb; b++ {
 		w := st.words[b]
@@ -121,7 +132,7 @@ func (bd *BatchDecoder) runCompiled(p *decodePlan, words []*LLRWord) ([][]byte, 
 		st.writeTailGammas(b)
 	}
 
-	bits, prev := st.bits, st.prev
+	resetConv(st.conv, st.itersB, requested)
 	iters := 0
 	for it := 0; it < d.MaxIters; it++ {
 		iters++
@@ -130,30 +141,40 @@ func (bd *BatchDecoder) runCompiled(p *decodePlan, words []*LLRWord) ([][]byte, 
 			seg = program.SegFirst
 		}
 		p.prog.Run(mem, seg)
-		for b := 0; b < nb; b++ {
-			for i := 0; i < k; i++ {
-				if mem.ReadI16(st.elemAddr(st.dPost[b], i)) < 0 {
-					bits[b][qpp.Perm(i)] = 1
-				} else {
-					bits[b][qpp.Perm(i)] = 0
-				}
-			}
-		}
-		if d.EarlyExit && it > 0 {
-			stable := true
-			for b := 0; b < nb; b++ {
-				if !equalBits(bits[b], prev[b]) {
-					stable = false
-					break
-				}
-			}
-			if stable {
-				break
-			}
-		}
-		for b := 0; b < nb; b++ {
-			copy(prev[b], bits[b])
+		if st.extractBits(d.EarlyExit, it) {
+			break
 		}
 	}
-	return bits[:requested], iters, nil
+	stampIters(st.itersB, iters)
+	return st.bits[:requested], iters, nil
+}
+
+// runCompiledPacked is the replay driver for the packed path: the same
+// copy-in, tail-quad writes, iteration loop and per-block early-exit
+// protocol as MultiSIMDDecoder.runPacked, with each iteration's engine
+// work replaced by one Program.Run over the arena.
+func (bd *BatchDecoder) runCompiledPacked(p *decodePlan, words []*LLRWord) ([][]byte, int, error) {
+	st := p.pst
+	d := p.dec
+	requested := len(words)
+	if err := st.loadWordsPacked(words); err != nil {
+		return nil, 0, err
+	}
+	st.writeTailQuads()
+
+	resetConv(st.conv, st.itersB, requested)
+	iters := 0
+	for it := 0; it < d.MaxIters; it++ {
+		iters++
+		seg := program.SegSteady
+		if it == 0 {
+			seg = program.SegFirst
+		}
+		p.prog.Run(bd.eng.Mem, seg)
+		if st.extractPacked(d.EarlyExit, it) {
+			break
+		}
+	}
+	stampIters(st.itersB, iters)
+	return st.bits[:requested], iters, nil
 }

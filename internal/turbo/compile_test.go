@@ -188,7 +188,7 @@ func TestCompileNeedsTwoIterations(t *testing.T) {
 	if s.CompiledPlans != 0 || s.Compiles != 0 {
 		t.Errorf("one-iteration recording compiled anyway: %+v", s)
 	}
-	if !bd.plans[k].noCompile {
+	if !bd.plans[planKey{k: k, packed: bd.Packed}].noCompile {
 		t.Error("failed compilation did not latch noCompile")
 	}
 	if s.Misses != 3 || s.Hits != 0 {
@@ -218,7 +218,7 @@ func TestCompiledEvictionRecompiles(t *testing.T) {
 				t.Errorf("round %d (K=%d) block %d: wrong bits", round, k, b)
 			}
 		}
-		if bd.plans[k].prog == nil {
+		if bd.plans[planKey{k: k, packed: bd.Packed}].prog == nil {
 			t.Errorf("round %d (K=%d): current plan not compiled", round, k)
 		}
 	}
@@ -276,9 +276,11 @@ func TestTracedEngineStaysInterpreted(t *testing.T) {
 	bd := &BatchDecoder{
 		eng:       simd.NewEngine(simd.W128, simd.NewMemory(32<<20), trace.NewRecorder(1 << 20)),
 		ar:        core.ByStrategy(core.StrategyAPCM),
-		plans:     make(map[int]*decodePlan),
+		plans:     make(map[planKey]*decodePlan),
+		codes:     make(map[int]*Code),
 		MaxIters:  4,
 		EarlyExit: true,
+		Packed:    true,
 		Compile:   true,
 	}
 	c, err := bd.Code(k)

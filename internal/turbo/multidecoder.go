@@ -92,11 +92,72 @@ type multiState struct {
 	// the rest at negInf16), shared by the alpha and beta phases.
 	negInfInit []int16
 
-	// Reusable Go-side buffers: per-block hard decisions of the current
-	// and previous iteration, and the lane-padding scratch for
-	// under-filled batches.
-	bits, prev [][]byte
-	words      []*LLRWord
+	// Reusable Go-side buffers: per-block hard decisions, per-block
+	// convergence masks and iterations-to-converge, and the lane-padding
+	// scratch for under-filled batches.
+	bits   [][]byte
+	conv   []bool
+	itersB []int
+	words  []*LLRWord
+}
+
+// resetConv arms per-block convergence masks for a new decode: padded
+// lane groups (b >= requested) start converged — their results are
+// discarded and they must never influence the exit decision — and real
+// blocks start live with no recorded iteration count.
+func resetConv(conv []bool, itersB []int, requested int) {
+	for b := range conv {
+		conv[b] = b >= requested
+		itersB[b] = 0
+	}
+}
+
+// stampIters records the final iteration count on every block that
+// never froze (including padded blocks, whose count is unreported).
+func stampIters(itersB []int, iters int) {
+	for b := range itersB {
+		if itersB[b] == 0 {
+			itersB[b] = iters
+		}
+	}
+}
+
+// extractBits scans the posterior array for every still-live block,
+// updating bits in place and tracking a dirty flag per block — the
+// former O(k) equalBits re-compare folded into the extraction itself.
+// A block whose iteration left its bits unchanged (it > 0) freezes: its
+// bits stop updating, exactly like the scalar reference exiting that
+// block's decode loop. Returns true when every block has frozen. This
+// is a pure Go pass: it emits no engine ops, so the recorded op stream
+// stays identical across iterations regardless of which blocks froze.
+func (st *multiState) extractBits(earlyExit bool, it int) bool {
+	qpp := st.code.qpp
+	mem := st.e.Mem
+	done := true
+	for b := 0; b < st.nb; b++ {
+		if st.conv[b] {
+			continue
+		}
+		dirty := false
+		bits := st.bits[b]
+		for i := 0; i < st.code.K; i++ {
+			var v byte
+			if mem.ReadI16(st.elemAddr(st.dPost[b], i)) < 0 {
+				v = 1
+			}
+			if p := qpp.Perm(i); bits[p] != v {
+				bits[p] = v
+				dirty = true
+			}
+		}
+		if earlyExit && it > 0 && !dirty {
+			st.conv[b] = true
+			st.itersB[b] = it + 1
+		} else {
+			done = false
+		}
+	}
+	return done
 }
 
 func (st *multiState) elemAddr(base int64, k int) int64 {
@@ -162,11 +223,11 @@ func newMultiState(e *simd.Engine, ar core.Arranger, c *Code, nb int) *multiStat
 	st.alpha = e.Mem.Alloc(int(e.W)*(k+4), 64)
 
 	st.bits = make([][]byte, nb)
-	st.prev = make([][]byte, nb)
 	for b := 0; b < nb; b++ {
 		st.bits[b] = make([]byte, k)
-		st.prev[b] = make([]byte, k)
 	}
+	st.conv = make([]bool, nb)
+	st.itersB = make([]int, nb)
 	st.words = make([]*LLRWord, 0, nb)
 	return st
 }
@@ -255,8 +316,6 @@ func (d *MultiSIMDDecoder) run(st *multiState, words []*LLRWord) ([][]byte, int,
 	}
 	d.setHi(m, e)
 
-	bits, prev := st.bits, st.prev
-
 	firstArrange := true
 	rearrange := func() {
 		if !d.RearrangePerHalfIter {
@@ -273,6 +332,7 @@ func (d *MultiSIMDDecoder) run(st *multiState, words []*LLRWord) ([][]byte, int,
 		d.setHi(mm, e)
 	}
 
+	resetConv(st.conv, st.itersB, requested)
 	iters := 0
 	for it := 0; it < d.MaxIters; it++ {
 		iters++
@@ -313,34 +373,17 @@ func (d *MultiSIMDDecoder) run(st *multiState, words []*LLRWord) ([][]byte, int,
 		for b := 0; b < nb; b++ {
 			for i := 0; i < k; i++ {
 				e.CopyI16(st.elemAddr(st.la1[b], qpp.Perm(i)), st.elemAddr(st.ext[b], i))
-				dAddr := st.elemAddr(st.dPost[b], i)
-				e.EmitScalarLoad("mov", dAddr, 2)
-				if e.Mem.ReadI16(dAddr) < 0 {
-					bits[b][qpp.Perm(i)] = 1
-				} else {
-					bits[b][qpp.Perm(i)] = 0
-				}
+				e.EmitScalarLoad("mov", st.elemAddr(st.dPost[b], i), 2)
 			}
 		}
 		d.setHi(m, e)
 
-		if d.EarlyExit && it > 0 {
-			stable := true
-			for b := 0; b < nb; b++ {
-				if !equalBits(bits[b], prev[b]) {
-					stable = false
-					break
-				}
-			}
-			if stable {
-				break
-			}
-		}
-		for b := 0; b < nb; b++ {
-			copy(prev[b], bits[b])
+		if st.extractBits(d.EarlyExit, it) {
+			break
 		}
 	}
-	return bits[:requested], iters, nil
+	stampIters(st.itersB, iters)
+	return st.bits[:requested], iters, nil
 }
 
 // mark opens a phase mark, or reports -1 on an untraced engine (no µop

@@ -1,0 +1,644 @@
+package turbo
+
+import (
+	"fmt"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+)
+
+// This file is the cross-block SoA-packed decode path. The per-block
+// path (multidecoder.go) packs the nb in-flight blocks across lanes for
+// the alpha/beta recursions only; every K-indexed phase — arrangement,
+// gamma, extrinsic finalize, the QPP interleave, hard-decision
+// extraction — still runs once per block. Here the blocks are packed at
+// the *element* level instead: element i of blocks 0..nb-1 occupy
+// adjacent positions of one shared stream (packed index ip = i*nb+b),
+// so each K-indexed phase runs once per iteration over nb*K elements.
+// Since every 3GPP block size is a multiple of 8 and nb*8 = L, the
+// packed arrays have no scalar tails at any width — the interleave
+// becomes pure vector gather programs and the hard decisions one
+// vector sign-extract sweep.
+//
+// The recursions read their branch metrics from a quad layout written
+// by the packed gamma: one register group per trellis step holding
+// [g0, g1, -g0, -g1] per block in lanes b*4+v (the upper half of the
+// register is zero). One load plus two constant-table permutes replace
+// the per-block broadcast/mask/merge chain and the mask-select of the
+// per-block path — and give the replay compiler a fixed 11-op step
+// shape it fuses into a single-pass op (see program/fuse.go).
+
+// packedState is the packed counterpart of multiState: everything is
+// derived from (K, width, strategy), built once per plan and reused for
+// an unbounded stream of decodes with no steady-state allocation.
+type packedState struct {
+	e    *simd.Engine
+	ar   core.Arranger
+	code *Code
+	lay  core.Layout
+	nb   int // blocks in flight
+	n    int // nb*K packed elements
+
+	// Packed interleaved input and its arranged clusters.
+	src     int64
+	s       int64
+	p1, p2  int64
+	tailSys [][3]int16
+	tailP1  [][3]int16
+
+	// Packed per-element working arrays (arranged layout, rot 0).
+	sPerm int64
+	la1   int64
+	la2   int64
+	ext   int64
+	dPost int64
+	hdec  int64
+
+	// quad is the branch-metric quad array: one full-width group per
+	// trellis step (k+3 steps incl. tails), lane b*4+v holding block
+	// b's [g0, g1, -g0, -g1]; lanes >= 4*nb are zero.
+	quad int64
+	// alpha is the recursion history, one group per step.
+	alpha int64
+
+	constReady bool
+	zero       *simd.Vec
+	negInfInit []int16
+	// Recursion permute tables (replicated per block, as in multiState).
+	prevIdx0, prevIdx1 []int
+	nextIdx0, nextIdx1 []int
+	lane0Idx           []int
+	hmaxIdx            [3][]int
+	// Quad-read tables: bm0/bm1 of the alpha and beta recursions as one
+	// permute each over the step's quad group.
+	bmA0, bmA1 []int
+	bmB0, bmB1 []int
+	// Quad-write scatter tables: for step offset si within a source
+	// group and variant v, where each block's value lands in the quad
+	// group (dst lane b*4+v from source lane LanePos[si*nb+b]).
+	scat [8][4][]int
+	// Interleave gather programs (per destination group, the list of
+	// contributing source groups with their permute tables).
+	gSPerm [][]gatherSrc
+	gLa2   [][]gatherSrc
+	gLa1   [][]gatherSrc
+
+	// Go-side reusable buffers: hard decisions, per-block convergence
+	// masks and iterations-to-converge, and the padding scratch.
+	bits   [][]byte
+	conv   []bool
+	itersB []int
+	words  []*LLRWord
+}
+
+// gatherSrc is one source group's contribution to a gather destination
+// group: load the source group, permute by Idx, OR into the
+// accumulator. Idx is pointer-stable for the state's lifetime (the
+// replay builder interns permute tables by the slice's backing array).
+type gatherSrc struct {
+	Group int
+	Idx   []int
+}
+
+func (st *packedState) elemAddr(base int64, ip int) int64 {
+	g, jj := ip/st.lay.GroupLanes, ip%st.lay.GroupLanes
+	return base + 2*int64(g*st.lay.StrideLanes+st.lay.LanePos[jj])
+}
+
+func (st *packedState) vecAddr(base int64, g, rot int) int64 {
+	return base + 2*int64(g*st.lay.StrideLanes+rot)
+}
+
+func (st *packedState) quadAddr(step int) int64 {
+	return st.quad + int64(step)*int64(int(st.e.W))
+}
+
+func (st *packedState) alphaAddr(step int) int64 {
+	return st.alpha + int64(step)*int64(int(st.e.W))
+}
+
+// packedStateBytes bounds the arena bytes newPackedState consumes for
+// code c at nb blocks (64-byte alignment padding per Alloc).
+func packedStateBytes(c *Code, lay core.Layout, w simd.Width, nb int) int64 {
+	n := nb * c.K
+	arrBytes := int64(lay.DstBytes(n))
+	wb := int64(int(w))
+	// src + 9 packed arrays + quad + alpha histories.
+	return int64(core.InterleavedBytes(n)) + 9*arrBytes + 2*wb*int64(c.K+4) + 13*64
+}
+
+// newPackedState allocates the packed working set for nb blocks of
+// code c on engine e with arrangement ar.
+func newPackedState(e *simd.Engine, ar core.Arranger, c *Code, nb int) *packedState {
+	k := c.K
+	lay := ar.Layout(e.W)
+	n := nb * k
+	st := &packedState{e: e, ar: ar, code: c, lay: lay, nb: nb, n: n}
+	arrBytes := lay.DstBytes(n)
+	wb := int64(int(e.W))
+	st.src = e.Mem.Alloc(core.InterleavedBytes(n), 64)
+	st.s = e.Mem.Alloc(arrBytes, 64)
+	st.p1 = e.Mem.Alloc(arrBytes, 64)
+	st.p2 = e.Mem.Alloc(arrBytes, 64)
+	st.sPerm = e.Mem.Alloc(arrBytes, 64)
+	st.la1 = e.Mem.Alloc(arrBytes, 64)
+	st.la2 = e.Mem.Alloc(arrBytes, 64)
+	st.ext = e.Mem.Alloc(arrBytes, 64)
+	st.dPost = e.Mem.Alloc(arrBytes, 64)
+	st.hdec = e.Mem.Alloc(arrBytes, 64)
+	st.quad = e.Mem.Alloc(int(wb)*(k+4), 64)
+	st.alpha = e.Mem.Alloc(int(wb)*(k+4), 64)
+
+	st.tailSys = make([][3]int16, nb)
+	st.tailP1 = make([][3]int16, nb)
+	st.bits = make([][]byte, nb)
+	for b := 0; b < nb; b++ {
+		st.bits[b] = make([]byte, k)
+	}
+	st.conv = make([]bool, nb)
+	st.itersB = make([]int, nb)
+	st.words = make([]*LLRWord, 0, nb)
+	return st
+}
+
+// initPackedConstants builds the constant registers and permute tables.
+// Runs once per state (constReady), like initConstants.
+func (d *MultiSIMDDecoder) initPackedConstants(st *packedState, tr *Trellis) {
+	e := st.e
+	nb := st.nb
+	lanes := e.W.Lanes16()
+	st.zero = e.NewVec()
+	e.PXor(st.zero, st.zero, st.zero)
+
+	rep := func(f func(s int) int) []int {
+		idx := make([]int, lanes)
+		for b := 0; b < nb; b++ {
+			for s := 0; s < NumStates; s++ {
+				idx[b*NumStates+s] = b*NumStates + f(s)
+			}
+		}
+		return idx
+	}
+	st.prevIdx0 = rep(func(s int) int { return tr.Prev[s][0] })
+	st.prevIdx1 = rep(func(s int) int { return tr.Prev[s][1] })
+	st.nextIdx0 = rep(func(s int) int { return tr.Next[s][0] })
+	st.nextIdx1 = rep(func(s int) int { return tr.Next[s][1] })
+	st.lane0Idx = rep(func(s int) int { return 0 })
+	st.hmaxIdx[0] = rep(func(s int) int { return (s + 4) % 8 })
+	st.hmaxIdx[1] = rep(func(s int) int { return s ^ 2 })
+	st.hmaxIdx[2] = rep(func(s int) int { return s ^ 1 })
+	st.negInfInit = make([]int16, lanes)
+	for b := 0; b < nb; b++ {
+		for s := 1; s < NumStates; s++ {
+			st.negInfInit[b*NumStates+s] = negInf16
+		}
+	}
+
+	// Quad-read tables. The per-block path selects branch metrics with
+	// masks: alpha bm0 = g0 where Parity[Prev[s][0]][0]==0 else g1,
+	// alpha bm1 = -g1 where Parity[Prev[s][1]][1]==0 else -g0; the beta
+	// forms test Parity[s][u] instead. In the quad layout those four
+	// choices are lanes b*4+{0,1,3,2} of the step's group.
+	quadSel := func(v0 func(s int) int, v1 func(s int) int) (t0, t1 []int) {
+		t0 = make([]int, lanes)
+		t1 = make([]int, lanes)
+		for b := 0; b < nb; b++ {
+			for s := 0; s < NumStates; s++ {
+				t0[b*NumStates+s] = b*4 + v0(s)
+				t1[b*NumStates+s] = b*4 + v1(s)
+			}
+		}
+		return t0, t1
+	}
+	st.bmA0, st.bmA1 = quadSel(
+		func(s int) int {
+			if tr.Parity[tr.Prev[s][0]][0] == 0 {
+				return 0
+			}
+			return 1
+		},
+		func(s int) int {
+			if tr.Parity[tr.Prev[s][1]][1] == 0 {
+				return 3
+			}
+			return 2
+		})
+	st.bmB0, st.bmB1 = quadSel(
+		func(s int) int {
+			if tr.Parity[s][0] == 0 {
+				return 0
+			}
+			return 1
+		},
+		func(s int) int {
+			if tr.Parity[s][1] == 0 {
+				return 3
+			}
+			return 2
+		})
+
+	// Quad-write scatter tables: source registers hold the arranged
+	// aligned view (read lane l = packed element with LanePos == l), so
+	// variant v of block b at step offset si permutes source lane
+	// LanePos[si*nb+b] into dst lane b*4+v; every other lane reads -1
+	// (out of range -> 0), which zeroes the upper half deterministically.
+	for si := 0; si < 8; si++ {
+		for v := 0; v < 4; v++ {
+			t := make([]int, lanes)
+			for j := range t {
+				t[j] = -1
+			}
+			for b := 0; b < nb; b++ {
+				t[b*4+v] = st.lay.LanePos[(si*nb+b)%st.lay.GroupLanes]
+			}
+			st.scat[si][v] = t
+		}
+	}
+
+	// Interleave gather programs.
+	qpp := st.code.qpp
+	st.gSPerm = st.buildGather(func(i int) int { return qpp.Perm(i) })
+	st.gLa2 = st.gSPerm // same permutation, different arrays
+	st.gLa1 = st.buildGather(func(i int) int { return qpp.InvPerm(i) })
+}
+
+// buildGather compiles dst[i*nb+b] = src[f(i)*nb+b] into per-dst-group
+// source lists: for each destination group, each contributing source
+// group appears once with a permute table mapping its aligned-view
+// lanes to the destination lanes it feeds (-1 elsewhere). Every packed
+// element has exactly one source, so the OR-merge of the contributions
+// is exact.
+func (st *packedState) buildGather(f func(i int) int) [][]gatherSrc {
+	L := st.lay.GroupLanes
+	groups := st.n / L
+	out := make([][]gatherSrc, groups)
+	for gd := 0; gd < groups; gd++ {
+		var srcs []gatherSrc
+		find := func(gs int) *gatherSrc {
+			for i := range srcs {
+				if srcs[i].Group == gs {
+					return &srcs[i]
+				}
+			}
+			t := make([]int, L)
+			for j := range t {
+				t[j] = -1
+			}
+			srcs = append(srcs, gatherSrc{Group: gs, Idx: t})
+			return &srcs[len(srcs)-1]
+		}
+		for jj := 0; jj < L; jj++ {
+			ip := gd*L + jj
+			i, b := ip/st.nb, ip%st.nb
+			sp := f(i)*st.nb + b
+			g := find(sp / L)
+			g.Idx[st.lay.LanePos[jj]] = st.lay.LanePos[sp%L]
+		}
+		out[gd] = srcs
+	}
+	return out
+}
+
+// gather emits one vectorized gather program: per destination group,
+// load each contributing source group (aligned view at rot srcRot),
+// permute its lanes into place and OR-merge, then store the assembled
+// group. This replaces the per-block path's k scalar CopyI16 calls per
+// interleave direction.
+func (st *packedState) gather(prog [][]gatherSrc, dstBase, srcBase int64, srcRot int) {
+	e := st.e
+	src, acc, tmp := e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	for gd, srcs := range prog {
+		for i, gs := range srcs {
+			e.LoadVec(src, st.vecAddr(srcBase, gs.Group, srcRot))
+			if i == 0 {
+				e.PermuteW(acc, src, gs.Idx)
+				continue
+			}
+			e.PermuteW(tmp, src, gs.Idx)
+			e.POr(acc, acc, tmp)
+		}
+		e.StoreVec(st.vecAddr(dstBase, gd, 0), acc)
+	}
+	e.ReleaseVec(src, acc, tmp)
+}
+
+// writeTailQuads stores the three termination-step quad groups. The
+// values depend only on the blocks' tail inputs, not the iteration, so
+// both drivers (interpreted and replay) write them once per decode, up
+// front; the first-half gamma only writes groups 0..k-1, so they
+// persist, and the unterminated second half never reads them.
+func (st *packedState) writeTailQuads() {
+	wb := int64(int(st.e.W))
+	for i := 0; i < 3; i++ {
+		base := st.quadAddr(st.code.K + i)
+		// Zero the whole group first (upper lanes stay deterministic).
+		for l := int64(0); l < wb; l += 2 {
+			st.e.Mem.WriteI16(base+l, 0)
+		}
+		for b := 0; b < st.nb; b++ {
+			sa, pp := int32(st.tailSys[b][i]), int32(st.tailP1[b][i])
+			g0 := sat16(sa + pp)
+			g1 := sat16(sa - pp)
+			o := base + int64(8*b)
+			st.e.Mem.WriteI16(o, g0)
+			st.e.Mem.WriteI16(o+2, g1)
+			st.e.Mem.WriteI16(o+4, sat16(-int32(g0)))
+			st.e.Mem.WriteI16(o+6, sat16(-int32(g1)))
+		}
+	}
+}
+
+// gammaPacked computes branch metrics for all blocks at once and
+// scatters them into the quad layout: per source group, one elementwise
+// g0/g1 (+ negations) over nb*GroupLanes/L packed steps, then four
+// permutes + three ORs + one store per step's quad group.
+func (d *MultiSIMDDecoder) gammaPacked(st *packedState, sysBase int64, sysRot int, parBase int64, parC core.Cluster, laBase int64) {
+	e := st.e
+	m := d.mark(e, "gamma")
+	L := st.lay.GroupLanes
+	groups := st.n / L
+	stepsPerGroup := L / st.nb
+	s, p, la, t := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	g0, g1, n0, n1 := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	acc, tmp := e.AcquireVec(), e.AcquireVec()
+	for g := 0; g < groups; g++ {
+		e.LoadVec(s, st.vecAddr(sysBase, g, sysRot))
+		e.LoadVec(p, st.vecAddr(parBase, g, st.lay.Rot[parC]))
+		e.LoadVec(la, st.vecAddr(laBase, g, 0))
+		e.PAddSW(t, s, la)
+		e.PAddSW(g0, t, p)
+		e.PSubSW(g1, t, p)
+		e.PSubSW(n0, st.zero, g0)
+		e.PSubSW(n1, st.zero, g1)
+		for si := 0; si < stepsPerGroup; si++ {
+			e.PermuteW(acc, g0, st.scat[si][0])
+			e.PermuteW(tmp, g1, st.scat[si][1])
+			e.POr(acc, acc, tmp)
+			e.PermuteW(tmp, n0, st.scat[si][2])
+			e.POr(acc, acc, tmp)
+			e.PermuteW(tmp, n1, st.scat[si][3])
+			e.POr(acc, acc, tmp)
+			e.StoreVec(st.quadAddr(g*stepsPerGroup+si), acc)
+		}
+	}
+	e.ReleaseVec(s, p, la, t, g0, g1, n0, n1, acc, tmp)
+	d.setHi(m, e)
+}
+
+// alphaPacked is the forward recursion over the quad layout: one load
+// and two constant permutes produce both branch-metric vectors — the
+// fixed 11-op step the replay compiler fuses into a single pass.
+func (d *MultiSIMDDecoder) alphaPacked(st *packedState, blockK int, terminated bool) {
+	e := st.e
+	m := d.mark(e, "alpha")
+	steps := blockK
+	if terminated {
+		steps += 3
+	}
+	alpha := e.AcquireVec()
+	e.SetImm(alpha, st.negInfInit)
+	e.StoreVec(st.alpha, alpha)
+
+	quad, bm0, bm1 := e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	a0, a1, c0, c1, norm := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	for j := 0; j < steps; j++ {
+		e.LoadVec(quad, st.quadAddr(j))
+		e.PermuteW(bm0, quad, st.bmA0)
+		e.PermuteW(bm1, quad, st.bmA1)
+		e.PermuteW(a0, alpha, st.prevIdx0)
+		e.PermuteW(a1, alpha, st.prevIdx1)
+		e.PAddSW(c0, a0, bm0)
+		e.PAddSW(c1, a1, bm1)
+		e.PMaxSW(alpha, c0, c1)
+		e.PermuteW(norm, alpha, st.lane0Idx)
+		e.PSubSW(alpha, alpha, norm)
+		e.StoreVec(st.alphaAddr(j+1), alpha)
+	}
+	e.ReleaseVec(alpha, quad, bm0, bm1, a0, a1, c0, c1, norm)
+	d.setHi(m, e)
+}
+
+// betaExtPacked is the fused backward recursion + posterior extraction
+// over the quad layout.
+func (d *MultiSIMDDecoder) betaExtPacked(st *packedState, blockK int, terminated bool) {
+	e := st.e
+	m := d.mark(e, "beta+ext")
+	steps := blockK
+	beta := e.AcquireVec()
+	if terminated {
+		steps += 3
+		e.SetImm(beta, st.negInfInit)
+	} else {
+		e.PXor(beta, beta, beta)
+	}
+	quad, bm0, bm1 := e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	b0, b1, v0, v1 := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	alpha, e0, e1, m0, m1, dv, tmp, norm := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	for j := steps - 1; j >= 0; j-- {
+		e.LoadVec(quad, st.quadAddr(j))
+		e.PermuteW(bm0, quad, st.bmB0)
+		e.PermuteW(bm1, quad, st.bmB1)
+		e.PermuteW(b0, beta, st.nextIdx0)
+		e.PermuteW(b1, beta, st.nextIdx1)
+		e.PAddSW(v0, b0, bm0)
+		e.PAddSW(v1, b1, bm1)
+		if j < blockK {
+			e.LoadVec(alpha, st.alphaAddr(j))
+			e.PAddSW(e0, alpha, v0)
+			e.PAddSW(e1, alpha, v1)
+			d.hmaxPacked(st, e0, m0, tmp)
+			d.hmaxPacked(st, e1, m1, tmp)
+			e.PSubSW(dv, m0, m1)
+			for b := 0; b < st.nb; b++ {
+				e.PExtrWToMem(st.elemAddr(st.dPost, j*st.nb+b), dv, b*NumStates)
+			}
+		}
+		e.PMaxSW(beta, v0, v1)
+		e.PermuteW(norm, beta, st.lane0Idx)
+		e.PSubSW(beta, beta, norm)
+	}
+	e.ReleaseVec(beta, quad, bm0, bm1, b0, b1, v0, v1, alpha, e0, e1, m0, m1, dv, tmp, norm)
+	d.setHi(m, e)
+}
+
+func (d *MultiSIMDDecoder) hmaxPacked(st *packedState, v, dst, tmp *simd.Vec) {
+	e := st.e
+	e.PermuteW(tmp, v, st.hmaxIdx[0])
+	e.PMaxSW(dst, v, tmp)
+	e.PermuteW(tmp, dst, st.hmaxIdx[1])
+	e.PMaxSW(dst, dst, tmp)
+	e.PermuteW(tmp, dst, st.hmaxIdx[2])
+	e.PMaxSW(dst, dst, tmp)
+}
+
+// extFinPacked finalizes the extrinsic for all blocks in one sweep over
+// the packed arrays (same op shape as the per-block extFin, nb times
+// fewer dispatch rounds and no scalar tail).
+func (d *MultiSIMDDecoder) extFinPacked(st *packedState, sysBase int64, sysRot int, laBase int64) {
+	e := st.e
+	m := d.mark(e, "ext")
+	L := st.lay.GroupLanes
+	groups := st.n / L
+	dvec, s, la, t, half, lim, nlim := e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec(), e.AcquireVec()
+	e.Broadcast16(lim, extClamp)
+	e.Broadcast16(nlim, -extClamp)
+	for g := 0; g < groups; g++ {
+		e.LoadVec(dvec, st.vecAddr(st.dPost, g, 0))
+		e.LoadVec(s, st.vecAddr(sysBase, g, sysRot))
+		e.LoadVec(la, st.vecAddr(laBase, g, 0))
+		e.PAddSW(t, s, la)
+		e.PSraW(half, dvec, 1)
+		e.PSubSW(half, half, t)
+		e.PMinSW(half, half, lim)
+		e.PMaxSW(half, half, nlim)
+		e.StoreVec(st.vecAddr(st.ext, g, 0), half)
+	}
+	e.ReleaseVec(dvec, s, la, t, half, lim, nlim)
+	d.setHi(m, e)
+}
+
+// hdecPacked extracts hard decisions by vector compare: an arithmetic
+// right shift by 15 turns each posterior into an all-ones (bit 1) or
+// all-zeros (bit 0) lane, stored packed for the Go-side bit scan.
+func (d *MultiSIMDDecoder) hdecPacked(st *packedState) {
+	e := st.e
+	m := d.mark(e, "interleave")
+	groups := st.n / st.lay.GroupLanes
+	v, h := e.AcquireVec(), e.AcquireVec()
+	for g := 0; g < groups; g++ {
+		e.LoadVec(v, st.vecAddr(st.dPost, g, 0))
+		e.PSraW(h, v, 15)
+		e.StoreVec(st.vecAddr(st.hdec, g, 0), h)
+	}
+	e.ReleaseVec(v, h)
+	d.setHi(m, e)
+}
+
+// iterPacked emits one full decode iteration's engine ops. The stream
+// is identical for every iteration and independent of the convergence
+// masks (frozen blocks are skipped only in the Go-side extraction), so
+// the replay compiler's stability check always holds.
+func (d *MultiSIMDDecoder) iterPacked(st *packedState) {
+	// Half 1: natural order, terminated.
+	d.gammaPacked(st, st.s, st.lay.Rot[core.ClusterS], st.p1, core.ClusterP1, st.la1)
+	d.alphaPacked(st, st.code.K, true)
+	d.betaExtPacked(st, st.code.K, true)
+	d.extFinPacked(st, st.s, st.lay.Rot[core.ClusterS], st.la1)
+	m := d.mark(st.e, "interleave")
+	st.gather(st.gLa2, st.la2, st.ext, 0)
+	d.setHi(m, st.e)
+
+	// Half 2: interleaved order, unterminated.
+	d.gammaPacked(st, st.sPerm, 0, st.p2, core.ClusterP2, st.la2)
+	d.alphaPacked(st, st.code.K, false)
+	d.betaExtPacked(st, st.code.K, false)
+	d.extFinPacked(st, st.sPerm, 0, st.la2)
+	m = d.mark(st.e, "interleave")
+	st.gather(st.gLa1, st.la1, st.ext, 0)
+	d.hdecPacked(st)
+	d.setHi(m, st.e)
+}
+
+// loadWordsPacked pads the batch, copies the packed interleaved input
+// in and records the tail LLRs. Shared by the interpreted and replay
+// drivers (plain memory writes, no ops).
+func (st *packedState) loadWordsPacked(words []*LLRWord) error {
+	if len(words) < 1 || len(words) > st.nb {
+		return fmt.Errorf("turbo: got %d blocks, state decodes 1..%d at once", len(words), st.nb)
+	}
+	st.words = append(st.words[:0], words...)
+	for len(st.words) < st.nb {
+		st.words = append(st.words, words[0])
+	}
+	for b, w := range st.words {
+		core.WriteInterleavedPacked(st.e.Mem, st.src, b, st.nb, w.Sys, w.P1, w.P2)
+		st.tailSys[b] = w.TailSys
+		st.tailP1[b] = w.TailP1
+	}
+	return nil
+}
+
+// extractPacked scans the hard-decision array for every still-live
+// block, updating bits in place and tracking a dirty flag per block —
+// the O(k) equalBits re-compare of the per-block path folded into the
+// extraction itself. A block whose iteration left its bits unchanged
+// (it > 0) freezes: its bits stop updating, exactly like the scalar
+// reference exiting that block's loop. Returns true when every real
+// block has frozen.
+func (st *packedState) extractPacked(earlyExit bool, it int) bool {
+	qpp := st.code.qpp
+	mem := st.e.Mem
+	done := true
+	for b := 0; b < st.nb; b++ {
+		if st.conv[b] {
+			continue
+		}
+		dirty := false
+		bits := st.bits[b]
+		for i := 0; i < st.code.K; i++ {
+			var v byte
+			if mem.ReadI16(st.elemAddr(st.hdec, i*st.nb+b)) != 0 {
+				v = 1
+			}
+			if p := qpp.Perm(i); bits[p] != v {
+				bits[p] = v
+				dirty = true
+			}
+		}
+		if earlyExit && it > 0 && !dirty {
+			st.conv[b] = true
+			st.itersB[b] = it + 1
+		} else {
+			done = false
+		}
+	}
+	return done
+}
+
+// runPacked executes one packed decode over a prepared state: the
+// interpreted counterpart of the compiled replay driver, and the
+// recording target the replay program is compiled from.
+func (d *MultiSIMDDecoder) runPacked(st *packedState, words []*LLRWord) ([][]byte, int, error) {
+	if st.code.K != d.Code.K {
+		return nil, 0, fmt.Errorf("turbo: state built for K=%d, decoder configured for K=%d", st.code.K, d.Code.K)
+	}
+	requested := len(words)
+	if err := st.loadWordsPacked(words); err != nil {
+		return nil, 0, err
+	}
+	e := st.e
+	d.Marks = d.Marks[:0]
+
+	m := d.mark(e, "arrangement")
+	st.ar.Arrange(e, st.src, core.Dest{S: st.s, P1: st.p1, P2: st.p2}, st.n)
+	d.setHi(m, e)
+	if !st.constReady {
+		d.initPackedConstants(st, st.code.trellis)
+		st.constReady = true
+	}
+	st.writeTailQuads()
+
+	// One-time interleaved systematic gather and la1 zero-init.
+	m = d.mark(e, "interleave")
+	st.gather(st.gSPerm, st.sPerm, st.s, st.lay.Rot[core.ClusterS])
+	d.setHi(m, e)
+	m = d.mark(e, "init")
+	groups := st.n / st.lay.GroupLanes
+	for g := 0; g < groups; g++ {
+		e.StoreVec(st.vecAddr(st.la1, g, 0), st.zero)
+	}
+	d.setHi(m, e)
+
+	resetConv(st.conv, st.itersB, requested)
+	iters := 0
+	for it := 0; it < d.MaxIters; it++ {
+		iters++
+		e.ProgMark("iteration")
+		d.iterPacked(st)
+		if st.extractPacked(d.EarlyExit, it) {
+			break
+		}
+	}
+	stampIters(st.itersB, iters)
+	return st.bits[:requested], iters, nil
+}

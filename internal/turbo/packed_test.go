@@ -1,0 +1,357 @@
+package turbo
+
+import (
+	"math/rand"
+	"testing"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+)
+
+// decodeFourWay decodes the same batch through the packed compiled
+// replay, the packed interpreter, the per-block (unpacked) path and the
+// scalar reference, failing on any hard-decision or iteration-count
+// mismatch. It is the packed path's bit-exactness oracle: the SoA
+// layout, the quad branch-metric scatter, the gather-program interleave
+// and the fused replay steps must all be invisible in the output.
+func decodeFourWay(t *testing.T, w simd.Width, k int, words []*LLRWord, maxIters int, label string) {
+	t.Helper()
+	packed := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+	packed.MaxIters = maxIters
+	// Decode twice so the checked result comes from the replay path.
+	if _, _, err := packed.Decode(k, words); err != nil {
+		t.Fatalf("%s: packed warm-up: %v", label, err)
+	}
+	if packed.ProgramStats().CompiledPlans != 1 {
+		t.Fatalf("%s: packed stream did not compile", label)
+	}
+	got, gotIters, err := packed.Decode(k, words)
+	if err != nil {
+		t.Fatalf("%s: packed compiled: %v", label, err)
+	}
+	gotPer := append([]int(nil), packed.BlockIters()...)
+
+	pInterp := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+	pInterp.MaxIters = maxIters
+	pInterp.Compile = false
+	wantI, wantIIters, err := pInterp.Decode(k, words)
+	if err != nil {
+		t.Fatalf("%s: packed interpreted: %v", label, err)
+	}
+
+	unpacked := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+	unpacked.MaxIters = maxIters
+	unpacked.Packed = false
+	wantU, wantUIters, err := unpacked.Decode(k, words)
+	if err != nil {
+		t.Fatalf("%s: unpacked: %v", label, err)
+	}
+	unpackedPer := append([]int(nil), unpacked.BlockIters()...)
+
+	if gotIters != wantIIters || gotIters != wantUIters {
+		t.Errorf("%s: iterations diverge: packed-compiled %d, packed-interpreted %d, unpacked %d",
+			label, gotIters, wantIIters, wantUIters)
+	}
+	c, err := packed.Code(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range words {
+		if !equalBits(got[b], wantI[b]) {
+			t.Errorf("%s block %d: packed compiled and interpreted decisions differ", label, b)
+		}
+		if !equalBits(got[b], wantU[b]) {
+			t.Errorf("%s block %d: packed and per-block decisions differ", label, b)
+		}
+		if gotPer[b] != unpackedPer[b] {
+			t.Errorf("%s block %d: packed converged in %d iterations, per-block in %d",
+				label, b, gotPer[b], unpackedPer[b])
+		}
+		sc := NewDecoder(c)
+		sc.MaxIters = maxIters
+		scalarBits, _, err := sc.Decode(words[b])
+		if err != nil {
+			t.Fatalf("%s block %d: scalar: %v", label, b, err)
+		}
+		if !equalBits(got[b], scalarBits) {
+			t.Errorf("%s block %d: packed and scalar decisions differ", label, b)
+		}
+	}
+}
+
+// TestPackedMatchesAllPaths is the tentpole's differential property
+// test: across widths, block sizes (including the largest fused-program
+// sizes the other differential tests skip), clean and noisy channels
+// and partial fills, the packed path must be bit- and iteration-
+// identical to the per-block path and the scalar reference.
+// K=104 and K=512 get the same treatment in
+// TestCompiledMatchesInterpretedAndScalar, which runs the packed
+// default on both sides of its comparison.
+func TestPackedMatchesAllPaths(t *testing.T) {
+	for _, w := range simd.Widths {
+		for _, k := range []int{40, 208, 2048} {
+			c, err := NewCode(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nb := BlocksPerRegister(w)
+			for _, tc := range []struct {
+				name      string
+				fill      int
+				seed      int64
+				noiseless bool
+			}{
+				{"clean/full", nb, 811, true},
+				{"noisy/full", nb, 812, false},
+				{"noisy/one", 1, 813, false},
+			} {
+				words, _ := buildWords(t, c, tc.fill, tc.seed, tc.noiseless)
+				label := w.String() + "/K" + itoa(k) + "/" + tc.name
+				decodeFourWay(t, w, k, words, 4, label)
+			}
+		}
+	}
+}
+
+// TestPackedPaddedLanesInvariant is the under-filled-batch regression
+// test: a batch of n < Lanes() real words pads the remaining lanes with
+// copies of the first word, and those padded lanes must be completely
+// invisible — every real block's hard decisions AND its per-block
+// convergence iteration must equal what decoding that word alone
+// produces, at every fill level, on both the compiled and interpreted
+// packed paths.
+func TestPackedPaddedLanesInvariant(t *testing.T) {
+	const k = 104
+	for _, compile := range []bool{true, false} {
+		for _, w := range []simd.Width{simd.W256, simd.W512} {
+			nb := BlocksPerRegister(w)
+			c, err := NewCode(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Noisy words so blocks genuinely converge at different
+			// iterations — the interesting case for early-exit masking.
+			words, _ := buildWords(t, c, nb, 831, false)
+
+			// Solo reference: each word decoded alone.
+			soloBits := make([][]byte, nb)
+			soloIters := make([]int, nb)
+			for b := 0; b < nb; b++ {
+				solo := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+				solo.MaxIters = 6
+				solo.Compile = compile
+				bits, _, err := solo.Decode(k, words[b:b+1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				soloBits[b] = bits[0]
+				soloIters[b] = solo.BlockIters()[0]
+			}
+
+			for fill := 1; fill <= nb; fill++ {
+				bd := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+				bd.MaxIters = 6
+				bd.Compile = compile
+				var bits [][]byte
+				// Two decodes when compiling, so the checked batch runs
+				// through the replay program.
+				rounds := 1
+				if compile {
+					rounds = 2
+				}
+				for i := 0; i < rounds; i++ {
+					bits, _, err = bd.Decode(k, words[:fill])
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				if len(bits) != fill {
+					t.Fatalf("%v fill=%d: got %d result blocks", w, fill, len(bits))
+				}
+				per := bd.BlockIters()
+				if len(per) != fill {
+					t.Fatalf("%v fill=%d: BlockIters has %d entries", w, fill, len(per))
+				}
+				for b := 0; b < fill; b++ {
+					if !equalBits(bits[b], soloBits[b]) {
+						t.Errorf("%v compile=%v fill=%d block %d: batched decisions differ from solo decode",
+							w, compile, fill, b)
+					}
+					if per[b] != soloIters[b] {
+						t.Errorf("%v compile=%v fill=%d block %d: batched block converged in %d iterations, solo in %d",
+							w, compile, fill, b, per[b], soloIters[b])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedMidStreamKChange drives one packed decoder through
+// interleaved block sizes and fills — every (K, packed) plan change,
+// program recompile and scratch rewind mid-stream must stay bit-exact
+// against fresh single-K decoders.
+func TestPackedMidStreamKChange(t *testing.T) {
+	bd := NewBatchDecoder(simd.W512, core.StrategyAPCM, 32<<20)
+	bd.MaxIters = 4
+	seq := []struct {
+		k    int
+		fill int
+	}{
+		{104, 4}, {512, 1}, {104, 2}, {2048, 4}, {512, 4}, {104, 4}, {2048, 1},
+	}
+	for round, s := range seq {
+		c, err := bd.Code(s.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words, truth := buildWords(t, c, s.fill, int64(850+round), true)
+		bits, _, err := bd.Decode(s.k, words)
+		if err != nil {
+			t.Fatalf("round %d (K=%d): %v", round, s.k, err)
+		}
+		for b := range words {
+			if !equalBits(bits[b], truth[b]) {
+				t.Errorf("round %d (K=%d fill=%d) block %d: wrong bits", round, s.k, s.fill, b)
+			}
+		}
+	}
+	if got := bd.ProgramStats().CompiledPlans; got != 3 {
+		t.Errorf("want 3 compiled packed plans after the sequence, got %d", got)
+	}
+}
+
+// TestPackedPlanEviction forces arena-pressure eviction with packed
+// plans (which carry a larger working set than per-block plans) and
+// checks correctness through the evict/rebuild/recompile cycle.
+func TestPackedPlanEviction(t *testing.T) {
+	bd := NewBatchDecoder(simd.W512, core.StrategyAPCM, 2<<20)
+	bd.MaxIters = 4
+	ks := []int{6144, 5056, 6144, 4096, 5056, 6144}
+	for round, k := range ks {
+		c, err := bd.Code(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words, truth := buildWords(t, c, bd.Lanes(), int64(870+round), true)
+		bits, _, err := bd.Decode(k, words)
+		if err != nil {
+			t.Fatalf("round %d (K=%d): %v", round, k, err)
+		}
+		for b := range words {
+			if !equalBits(bits[b], truth[b]) {
+				t.Errorf("round %d (K=%d) block %d: wrong bits after eviction", round, k, b)
+			}
+		}
+		if bd.plans[planKey{k: k, packed: true}].prog == nil {
+			t.Errorf("round %d (K=%d): current packed plan not compiled", round, k)
+		}
+	}
+	if bd.Evictions == 0 {
+		t.Fatal("2 MiB arena fit three K=4096..6144 W512 packed plans without evicting")
+	}
+	if s := bd.ProgramStats(); s.Compiles <= 3 {
+		t.Errorf("want >3 compilations (recompiles after eviction), got %d", s.Compiles)
+	}
+}
+
+// TestPackedToggleMidStream flips Packed back and forth on one decoder:
+// the two paths cache independent plans under (K, packed) keys, so
+// toggling mid-stream must neither corrupt state nor change results.
+func TestPackedToggleMidStream(t *testing.T) {
+	const k = 208
+	bd := NewBatchDecoder(simd.W512, core.StrategyAPCM, 32<<20)
+	bd.MaxIters = 4
+	c, err := bd.Code(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		bd.Packed = round%2 == 0
+		words, truth := buildWords(t, c, bd.Lanes(), int64(890+round), true)
+		bits, _, err := bd.Decode(k, words)
+		if err != nil {
+			t.Fatalf("round %d (packed=%v): %v", round, bd.Packed, err)
+		}
+		for b := range words {
+			if !equalBits(bits[b], truth[b]) {
+				t.Errorf("round %d (packed=%v) block %d: wrong bits", round, bd.Packed, b)
+			}
+		}
+	}
+	if bd.Plans() != 2 {
+		t.Errorf("want 2 plans (packed and per-block), got %d", bd.Plans())
+	}
+	if got := bd.ProgramStats().CompiledPlans; got != 2 {
+		t.Errorf("want both plans compiled, got %d", got)
+	}
+}
+
+// FuzzPackedDecode is the packed path's fuzz target: random width,
+// block size, fill and fully random (not necessarily decodable) LLR
+// payloads must decode bit- and iteration-identically through the
+// packed compiled, packed interpreted and per-block paths.
+func FuzzPackedDecode(f *testing.F) {
+	f.Add(int64(7), uint8(2), uint8(0), uint8(0))
+	f.Add(int64(8), uint8(1), uint8(2), uint8(1))
+	f.Add(int64(9), uint8(0), uint8(3), uint8(255))
+	ks := []int{40, 104, 208, 512}
+	f.Fuzz(func(t *testing.T, seed int64, wIdx, kIdx, fill uint8) {
+		w := simd.Widths[int(wIdx)%len(simd.Widths)]
+		k := ks[int(kIdx)%len(ks)]
+		rng := rand.New(rand.NewSource(seed))
+		nb := BlocksPerRegister(w)
+		n := 1 + int(fill)%nb
+		words := make([]*LLRWord, n)
+		for b := range words {
+			words[b] = randomWord(rng, k)
+		}
+
+		packed := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+		packed.MaxIters = 4
+		if _, _, err := packed.Decode(k, words); err != nil {
+			t.Fatal(err)
+		}
+		got, gotIters, err := packed.Decode(k, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if packed.ProgramStats().Hits == 0 {
+			t.Fatal("second decode did not hit the compiled packed program")
+		}
+		gotPer := append([]int(nil), packed.BlockIters()...)
+
+		pInterp := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+		pInterp.MaxIters = 4
+		pInterp.Compile = false
+		wantI, wantIIters, err := pInterp.Decode(k, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		unpacked := NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+		unpacked.MaxIters = 4
+		unpacked.Packed = false
+		wantU, wantUIters, err := unpacked.Decode(k, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if gotIters != wantIIters || gotIters != wantUIters {
+			t.Errorf("iterations diverge: packed-compiled %d, packed-interpreted %d, unpacked %d",
+				gotIters, wantIIters, wantUIters)
+		}
+		unpackedPer := unpacked.BlockIters()
+		for b := range words {
+			if !equalBits(got[b], wantI[b]) {
+				t.Errorf("block %d: packed compiled and interpreted decisions differ", b)
+			}
+			if !equalBits(got[b], wantU[b]) {
+				t.Errorf("block %d: packed and per-block decisions differ", b)
+			}
+			if gotPer[b] != unpackedPer[b] {
+				t.Errorf("block %d: packed block iterations %d, per-block %d", b, gotPer[b], unpackedPer[b])
+			}
+		}
+	})
+}

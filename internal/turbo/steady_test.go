@@ -179,41 +179,40 @@ func TestBatchDecoderOutputStable(t *testing.T) {
 
 // BenchmarkBatchDecodeSteadyState is the tentpole's headline benchmark:
 // full-batch pooled decode, per width and per execution mode, at a fixed
-// mid-size K plus the largest LTE K at W512. "compiled" replays the
-// fused program recorded on the first decode; "interpreted" pins
-// Compile=false and measures the per-µop engine path the program
-// replaces. Run with -benchmem; CI gates allocs/op on it and the
-// compiled/interpreted ratio at W512 K=6144.
+// mid-size K plus the largest LTE K at W512. "packed" is the serving
+// default — the cross-block SoA-packed stream compiled to a fused replay
+// program; "compiled" replays the per-block path's program and
+// "interpreted" pins Compile=false on the per-block path, so the packed
+// win and the compile win stay separately measurable. Run with
+// -benchmem; CI gates allocs/op on it, the compiled/interpreted ratio at
+// W512 K=6144, and the packed/compiled ratio at W512 K=512.
 func BenchmarkBatchDecodeSteadyState(b *testing.B) {
 	cases := []struct {
 		w simd.Width
 		k int
 	}{
-		{simd.W128, 512}, {simd.W256, 512}, {simd.W512, 512}, {simd.W512, 6144},
+		{simd.W128, 512}, {simd.W256, 512}, {simd.W512, 104}, {simd.W512, 512}, {simd.W512, 6144},
 	}
 	for _, tc := range cases {
-		for _, compiled := range []bool{true, false} {
-			mode := "compiled"
-			if !compiled {
-				mode = "interpreted"
-			}
+		for _, mode := range []string{"packed", "compiled", "interpreted"} {
 			b.Run(fmt.Sprintf("%v/K%d/%s", tc.w, tc.k, mode), func(b *testing.B) {
 				bd := NewBatchDecoder(tc.w, core.StrategyAPCM, 32<<20)
-				bd.Compile = compiled
+				bd.Packed = mode == "packed"
+				bd.Compile = mode != "interpreted"
 				c, err := bd.Code(tc.k)
 				if err != nil {
 					b.Fatal(err)
 				}
 				words, _ := buildWords(b, c, bd.Lanes(), 7, true)
 				// Two warm-ups: the first builds the plan and (in compiled
-				// mode) records + compiles the program; the second confirms
+				// modes) records + compiles the program; the second confirms
 				// the steady path is reached before the clock starts.
 				for i := 0; i < 2; i++ {
 					if _, _, err := bd.Decode(tc.k, words); err != nil {
 						b.Fatal(err)
 					}
 				}
-				if compiled && bd.ProgramStats().CompiledPlans == 0 {
+				if bd.Compile && bd.ProgramStats().CompiledPlans == 0 {
 					b.Fatal("warm-up did not compile a replay program")
 				}
 				b.SetBytes(int64(tc.k * bd.Lanes()))

@@ -1,0 +1,294 @@
+// Command vrantune is the offline auto-tuner for the decode compiler's
+// scheduling pass: it records, compiles and schedule-searches replay
+// programs over a (width × mechanism × K × packing) grid, verifies
+// every tuned plan bit-for-bit against the interpreter, and persists
+// the winners to a versioned plan cache that vranserve (or any
+// BatchDecoder user) warm-starts from — a restarted process skips both
+// the recording compile and the schedule search.
+//
+// Usage:
+//
+//	vrantune -ks 104,512 -widths 512 -mechs apcm -packed packed
+//	vrantune -ks 104,512 -bench -gate-ipc-frac 0.8 -gate-speedup 0.95
+//
+// The search is deterministic: the same -seed and -budget reproduce
+// the same cache byte for byte. Cache files are keyed by a hash of the
+// full configuration (and both on-disk format versions), so a stale
+// cache is never silently reused.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"vransim/internal/cliutil"
+	"vransim/internal/simd/program"
+	"vransim/internal/tune"
+	"vransim/internal/turbo"
+)
+
+func main() {
+	var (
+		cacheDir  = flag.String("cache", tune.DefaultDir(), "plan cache directory")
+		widths    = flag.String("widths", "512", "comma-separated SIMD widths to tune (128,256,512)")
+		mechs     = flag.String("mechs", "apcm", "comma-separated arrangement mechanisms (see vranpipe -mech)")
+		ks        = flag.String("ks", "40,104,208,512", "comma-separated block sizes")
+		packed    = flag.String("packed", "packed", "decode paths to tune: packed, block or both")
+		iters     = flag.Int("iters", turbo.DefaultMaxIters, "decode iteration budget during recording")
+		mem       = flag.Int("mem", 32<<20, "decoder arena bytes (warm-start requires the same value)")
+		seed      = flag.Int64("seed", 1, "search seed (same seed -> byte-identical cache)")
+		budget    = flag.Int("budget", 0, "max schedule heuristics tried per plan (0 = all)")
+		simBudget = flag.Int("simbudget", 0, "max simulated uops per candidate segment (0 = default)")
+		force     = flag.Bool("force", false, "retune even when a matching cache file exists")
+		bench     = flag.Bool("bench", false, "wall-clock scheduled vs unscheduled replay per plan")
+		reps      = flag.Int("reps", 8, "timed decodes per plan for -bench")
+		gateIPC   = flag.Float64("gate-ipc-frac", 0, "fail unless this fraction of plans strictly improved simulated IPC (0 disables)")
+		gateSpeed = flag.Float64("gate-speedup", 0, "with -bench: fail if any plan's scheduled/unscheduled speedup falls below this (0 disables)")
+	)
+	flag.Parse()
+
+	kGrid, err := parseInts(*ks)
+	if err != nil {
+		fatal(err)
+	}
+	packGrid, err := parsePacked(*packed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		improved, plans int
+		minSpeedup      = 1e9
+		benchFailed     bool
+	)
+	for _, wbits := range splitList(*widths) {
+		bits, err := strconv.Atoi(wbits)
+		if err != nil {
+			fatal(fmt.Errorf("bad width %q", wbits))
+		}
+		w, err := cliutil.ParseWidth(bits)
+		if err != nil {
+			fatal(err)
+		}
+		for _, mech := range splitList(*mechs) {
+			s, err := cliutil.ParseStrategy(mech)
+			if err != nil {
+				fatal(err)
+			}
+			o := tune.Options{
+				Width: w, Strategy: s, MemBytes: *mem,
+				Ks: kGrid, Packed: packGrid,
+				MaxIters: *iters, Seed: *seed, Budget: *budget, SimBudget: *simBudget,
+			}
+			path := tune.CachePath(*cacheDir, &o)
+			var c *tune.Cache
+			if !*force {
+				if loaded, err := tune.Load(path); err == nil {
+					c = loaded
+					fmt.Printf("# %s %s: cache hit %s (%d plans)\n", w, s, path, len(c.Plans))
+				}
+			}
+			if c == nil {
+				start := time.Now()
+				c, err = tune.Tune(o)
+				if err != nil {
+					fatal(err)
+				}
+				if err := tune.Save(path, c); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("# %s %s: tuned %d plans in %v -> %s\n", w, s, len(c.Plans), time.Since(start).Round(time.Millisecond), path)
+			}
+			report(w.String(), s.String(), c, *bench, *reps, &improved, &plans, &minSpeedup, &benchFailed, *gateSpeed)
+		}
+	}
+
+	if *gateIPC > 0 {
+		frac := 0.0
+		if plans > 0 {
+			frac = float64(improved) / float64(plans)
+		}
+		if frac < *gateIPC {
+			fmt.Fprintf(os.Stderr, "vrantune: gate failed: simulated IPC strictly improved on %d/%d plans (%.0f%%), need %.0f%%\n",
+				improved, plans, 100*frac, 100**gateIPC)
+			os.Exit(1)
+		}
+		fmt.Printf("# gate ok: simulated IPC strictly improved on %d/%d plans\n", improved, plans)
+	}
+	if benchFailed {
+		os.Exit(1)
+	}
+}
+
+// report prints one cache's per-plan rows: the winning heuristic per
+// segment, the cost-model IPC movement, and the search cost (candidate
+// orderings priced and µops simulated — the deterministic budget the
+// ISSUE's satellite asks the report to carry). With bench enabled it
+// appends wall-clock scheduled vs unscheduled timings.
+func report(width, mech string, c *tune.Cache, bench bool, reps int, improved, plans *int, minSpeedup *float64, benchFailed *bool, gateSpeed float64) {
+	fmt.Printf("%-5s %-12s %-6s %-6s %-18s %-26s %-26s %8s %6s %12s",
+		"width", "mech", "k", "packed", "heur[first,steady]", "ipc_first", "ipc_steady", "moved", "cands", "sim_uops")
+	if bench {
+		fmt.Printf(" %12s %12s %8s", "sched_ns", "unsched_ns", "speedup")
+	}
+	fmt.Println()
+	for i := range c.Plans {
+		p := &c.Plans[i]
+		*plans++
+		if p.SimIPCAfter[program.SegFirst] > p.SimIPCBefore[program.SegFirst] ||
+			p.SimIPCAfter[program.SegSteady] > p.SimIPCBefore[program.SegSteady] {
+			*improved++
+		}
+		fmt.Printf("%-5s %-12s %-6d %-6v %-18s %-26s %-26s %8d %6d %12d",
+			width, mech, p.K, p.Packed,
+			p.Heuristic[program.SegFirst]+","+p.Heuristic[program.SegSteady],
+			ipcCol(p, program.SegFirst), ipcCol(p, program.SegSteady),
+			p.Moved[program.SegFirst]+p.Moved[program.SegSteady],
+			p.Candidates, p.SimulatedUops)
+		if bench {
+			schedNs, unschedNs, err := benchPlan(c, p, reps)
+			if err != nil {
+				fatal(err)
+			}
+			speedup := float64(unschedNs) / float64(schedNs)
+			if speedup < *minSpeedup {
+				*minSpeedup = speedup
+			}
+			fmt.Printf(" %12d %12d %7.3fx", schedNs, unschedNs, speedup)
+			if gateSpeed > 0 && speedup < gateSpeed {
+				fmt.Fprintf(os.Stderr, "\nvrantune: gate failed: K=%d packed=%v scheduled/unscheduled speedup %.3f < %.3f\n",
+					p.K, p.Packed, speedup, gateSpeed)
+				*benchFailed = true
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func ipcCol(p *tune.Plan, seg int) string {
+	return fmt.Sprintf("%.4f->%.4f", p.SimIPCBefore[seg], p.SimIPCAfter[seg])
+}
+
+// benchPlan times one plan's scheduled replay (warm-started from the
+// cache) against an unscheduled in-process compile of the same plan,
+// reporting ns per Decode call. Wall-clock numbers are advisory — the
+// deterministic signal is the simulated IPC — but a scheduled order
+// must not cost real time, which the -gate-speedup gate enforces.
+func benchPlan(c *tune.Cache, p *tune.Plan, reps int) (schedNs, unschedNs int64, err error) {
+	run := func(bd *turbo.BatchDecoder, words []*turbo.LLRWord) (int64, error) {
+		if _, _, err := bd.Decode(p.K, words); err != nil { // warm the plan
+			return 0, err
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, _, err := bd.Decode(p.K, words); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Nanoseconds() / int64(reps), nil
+	}
+
+	sched, err := decoderFor(c, p.Packed)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := tune.WarmStart(sched, c); err != nil {
+		return 0, 0, err
+	}
+	words := benchWords(c, p)
+	if schedNs, err = run(sched, words); err != nil {
+		return 0, 0, err
+	}
+
+	unsched, err := decoderFor(c, p.Packed)
+	if err != nil {
+		return 0, 0, err
+	}
+	if unschedNs, err = run(unsched, words); err != nil {
+		return 0, 0, err
+	}
+	return schedNs, unschedNs, nil
+}
+
+func decoderFor(c *tune.Cache, packed bool) (*turbo.BatchDecoder, error) {
+	w, err := cliutil.ParseWidth(c.WidthBits)
+	if err != nil {
+		return nil, err
+	}
+	s, err := cliutil.ParseStrategy(c.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	bd := turbo.NewBatchDecoder(w, s, c.MemBytes)
+	bd.MaxIters = c.MaxIters
+	bd.Packed = packed
+	return bd, nil
+}
+
+func benchWords(c *tune.Cache, p *tune.Plan) []*turbo.LLRWord {
+	words := make([]*turbo.LLRWord, 0)
+	w := turbo.NewLLRWord(p.K)
+	// Noise-free zero LLRs would converge instantly; a fixed ramp keeps
+	// the decode iterating like real traffic without randomness.
+	for i := 0; i < p.K; i++ {
+		v := int16(i%int(2*turbo.LLRLimit-1)) - (turbo.LLRLimit - 1)
+		w.Sys[i], w.P1[i], w.P2[i] = v, -v, v/2
+	}
+	for i := 0; i < 3; i++ {
+		w.TailSys[i], w.TailP1[i] = int16(i+1), int16(-i)
+	}
+	bd, err := decoderFor(c, p.Packed)
+	if err != nil {
+		return []*turbo.LLRWord{w}
+	}
+	for b := 0; b < bd.Lanes(); b++ {
+		words = append(words, w.Clone())
+	}
+	return words
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad block size %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -ks")
+	}
+	return out, nil
+}
+
+func parsePacked(s string) ([]bool, error) {
+	switch s {
+	case "packed":
+		return []bool{true}, nil
+	case "block":
+		return []bool{false}, nil
+	case "both":
+		return []bool{true, false}, nil
+	}
+	return nil, fmt.Errorf("-packed must be packed, block or both (got %q)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vrantune:", err)
+	os.Exit(1)
+}

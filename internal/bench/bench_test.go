@@ -157,16 +157,25 @@ func TestDecodeBenchQuick(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("report does not round-trip: %v", err)
 	}
-	if len(rep.Rows) != 4*3*2 { // modes x widths x quick Ks
-		t.Fatalf("report has %d rows, want 24", len(rep.Rows))
+	if len(rep.Rows) != 5*3*2 { // modes x widths x quick Ks
+		t.Fatalf("report has %d rows, want 30", len(rep.Rows))
 	}
 	perOp := map[string]float64{} // mode/width/K -> ns/op
 	for _, r := range rep.Rows {
 		if r.NsPerOp <= 0 || r.Iterations <= 0 || r.GoodputMbps <= 0 {
 			t.Errorf("%s/%s/K=%d: degenerate row %+v", r.Mode, r.Width, r.K, r)
 		}
-		if (r.Mode == "packed" || r.Mode == "steady" || r.Mode == "compiled") && r.AllocsOp > 8 {
+		if (r.Mode == "scheduled" || r.Mode == "packed" || r.Mode == "steady" || r.Mode == "compiled") && r.AllocsOp > 8 {
 			t.Errorf("%s/K=%d %s: %d allocs/op over budget 8", r.Width, r.K, r.Mode, r.AllocsOp)
+		}
+		if r.Mode == "scheduled" {
+			if r.SimIPCAfter <= r.SimIPCBefore || r.SimIPCBefore <= 0 {
+				t.Errorf("%s/K=%d scheduled: simulated IPC not improved (%.4f -> %.4f, %s)",
+					r.Width, r.K, r.SimIPCBefore, r.SimIPCAfter, r.SchedHeuristic)
+			}
+			if r.SchedHeuristic == "" || r.SchedHeuristic == "original" {
+				t.Errorf("%s/K=%d scheduled: heuristic %q — packed steady segment should adopt a reorder", r.Width, r.K, r.SchedHeuristic)
+			}
 		}
 		if r.Mode == "fresh" && r.AllocsOp <= 8 {
 			t.Errorf("%s/K=%d fresh: %d allocs/op — baseline mode is not rebuilding per op", r.Width, r.K, r.AllocsOp)

@@ -22,6 +22,7 @@ import (
 
 	"vransim/internal/core"
 	"vransim/internal/simd"
+	"vransim/internal/simd/program"
 	"vransim/internal/turbo"
 )
 
@@ -42,11 +43,12 @@ func flagSet(name, value string) error {
 
 // DecodeBenchRow is one (mode, width, K) measurement.
 type DecodeBenchRow struct {
-	// Mode is "packed" (pooled, cross-block SoA stream replayed as one
-	// compiled program per iteration), "compiled" (pooled, replaying
-	// the per-block compiled program), "steady" (pooled, interpreter
-	// pinned via Compile=false) or "fresh" (decoder and working set
-	// rebuilt every op).
+	// Mode is "scheduled" (pooled, cross-block SoA replay compiled
+	// through the port-aware scheduling pass), "packed" (pooled,
+	// cross-block SoA stream replayed as one compiled program per
+	// iteration), "compiled" (pooled, replaying the per-block compiled
+	// program), "steady" (pooled, interpreter pinned via Compile=false)
+	// or "fresh" (decoder and working set rebuilt every op).
 	Mode     string  `json:"mode"`
 	Width    string  `json:"width"`
 	K        int     `json:"k"`
@@ -58,6 +60,12 @@ type DecodeBenchRow struct {
 	// (emulated decode — the number compares modes, not hardware).
 	GoodputMbps float64 `json:"goodput_mbps"`
 	Iterations  int     `json:"benchmark_iterations"`
+	// SimIPCBefore/After are the scheduling pass's cost-model IPCs of
+	// the steady segment (recorded vs adopted order) and SchedHeuristic
+	// the winning policy — scheduled mode only.
+	SimIPCBefore   float64 `json:"sim_ipc_before,omitempty"`
+	SimIPCAfter    float64 `json:"sim_ipc_after,omitempty"`
+	SchedHeuristic string  `json:"sched_heuristic,omitempty"`
 }
 
 // DecodeBenchReport is the BENCH_decode.json shape.
@@ -116,7 +124,7 @@ func RunDecodeBench(quick bool) (*DecodeBenchReport, error) {
 	}
 	for _, w := range []simd.Width{simd.W128, simd.W256, simd.W512} {
 		for _, k := range ks {
-			for _, mode := range []string{"packed", "compiled", "steady", "fresh"} {
+			for _, mode := range []string{"scheduled", "packed", "compiled", "steady", "fresh"} {
 				row, err := runDecodeCell(mode, w, k)
 				if err != nil {
 					return nil, err
@@ -141,17 +149,22 @@ func runDecodeCell(mode string, w simd.Width, k int) (DecodeBenchRow, error) {
 	}
 	var inner error
 	var res testing.BenchmarkResult
+	var sched *turbo.BatchDecoder
 	switch mode {
-	case "packed", "compiled", "steady":
+	case "scheduled", "packed", "compiled", "steady":
 		bd := turbo.NewBatchDecoder(w, core.StrategyAPCM, 32<<20)
+		sched = bd
 		bd.MaxIters = decodeBenchIters
-		// "packed" keeps the cross-block SoA stream; "compiled" and
-		// "steady" pin Packed=false so they stay the per-block
-		// baseline the packing is measured against. "steady"
-		// additionally pins the interpreter so the compiled/steady
-		// pair isolates exactly the replay win over the same cache.
-		bd.Packed = mode == "packed"
+		// "scheduled" and "packed" keep the cross-block SoA stream
+		// (differing only in the scheduling pass, so the pair isolates
+		// the reorder's wall-clock cost); "compiled" and "steady" pin
+		// Packed=false so they stay the per-block baseline the packing
+		// is measured against. "steady" additionally pins the
+		// interpreter so the compiled/steady pair isolates exactly the
+		// replay win over the same cache.
+		bd.Packed = mode == "packed" || mode == "scheduled"
 		bd.Compile = mode != "steady"
+		bd.Schedule = mode == "scheduled"
 		// Two warm-ups: plan build, then (compiling modes) the
 		// recording decode; the measured loop starts on the hot path.
 		for i := 0; i < 2; i++ {
@@ -199,6 +212,14 @@ func runDecodeCell(mode string, w simd.Width, k int) (DecodeBenchRow, error) {
 		AllocsOp:   res.AllocsPerOp(),
 		Iterations: res.N,
 	}
+	if mode == "scheduled" {
+		if prog := sched.PlanProgram(k, true); prog != nil {
+			info := prog.Sched()
+			row.SimIPCBefore = info.IPCBefore[program.SegSteady]
+			row.SimIPCAfter = info.IPCAfter[program.SegSteady]
+			row.SchedHeuristic = info.Heuristic[program.SegSteady]
+		}
+	}
 	if row.NsPerOp > 0 {
 		// Mb of decoded information bits per second of wall-clock.
 		row.GoodputMbps = float64(k*nb) / (row.NsPerOp / 1e3)
@@ -226,10 +247,14 @@ func init() {
 			if err != nil {
 				return err
 			}
-			t := newTable("mode", "width", "K", "ns/op", "B/op", "allocs/op", "goodput Mb/s")
+			t := newTable("mode", "width", "K", "ns/op", "B/op", "allocs/op", "goodput Mb/s", "sim IPC")
 			for _, r := range rep.Rows {
-				t.addf("%s|%s|%d|%.0f|%d|%d|%.2f",
-					r.Mode, r.Width, r.K, r.NsPerOp, r.BPerOp, r.AllocsOp, r.GoodputMbps)
+				ipc := ""
+				if r.SimIPCAfter > 0 {
+					ipc = fmt.Sprintf("%.4f->%.4f (%s)", r.SimIPCBefore, r.SimIPCAfter, r.SchedHeuristic)
+				}
+				t.addf("%s|%s|%d|%.0f|%d|%d|%.2f|%s",
+					r.Mode, r.Width, r.K, r.NsPerOp, r.BPerOp, r.AllocsOp, r.GoodputMbps, ipc)
 			}
 			t.write(w)
 			return nil

@@ -9,6 +9,7 @@ import (
 	"vransim/internal/chaos"
 	"vransim/internal/ran"
 	"vransim/internal/shard"
+	"vransim/internal/tune"
 )
 
 // This file is the flag plumbing shared by the serving binaries —
@@ -26,6 +27,8 @@ type RuntimeFlags struct {
 	Deadline, Window      *time.Duration
 	HARQRetries           *int
 	HARQProcs             *int
+	Sched                 *bool
+	TuneCache             *string
 }
 
 // RegisterRuntime registers the runtime flags on fs.
@@ -42,6 +45,8 @@ func RegisterRuntime(fs *flag.FlagSet) *RuntimeFlags {
 		Queue:       fs.Int("queue", 64, "per-cell ingress queue depth"),
 		HARQRetries: fs.Int("harq-retries", 3, "HARQ retransmission budget per block (0 disables the retry path)"),
 		HARQProcs:   fs.Int("harq-procs", 8, "HARQ processes per (cell, UE)"),
+		Sched:       fs.Bool("sched", false, "route worker program compilations through the port-aware scheduling pass"),
+		TuneCache:   fs.String("tunecache", "", "vrantune plan cache file; workers warm-start from it and skip compile+search for the tuned grid"),
 	}
 }
 
@@ -64,6 +69,14 @@ func (rf *RuntimeFlags) Config() (ran.Config, error) {
 	cfg.BatchWindow = *rf.Window
 	cfg.Deadline = *rf.Deadline
 	cfg.HARQ = ran.HARQConfig{MaxRetries: *rf.HARQRetries, Processes: *rf.HARQProcs}
+	cfg.Schedule = *rf.Sched
+	if *rf.TuneCache != "" {
+		c, err := tune.Load(*rf.TuneCache)
+		if err != nil {
+			return ran.Config{}, fmt.Errorf("-tunecache: %w", err)
+		}
+		cfg.TuneCache = c
+	}
 	return cfg, nil
 }
 

@@ -1,0 +1,115 @@
+package ran
+
+import (
+	"testing"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/tune"
+)
+
+// TestScheduledWarmStartServing is the serving-side warm-start
+// property the CI tune-smoke job checks end to end: a runtime whose
+// workers warm-start from a vrantune cache serves the tuned grid with
+// ZERO in-process compilations, every decode lands on a scheduled
+// program, and the simulated-IPC gauges report the cost-model
+// improvement.
+func TestScheduledWarmStartServing(t *testing.T) {
+	const k = 40
+	const mem = 16 << 20
+	o := tune.Options{
+		Width: simd.W128, Strategy: core.StrategyAPCM, MemBytes: mem,
+		Ks: []int{k}, Packed: []bool{true}, MaxIters: 4, Seed: 1,
+	}
+	c, err := tune.Tune(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(simd.W128)
+	cfg.MemBytes = mem
+	cfg.Schedule = true
+	cfg.TuneCache = c
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mustPool(t, k, 32, 1)
+	const blocks = 24
+	for i := 0; i < blocks; i++ {
+		w, _ := pool.Get(i)
+		if got := rt.Submit(i%cfg.Cells, i, pool.K, w); got != Admitted {
+			t.Fatalf("block %d not admitted: %v", i, got)
+		}
+	}
+	s := rt.Stop()
+
+	if s.Delivered != blocks {
+		t.Fatalf("delivered %d of %d blocks", s.Delivered, blocks)
+	}
+	if s.ProgramCompiles != 0 {
+		t.Errorf("warm-started workers compiled %d programs in-process, want 0", s.ProgramCompiles)
+	}
+	if s.ProgramMisses != 0 {
+		t.Errorf("%d interpreter decodes, want 0 (every decode should hit a warm plan)", s.ProgramMisses)
+	}
+	if s.WarmFailures != 0 {
+		t.Errorf("%d warm-start failures", s.WarmFailures)
+	}
+	if s.WarmPlans == 0 {
+		t.Error("no plans installed from the tuner cache")
+	}
+	if s.SchedHits == 0 || s.SchedHits != s.ProgramHits {
+		t.Errorf("sched hits %d, program hits %d — every warm decode should be scheduled", s.SchedHits, s.ProgramHits)
+	}
+	if s.ScheduledRatio != 1 {
+		t.Errorf("scheduled ratio %.3f, want 1.0", s.ScheduledRatio)
+	}
+	if s.SimIPCAfter <= s.SimIPCBefore || s.SimIPCBefore == 0 {
+		t.Errorf("simulated IPC gauges did not report an improvement: %.4f -> %.4f", s.SimIPCBefore, s.SimIPCAfter)
+	}
+}
+
+// TestWarmStartMismatchFallsBack: a cache tuned for a different arena
+// size must not install, the failure must be counted, and the runtime
+// must still serve by compiling in-process.
+func TestWarmStartMismatchFallsBack(t *testing.T) {
+	const k = 40
+	o := tune.Options{
+		Width: simd.W128, Strategy: core.StrategyAPCM, MemBytes: 8 << 20,
+		Ks: []int{k}, Packed: []bool{true}, MaxIters: 4, Seed: 1,
+	}
+	c, err := tune.Tune(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(simd.W128)
+	cfg.MemBytes = 16 << 20 // deliberately different from the cache
+	cfg.Schedule = true
+	cfg.TuneCache = c
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mustPool(t, k, 8, 1)
+	const blocks = 8
+	for i := 0; i < blocks; i++ {
+		w, _ := pool.Get(i)
+		if got := rt.Submit(i%cfg.Cells, i, pool.K, w); got != Admitted {
+			t.Fatalf("block %d not admitted: %v", i, got)
+		}
+	}
+	s := rt.Stop()
+	if s.Delivered != blocks {
+		t.Fatalf("delivered %d of %d blocks", s.Delivered, blocks)
+	}
+	if s.WarmFailures == 0 {
+		t.Error("mismatched cache did not count a warm-start failure")
+	}
+	if s.WarmPlans != 0 {
+		t.Errorf("%d plans installed from a mismatched cache", s.WarmPlans)
+	}
+	if s.ProgramCompiles == 0 {
+		t.Error("fallback workers never compiled in-process")
+	}
+}

@@ -44,16 +44,16 @@ const (
 	mExtPoint
 
 	// Fused kinds (see fuse.go for the matched patterns).
-	mCopyRun   // run of element copies; aux: n × (dst, src) addresses
-	mGammaRun  // run of scalar gamma points; aux: n × (g0, g1, s, p, la)
-	mExtRun    // run of scalar ext points; aux: n × (dst, s, la, d)
-	mGammaVec  // load s,p,la + padds t,g0 + psubs g1 + store g0,g1
-	mExtVec    // load dvec,s,la + padds + psraw + psubs + pmin + pmax + store
-	mSelect    // pand,pand,por ×2 branch-metric mask select
-	mPack      // broadcast+pand+por gather of per-block branch metrics
-	mRecurse   // vpermw ×2 + padds ×2 (+ pmax) trellis recursion step
-	mHmax      // vpermw+pmax ×3 intra-block horizontal max
-	mNormSub   // vpermw + psubs renormalization
+	mCopyRun  // run of element copies; aux: n × (dst, src) addresses
+	mGammaRun // run of scalar gamma points; aux: n × (g0, g1, s, p, la)
+	mExtRun   // run of scalar ext points; aux: n × (dst, s, la, d)
+	mGammaVec // load s,p,la + padds t,g0 + psubs g1 + store g0,g1
+	mExtVec   // load dvec,s,la + padds + psraw + psubs + pmin + pmax + store
+	mSelect   // pand,pand,por ×2 branch-metric mask select
+	mPack     // broadcast+pand+por gather of per-block branch metrics
+	mRecurse  // vpermw ×2 + padds ×2 (+ pmax) trellis recursion step
+	mHmax     // vpermw+pmax ×3 intra-block horizontal max
+	mNormSub  // vpermw + psubs renormalization
 
 	// Packed-stream fusions (the cross-block SoA decode path; see the
 	// try*P matchers in fuse.go). Each replaces a whole recorded phase
@@ -104,6 +104,10 @@ type Program struct {
 	// per segment — the compression the fusion pass achieved.
 	RawOps   [2]int
 	FusedOps [2]int
+
+	// sched records what the scheduling pass (sched.go) did, when
+	// CompileOptions.Schedule was set.
+	sched SchedInfo
 }
 
 // Width reports the register width the program was compiled for.
@@ -114,6 +118,15 @@ func (p *Program) Width() simd.Width { return p.w }
 // two iterations were recorded, when any iteration diverged from the
 // steady segment, or when recording hit an unsupported op.
 func (b *Builder) Compile(w simd.Width) (*Program, error) {
+	return b.CompileOpts(w, CompileOptions{})
+}
+
+// CompileOpts is Compile with options; see CompileOptions. With
+// opts.Schedule set, the fused segments additionally go through the
+// port-aware scheduling pass (sched.go), which reorders mops within
+// dependency constraints when the uarch cost model says the new order
+// retires at a higher IPC.
+func (b *Builder) CompileOpts(w simd.Width, opts CompileOptions) (*Program, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
@@ -138,6 +151,9 @@ func (b *Builder) Compile(w simd.Width) (*Program, error) {
 	p.segs[SegFirst] = p.fuse(first)
 	p.segs[SegSteady] = p.fuse(steady)
 	p.FusedOps = [2]int{len(p.segs[SegFirst]), len(p.segs[SegSteady])}
+	if opts.Schedule {
+		p.schedule(&opts)
+	}
 	return p, nil
 }
 

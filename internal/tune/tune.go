@@ -1,0 +1,419 @@
+// Package tune is the offline auto-tuner behind cmd/vrantune: for each
+// (K, packed) plan of one decoder configuration it records, compiles
+// and schedule-searches a replay program (heuristic subset chosen by a
+// deterministic seeded budget), verifies the result bit-for-bit against
+// the interpreter, and persists the winners — serialized programs plus
+// the arena cursors that anchor them — to a versioned on-disk cache. A
+// serving process warm-starts by installing the cached plans into a
+// fresh BatchDecoder, skipping both the recording compile and the
+// schedule search entirely (the CI tune-smoke job asserts the restart
+// performs zero compiles).
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/simd/program"
+	"vransim/internal/turbo"
+)
+
+// FormatVersion is the cache file format version. It participates in
+// the config hash together with program.WireVersion, so either kind of
+// format drift invalidates old caches instead of misreading them.
+const FormatVersion = 1
+
+// Options configures one tuning run. Width, Strategy, MemBytes and the
+// plan grid identify the decoder configuration; Seed and Budget make
+// the heuristic search deterministic and bounded.
+type Options struct {
+	Width    simd.Width
+	Strategy core.Strategy
+	// MemBytes is the decoder arena size. Compiled programs embed
+	// absolute arena addresses, so the warm-starting decoder must use
+	// the same size (checked by WarmStart).
+	MemBytes int
+	// Ks is the block-size grid, tuned (and later installed) in
+	// ascending order; Packed selects which decode paths to tune for
+	// each K.
+	Ks     []int
+	Packed []bool
+	// MaxIters bounds decode iterations during recording (0 = decoder
+	// default).
+	MaxIters int
+	// Seed drives the per-plan heuristic-subset shuffle; the same seed
+	// reproduces the same search (and byte-identical plans).
+	Seed int64
+	// Budget caps how many schedule heuristics are tried per plan
+	// (0 = all). The recorded order is always priced as the baseline
+	// candidate on top of this.
+	Budget int
+	// SimBudget caps simulated µops per candidate segment
+	// (0 = program.DefaultSimBudget).
+	SimBudget int
+}
+
+// Plan is one tuned (K, packed) entry: the serialized replay program,
+// the arena cursor InstallPlan must observe after building the plan's
+// state, and the search outcome for reporting and gating.
+type Plan struct {
+	K      int  `json:"k"`
+	Packed bool `json:"packed"`
+	// ArenaNext is the arena bump-allocation cursor after this plan's
+	// state build — plans must be installed in file order for the
+	// cursors to replay.
+	ArenaNext int64 `json:"arena_next"`
+	// Heuristic names the winning schedule per segment ("original"
+	// when the recorded order won); the IPCs are the cost-model scores
+	// of the recorded and adopted orders.
+	Heuristic    [2]string  `json:"heuristic"`
+	SimIPCBefore [2]float64 `json:"sim_ipc_before"`
+	SimIPCAfter  [2]float64 `json:"sim_ipc_after"`
+	Moved        [2]int     `json:"moved"`
+	// Candidates and SimulatedUops are the per-plan search cost:
+	// orderings priced (baselines included) and µops fed to the
+	// cost-model simulator.
+	Candidates    int    `json:"candidates"`
+	SimulatedUops int64  `json:"simulated_uops"`
+	Program       []byte `json:"program"`
+}
+
+// Cache is the persisted tuning result for one decoder configuration.
+type Cache struct {
+	Version int    `json:"version"`
+	Hash    uint64 `json:"hash"`
+	// Decoder configuration the plans were tuned against.
+	WidthBits int    `json:"width_bits"`
+	Strategy  string `json:"strategy"`
+	MemBytes  int    `json:"mem_bytes"`
+	MaxIters  int    `json:"max_iters"`
+	// Search configuration (part of the hash so a cache file is
+	// traceable to the exact run that produced it).
+	Seed      int64 `json:"seed"`
+	Budget    int   `json:"budget"`
+	SimBudget int   `json:"sim_budget"`
+	// Plans in build order.
+	Plans []Plan `json:"plans"`
+}
+
+// ConfigHash fingerprints everything that determines a tuning run's
+// output: both format versions, the decoder configuration and the
+// search configuration (including the grid, in canonical form). Two
+// runs with equal hashes produce byte-identical caches.
+func ConfigHash(o *Options) uint64 {
+	ks, pt, pf := canonGrid(o.Ks, o.Packed)
+	iters := o.MaxIters
+	if iters <= 0 {
+		iters = turbo.DefaultMaxIters
+	}
+	return gridHash(FormatVersion, o.Width.Bits(), o.Strategy.String(), o.MemBytes,
+		iters, o.Seed, o.Budget, o.SimBudget, ks, pt, pf)
+}
+
+// canonGrid sorts and dedupes the K grid and reduces the packed list
+// to presence flags — the canonical grid identity shared by option
+// hashing and loaded-cache hashing.
+func canonGrid(ks []int, packed []bool) (outKs []int, pt, pf bool) {
+	outKs = append([]int(nil), ks...)
+	sort.Ints(outKs)
+	j := 0
+	for i, k := range outKs {
+		if i == 0 || k != outKs[j-1] {
+			outKs[j] = k
+			j++
+		}
+	}
+	outKs = outKs[:j]
+	if len(packed) == 0 {
+		packed = []bool{true}
+	}
+	for _, p := range packed {
+		if p {
+			pt = true
+		} else {
+			pf = true
+		}
+	}
+	return outKs, pt, pf
+}
+
+func gridHash(version, widthBits int, strategy string, memBytes, maxIters int, seed int64, budget, simBudget int, ks []int, pt, pf bool) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "fmt%d|wire%d|w%d|%s|mem%d|iters%d|seed%d|budget%d|sim%d|",
+		version, program.WireVersion, widthBits, strategy, memBytes,
+		maxIters, seed, budget, simBudget)
+	for _, k := range ks {
+		fmt.Fprintf(h, "k%d|", k)
+	}
+	if pt {
+		fmt.Fprintf(h, "ptrue|")
+	}
+	if pf {
+		fmt.Fprintf(h, "pfalse|")
+	}
+	return h.Sum64()
+}
+
+// DefaultDir is the default cache directory: the user cache dir's
+// vrantune subdirectory (or ./vrantune-cache if the platform reports
+// no cache dir).
+func DefaultDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "vrantune-cache"
+	}
+	return filepath.Join(base, "vrantune")
+}
+
+// CachePath names the cache file for one configuration inside dir.
+func CachePath(dir string, o *Options) string {
+	return filepath.Join(dir, fmt.Sprintf("vrantune-%016x.json", ConfigHash(o)))
+}
+
+// Save writes the cache atomically (temp file + rename in the target
+// directory, which is created if missing).
+func Save(path string, c *Cache) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".vrantune-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads a cache file and verifies its integrity: the format
+// version must match and the stored hash must equal the hash recomputed
+// from the stored configuration — a version bump (of the cache format
+// or the program wire format) or an edited config field invalidates the
+// cache instead of installing stale plans.
+func Load(path string) (*Cache, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Cache
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("tune: %s: %w", path, err)
+	}
+	if c.Version != FormatVersion {
+		return nil, fmt.Errorf("tune: %s: format version %d, this build reads %d", path, c.Version, FormatVersion)
+	}
+	if got := c.configHash(); got != c.Hash {
+		return nil, fmt.Errorf("tune: %s: config hash %016x does not match stored %016x (stale or edited cache)", path, got, c.Hash)
+	}
+	return &c, nil
+}
+
+// configHash recomputes the hash from a loaded cache's stored fields,
+// deriving the grid from the plan list. Strategy is kept as its string
+// form — the hash must not depend on enum numbering.
+func (c *Cache) configHash() uint64 {
+	ks := make([]int, 0, len(c.Plans))
+	packed := make([]bool, 0, len(c.Plans))
+	for _, p := range c.Plans {
+		ks = append(ks, p.K)
+		packed = append(packed, p.Packed)
+	}
+	cks, pt, pf := canonGrid(ks, packed)
+	return gridHash(c.Version, c.WidthBits, c.Strategy, c.MemBytes,
+		c.MaxIters, c.Seed, c.Budget, c.SimBudget, cks, pt, pf)
+}
+
+// heuristicSubset picks the deterministic per-plan heuristic search
+// order: a seeded shuffle of all heuristics, truncated to the budget.
+// Different plans get different (but reproducible) subsets, so a small
+// budget still explores the whole space across the grid.
+func heuristicSubset(seed int64, k int, packed bool, budget int) []program.Heuristic {
+	hs := program.AllHeuristics()
+	mix := seed ^ int64(k)<<20
+	if packed {
+		mix ^= 1 << 40
+	}
+	rng := rand.New(rand.NewSource(mix))
+	rng.Shuffle(len(hs), func(i, j int) { hs[i], hs[j] = hs[j], hs[i] })
+	if budget > 0 && budget < len(hs) {
+		hs = hs[:budget]
+	}
+	return hs
+}
+
+// tuneWords builds a deterministic batch of random LLR words for the
+// recording decode. Content does not influence the compiled program
+// (the op stream is a pure function of K, width and strategy), but
+// random payloads keep the decode from converging before the builder
+// has seen both segments.
+func tuneWords(seed int64, k, n int) []*turbo.LLRWord {
+	rng := rand.New(rand.NewSource(seed ^ int64(k)))
+	words := make([]*turbo.LLRWord, n)
+	for b := range words {
+		w := turbo.NewLLRWord(k)
+		r16 := func() int16 { return int16(rng.Intn(2*int(turbo.LLRLimit)-1)) - (turbo.LLRLimit - 1) }
+		for i := 0; i < k; i++ {
+			w.Sys[i], w.P1[i], w.P2[i] = r16(), r16(), r16()
+		}
+		for i := 0; i < 3; i++ {
+			w.TailSys[i], w.TailP1[i] = r16(), r16()
+		}
+		words[b] = w
+	}
+	return words
+}
+
+// Tune runs the full grid: for each (K, packed) plan it records and
+// compiles a replay program with the scheduling pass on (heuristic
+// subset from the seeded budget), verifies the compiled plan decodes
+// bit- and iteration-identically to the interpreter, and serializes
+// the program with its arena cursor. Any eviction, failed compile or
+// verification mismatch aborts the run — a cache is all-or-nothing.
+func Tune(o Options) (*Cache, error) {
+	if len(o.Ks) == 0 {
+		return nil, fmt.Errorf("tune: empty K grid")
+	}
+	ks, pt, pf := canonGrid(o.Ks, o.Packed)
+	o.Ks = ks
+	o.Packed = nil
+	if pt {
+		o.Packed = append(o.Packed, true)
+	}
+	if pf {
+		o.Packed = append(o.Packed, false)
+	}
+
+	bd := turbo.NewBatchDecoder(o.Width, o.Strategy, o.MemBytes)
+	bd.Schedule = true
+	if o.MaxIters > 0 {
+		bd.MaxIters = o.MaxIters
+	}
+	ref := turbo.NewBatchDecoder(o.Width, o.Strategy, o.MemBytes)
+	ref.Compile = false
+	ref.MaxIters = bd.MaxIters
+
+	c := &Cache{
+		Version:   FormatVersion,
+		WidthBits: o.Width.Bits(),
+		Strategy:  o.Strategy.String(),
+		MemBytes:  o.MemBytes,
+		MaxIters:  bd.MaxIters,
+		Seed:      o.Seed,
+		Budget:    o.Budget,
+		SimBudget: o.SimBudget,
+	}
+	for _, k := range o.Ks {
+		for _, packed := range o.Packed {
+			bd.Packed = packed
+			ref.Packed = packed
+			bd.SchedOptions = program.CompileOptions{
+				Heuristics: heuristicSubset(o.Seed, k, packed, o.Budget),
+				SimBudget:  o.SimBudget,
+			}
+			words := tuneWords(o.Seed, k, bd.Lanes())
+			if _, _, err := bd.Decode(k, words); err != nil {
+				return nil, fmt.Errorf("tune: K=%d packed=%v: record: %w", k, packed, err)
+			}
+			prog := bd.PlanProgram(k, packed)
+			if prog == nil {
+				return nil, fmt.Errorf("tune: K=%d packed=%v: plan did not compile", k, packed)
+			}
+			got, gotIters, err := bd.Decode(k, words)
+			if err != nil {
+				return nil, fmt.Errorf("tune: K=%d packed=%v: replay: %w", k, packed, err)
+			}
+			want, wantIters, err := ref.Decode(k, words)
+			if err != nil {
+				return nil, fmt.Errorf("tune: K=%d packed=%v: reference: %w", k, packed, err)
+			}
+			if gotIters != wantIters {
+				return nil, fmt.Errorf("tune: K=%d packed=%v: tuned plan took %d iters, interpreter %d", k, packed, gotIters, wantIters)
+			}
+			for b := range words {
+				if !bitsEqual(got[b], want[b]) {
+					return nil, fmt.Errorf("tune: K=%d packed=%v: tuned plan decisions diverge from interpreter on block %d", k, packed, b)
+				}
+			}
+			blob, err := prog.MarshalBinary()
+			if err != nil {
+				return nil, fmt.Errorf("tune: K=%d packed=%v: %w", k, packed, err)
+			}
+			info := prog.Sched()
+			c.Plans = append(c.Plans, Plan{
+				K:             k,
+				Packed:        packed,
+				ArenaNext:     bd.ArenaOffset(),
+				Heuristic:     info.Heuristic,
+				SimIPCBefore:  info.IPCBefore,
+				SimIPCAfter:   info.IPCAfter,
+				Moved:         info.Moved,
+				Candidates:    info.Candidates,
+				SimulatedUops: info.SimulatedUops,
+				Program:       blob,
+			})
+		}
+	}
+	if bd.Evictions != 0 {
+		return nil, fmt.Errorf("tune: grid overflowed the %d-byte arena (%d evictions) — cursors are not replayable; shrink the grid or grow -mem", o.MemBytes, bd.Evictions)
+	}
+	c.Hash = c.configHash()
+	return c, nil
+}
+
+// WarmStart installs every cached plan into bd in build order,
+// returning how many were installed. The decoder must match the
+// cache's width, strategy and arena size; any install failure or
+// arena eviction during installation aborts (earlier installs remain
+// usable, later plans fall back to in-process compilation).
+func WarmStart(bd *turbo.BatchDecoder, c *Cache) (int, error) {
+	if got := bd.Width().Bits(); got != c.WidthBits {
+		return 0, fmt.Errorf("tune: cache tuned for %d-bit registers, decoder runs %d-bit", c.WidthBits, got)
+	}
+	if got := bd.Strategy().String(); got != c.Strategy {
+		return 0, fmt.Errorf("tune: cache tuned for strategy %q, decoder runs %q", c.Strategy, got)
+	}
+	if got := bd.ArenaSize(); got != c.MemBytes {
+		return 0, fmt.Errorf("tune: cache tuned against a %d-byte arena, decoder has %d bytes", c.MemBytes, got)
+	}
+	ev := bd.Evictions
+	for i := range c.Plans {
+		p := &c.Plans[i]
+		if err := bd.InstallPlan(p.K, p.Packed, p.Program, p.ArenaNext); err != nil {
+			return i, fmt.Errorf("tune: plan %d/%d: %w", i+1, len(c.Plans), err)
+		}
+		if bd.Evictions != ev {
+			return i, fmt.Errorf("tune: plan %d/%d (K=%d) evicted earlier installs — arena too small for the grid", i+1, len(c.Plans), p.K)
+		}
+	}
+	return len(c.Plans), nil
+}
+
+func bitsEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

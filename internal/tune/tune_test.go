@@ -1,0 +1,196 @@
+package tune
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/turbo"
+)
+
+func testOptions() Options {
+	return Options{
+		Width:    simd.W128,
+		Strategy: core.StrategyAPCM,
+		MemBytes: 16 << 20,
+		Ks:       []int{40, 104},
+		Packed:   []bool{true, false},
+		MaxIters: 4,
+		Seed:     1,
+	}
+}
+
+// TestTuneSaveLoadWarmStart is the end-to-end tuner property: tune a
+// grid, persist it, load it back in a "fresh process" and warm-start a
+// new decoder — every grid decode must then be served with zero
+// compiles and zero misses, bit-identical to the interpreter.
+func TestTuneSaveLoadWarmStart(t *testing.T) {
+	o := testOptions()
+	c, err := Tune(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Plans) != 4 {
+		t.Fatalf("tuned %d plans, want 4", len(c.Plans))
+	}
+	path := CachePath(t.TempDir(), &o)
+	if err := Save(path, c); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, c) {
+		t.Fatal("cache did not survive the save/load round trip")
+	}
+
+	bd := turbo.NewBatchDecoder(o.Width, o.Strategy, o.MemBytes)
+	bd.MaxIters = o.MaxIters
+	n, err := WarmStart(bd, loaded)
+	if err != nil {
+		t.Fatalf("warm start: %v", err)
+	}
+	if n != len(c.Plans) {
+		t.Fatalf("installed %d plans, want %d", n, len(c.Plans))
+	}
+
+	ref := turbo.NewBatchDecoder(o.Width, o.Strategy, o.MemBytes)
+	ref.Compile = false
+	ref.MaxIters = o.MaxIters
+	for _, p := range loaded.Plans {
+		bd.Packed = p.Packed
+		ref.Packed = p.Packed
+		words := tuneWords(99, p.K, bd.Lanes())
+		got, gotIters, err := bd.Decode(p.K, words)
+		if err != nil {
+			t.Fatalf("K=%d packed=%v: %v", p.K, p.Packed, err)
+		}
+		want, wantIters, err := ref.Decode(p.K, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotIters != wantIters {
+			t.Errorf("K=%d packed=%v: warm %d iters, interpreted %d", p.K, p.Packed, gotIters, wantIters)
+		}
+		for b := range words {
+			if !bitsEqual(got[b], want[b]) {
+				t.Errorf("K=%d packed=%v block %d: warm-started and interpreted decisions differ", p.K, p.Packed, b)
+			}
+		}
+	}
+	s := bd.ProgramStats()
+	if s.Compiles != 0 || s.Misses != 0 {
+		t.Fatalf("warm decoder compiled in-process: %+v", s)
+	}
+	if s.WarmPlans != uint64(len(c.Plans)) {
+		t.Fatalf("WarmPlans = %d, want %d", s.WarmPlans, len(c.Plans))
+	}
+}
+
+// TestTuneDeterministic: same options, byte-identical cache — the
+// seeded search has no hidden nondeterminism.
+func TestTuneDeterministic(t *testing.T) {
+	o := testOptions()
+	a, err := Tune(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tune(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two tuning runs with the same seed diverged")
+	}
+}
+
+// TestBudgetLimitsCandidates: the search budget caps per-plan
+// candidates deterministically (1 baseline + budget candidates per
+// segment).
+func TestBudgetLimitsCandidates(t *testing.T) {
+	o := testOptions()
+	o.Ks = []int{40}
+	o.Packed = []bool{true}
+	o.Budget = 1
+	c, err := Tune(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Plans[0].Candidates; got != 4 {
+		t.Errorf("budget 1: %d candidates, want 4 (baseline+1 per segment)", got)
+	}
+	o.Budget = 0
+	c, err = Tune(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Plans[0].Candidates; got != 6 {
+		t.Errorf("budget 0 (all): %d candidates, want 6", got)
+	}
+}
+
+// TestLoadRejectsDrift: edited config fields and format-version bumps
+// must invalidate the cache rather than load it.
+func TestLoadRejectsDrift(t *testing.T) {
+	o := testOptions()
+	o.Ks = []int{40}
+	o.Packed = []bool{true}
+	c, err := Tune(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	edited := *c
+	edited.MemBytes += 64
+	path := filepath.Join(dir, "edited.json")
+	if err := Save(path, &edited); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("edited cache loaded")
+	}
+
+	old := *c
+	old.Version = FormatVersion + 1
+	path = filepath.Join(dir, "old.json")
+	if err := Save(path, &old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("future-versioned cache loaded")
+	}
+
+	path = filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("garbage cache loaded")
+	}
+}
+
+// TestWarmStartRejectsMismatchedDecoder: a decoder with a different
+// width, strategy or arena size must refuse the cache up front.
+func TestWarmStartRejectsMismatchedDecoder(t *testing.T) {
+	o := testOptions()
+	o.Ks = []int{40}
+	o.Packed = []bool{true}
+	c, err := Tune(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WarmStart(turbo.NewBatchDecoder(simd.W256, o.Strategy, o.MemBytes), c); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if _, err := WarmStart(turbo.NewBatchDecoder(o.Width, core.StrategyExtract, o.MemBytes), c); err == nil {
+		t.Error("strategy mismatch accepted")
+	}
+	if _, err := WarmStart(turbo.NewBatchDecoder(o.Width, o.Strategy, o.MemBytes/2), c); err == nil {
+		t.Error("arena size mismatch accepted")
+	}
+}

@@ -112,6 +112,16 @@ type BatchDecoder struct {
 	// span). Same single-goroutine rules as OnDecode.
 	OnCompile func(k int, elapsed time.Duration)
 
+	// Schedule routes compilations through the port-aware scheduling
+	// pass (program.CompileOptions.Schedule): candidate mop orderings
+	// of each segment are priced on the uarch cost model and the
+	// best-IPC one is kept. Replay stays bit-identical — only the op
+	// order changes. SchedOptions carries the rest of the options
+	// (heuristic subset, simulation budget, cost-model core); its
+	// Schedule field is overridden by this flag.
+	Schedule     bool
+	SchedOptions program.CompileOptions
+
 	// Evictions counts how many times the arena filled up and the plan
 	// cache was flushed (a serving gauge; 0 in any sane configuration).
 	Evictions uint64
@@ -119,6 +129,10 @@ type BatchDecoder struct {
 	// Program-cache counters (see ProgramStats).
 	progHits, progMisses, compiles uint64
 	compileNs                      int64
+	// schedHits counts Decodes served by a *scheduled* program;
+	// warmPlans counts programs installed from a tuner cache instead
+	// of compiled in-process.
+	schedHits, warmPlans uint64
 
 	// OnDecode, when non-nil, is called synchronously after every
 	// successful Decode with the block size, batch fill, iteration count
@@ -130,6 +144,9 @@ type BatchDecoder struct {
 	OnDecode func(k, blocks, iters int, elapsed time.Duration)
 }
 
+// DefaultMaxIters is the iteration budget a fresh BatchDecoder uses.
+const DefaultMaxIters = 6
+
 // NewBatchDecoder builds a decoder for width w and arrangement strategy
 // s with a memBytes emulated-memory arena (32 MiB comfortably fits the
 // largest supported K at W512).
@@ -139,7 +156,7 @@ func NewBatchDecoder(w simd.Width, s core.Strategy, memBytes int) *BatchDecoder 
 		ar:        core.ByStrategy(s),
 		plans:     make(map[planKey]*decodePlan),
 		codes:     make(map[int]*Code),
-		MaxIters:  6,
+		MaxIters:  DefaultMaxIters,
 		EarlyExit: true,
 		Packed:    true,
 		Compile:   true,
@@ -283,6 +300,9 @@ func (bd *BatchDecoder) Decode(k int, words []*LLRWord) ([][]byte, int, error) {
 	switch {
 	case p.prog != nil:
 		bd.progHits++
+		if p.prog.Scheduled() {
+			bd.schedHits++
+		}
 		if packed {
 			bits, iters, err = bd.runCompiledPacked(p, words)
 		} else {

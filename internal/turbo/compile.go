@@ -38,8 +38,20 @@ type ProgramStats struct {
 	Compiles    uint64
 	CompileTime time.Duration
 	// CompiledPlans is the number of cached plans currently holding a
-	// replay program.
-	CompiledPlans int
+	// replay program; ScheduledPlans counts the subset whose program
+	// the scheduling pass reordered.
+	CompiledPlans  int
+	ScheduledPlans int
+	// SchedHits counts Decodes served by a scheduled program; WarmPlans
+	// counts programs installed from a tuner plan cache (InstallPlan)
+	// rather than compiled in-process.
+	SchedHits uint64
+	WarmPlans uint64
+	// SimIPCBefore/After are the cost-model IPCs of the steady segment
+	// averaged over the currently cached scheduled plans (recorded
+	// order vs adopted order); 0 when no scheduled plan is cached.
+	SimIPCBefore float64
+	SimIPCAfter  float64
 }
 
 // ProgramStats reports the compiled-program cache counters.
@@ -49,11 +61,23 @@ func (bd *BatchDecoder) ProgramStats() ProgramStats {
 		Misses:      bd.progMisses,
 		Compiles:    bd.compiles,
 		CompileTime: time.Duration(bd.compileNs),
+		SchedHits:   bd.schedHits,
+		WarmPlans:   bd.warmPlans,
 	}
 	for _, p := range bd.plans {
-		if p.prog != nil {
-			s.CompiledPlans++
+		if p.prog == nil {
+			continue
 		}
+		s.CompiledPlans++
+		if info := p.prog.Sched(); p.prog.Scheduled() {
+			s.ScheduledPlans++
+			s.SimIPCBefore += info.IPCBefore[program.SegSteady]
+			s.SimIPCAfter += info.IPCAfter[program.SegSteady]
+		}
+	}
+	if s.ScheduledPlans > 0 {
+		s.SimIPCBefore /= float64(s.ScheduledPlans)
+		s.SimIPCAfter /= float64(s.ScheduledPlans)
 	}
 	return s
 }
@@ -84,8 +108,10 @@ func (bd *BatchDecoder) recordAndCompile(p *decodePlan, packed bool, words []*LL
 	if err != nil {
 		return nil, 0, err
 	}
+	opts := bd.SchedOptions
+	opts.Schedule = bd.Schedule
 	start := time.Now()
-	prog, cerr := b.Compile(bd.eng.W)
+	prog, cerr := b.CompileOpts(bd.eng.W, opts)
 	elapsed := time.Since(start)
 	if cerr != nil {
 		p.noCompile = true

@@ -1,0 +1,86 @@
+package turbo
+
+import (
+	"fmt"
+
+	"vransim/internal/core"
+	"vransim/internal/simd"
+	"vransim/internal/simd/program"
+)
+
+// This file is the warm-start side of the offline auto-tuner
+// (internal/tune, cmd/vrantune): a tuned process installs serialized
+// replay programs into the plan cache instead of recording, compiling
+// and searching in-process, so a restart skips both the compile and the
+// schedule search entirely. Compiled programs embed absolute arena
+// addresses, so installation is only sound when this decoder's arena
+// allocation replays the tuner's byte for byte — the per-plan arena
+// cursor check below is the guard, and the program deserializer
+// bounds-checks every access against the arena on top of it.
+
+// Width reports the register width the decoder's engine runs at.
+func (bd *BatchDecoder) Width() simd.Width { return bd.eng.W }
+
+// Strategy reports the arrangement strategy the decoder was built with.
+func (bd *BatchDecoder) Strategy() core.Strategy { return bd.ar.Strategy() }
+
+// ArenaSize reports the engine arena's capacity in bytes. Plans tuned
+// against a different arena size embed incompatible addresses, so
+// warm-start compatibility checks it alongside width and strategy.
+func (bd *BatchDecoder) ArenaSize() int { return bd.eng.Mem.Size() }
+
+// ArenaOffset reports the arena's bump-allocation cursor — the value a
+// tuner records after building each plan's state, and the value
+// InstallPlan verifies before trusting a serialized program's embedded
+// addresses.
+func (bd *BatchDecoder) ArenaOffset() int64 { return bd.eng.Mem.AllocOffset() }
+
+// PlanProgram returns the compiled replay program cached for
+// (k, packed), or nil — introspection for tests and the tuner (the
+// fuzz target reorders a real plan's segments through it).
+func (bd *BatchDecoder) PlanProgram(k int, packed bool) *program.Program {
+	if p, ok := bd.plans[planKey{k: k, packed: packed}]; ok {
+		return p.prog
+	}
+	return nil
+}
+
+// InstallPlan builds the decode state for (k, packed) and installs a
+// serialized replay program for it, verifying first that the arena
+// cursor after the state build equals wantArena — the cursor the tuner
+// recorded at the same point — and that the program passes structural
+// and bounds validation for this arena. On any mismatch the plan stays
+// uncompiled (the next Decode records and compiles in-process as
+// usual) and an error describes what diverged.
+//
+// Plans must be installed in the order the tuner built them (the order
+// its cache file lists), or the cursor check fails by design. If the
+// arena cannot hold the grid, the mid-install eviction bumps
+// Evictions and wipes earlier installs — callers must treat any
+// Evictions delta across a warm-start as a full warm-start failure.
+func (bd *BatchDecoder) InstallPlan(k int, packed bool, progBytes []byte, wantArena int64) error {
+	p, err := bd.plan(planKey{k: k, packed: packed})
+	if err != nil {
+		return err
+	}
+	if p.st == nil && p.pst == nil {
+		if err := bd.buildState(p, packed); err != nil {
+			return err
+		}
+	}
+	if got := bd.ArenaOffset(); got != wantArena {
+		return fmt.Errorf("turbo: arena cursor %d after K=%d packed=%v state build, tuner recorded %d — allocation sequences diverged",
+			got, k, packed, wantArena)
+	}
+	prog, err := program.UnmarshalProgram(progBytes, int64(bd.eng.Mem.Size()))
+	if err != nil {
+		return fmt.Errorf("turbo: plan K=%d packed=%v: %w", k, packed, err)
+	}
+	if prog.Width() != bd.eng.W {
+		return fmt.Errorf("turbo: plan K=%d compiled for %v, decoder runs %v", k, prog.Width(), bd.eng.W)
+	}
+	p.prog = prog
+	p.noCompile = false
+	bd.warmPlans++
+	return nil
+}

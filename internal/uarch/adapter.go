@@ -1,0 +1,170 @@
+package uarch
+
+import "vransim/internal/trace"
+
+// This file adapts macro-op (mop) streams — the fused replay ops the
+// decode compiler in internal/simd/program produces — into the µop
+// traces the simulator prices. A mop is described structurally (how
+// many load, compute and store µops it expands to, how deep its
+// internal dependency chain is, and which earlier mops it depends on);
+// the builder lays the µops out with a dataflow shape that matches:
+// loads first (gated on the predecessors' terminal µops), then the
+// compute µops arranged as parallel strands of the declared depth, then
+// stores gated on the last compute. The result is a trace.Inst stream
+// the existing Simulator runs unchanged, which is what lets the
+// program scheduler use the port model as a cost function for
+// candidate mop orderings.
+
+// MopSpec describes one macro-op's µop expansion for trace building.
+// Memory µops are uniform within a mop: Loads load µops of LoadBytes
+// each starting at LoadAddr and advancing LoadStep per µop (stores
+// likewise). Depth is the length in µops of the longest internal
+// dependency chain through the compute µops; the builder derives the
+// strand width (internal ILP) from it.
+type MopSpec struct {
+	Scalar, VecALU, VecShuffle int
+
+	Loads     int
+	LoadBytes int32
+	LoadAddr  int64
+	LoadStep  int64
+
+	Stores     int
+	StoreBytes int32
+	StoreAddr  int64
+	StoreStep  int64
+
+	Depth int
+
+	// Deps holds the terminal µop indices (as returned by Add) of up
+	// to three memory-carried predecessor mops: they gate this mop's
+	// load µops (and its stores, transitively). Unused slots are
+	// trace.NoDep.
+	Deps [3]int32
+	// CompDeps holds the terminal µop indices of up to three
+	// register-carried predecessor mops: they gate the compute strand
+	// heads directly, so loads can issue ahead of a register
+	// dependency chain exactly as an out-of-order core would.
+	// Unused slots are trace.NoDep.
+	CompDeps [3]int32
+}
+
+// TraceBuilder accumulates the µop trace for a mop stream. The zero
+// value is ready to use; Reset keeps capacity across candidate
+// orderings so the scheduler's search allocates once.
+type TraceBuilder struct {
+	insts []trace.Inst
+	limit int
+}
+
+// NewTraceBuilder returns a builder that stops accepting mops once the
+// trace reaches limit µops (0 means unlimited) — the deterministic
+// budget that bounds the scheduler's simulation cost on large
+// segments.
+func NewTraceBuilder(limit int) *TraceBuilder {
+	return &TraceBuilder{limit: limit}
+}
+
+// Reset discards the trace but keeps capacity.
+func (tb *TraceBuilder) Reset() { tb.insts = tb.insts[:0] }
+
+// Full reports whether the µop budget is exhausted.
+func (tb *TraceBuilder) Full() bool {
+	return tb.limit > 0 && len(tb.insts) >= tb.limit
+}
+
+// Len reports the number of µops emitted so far.
+func (tb *TraceBuilder) Len() int { return len(tb.insts) }
+
+// Insts exposes the accumulated trace; callers must not retain it
+// across Reset.
+func (tb *TraceBuilder) Insts() []trace.Inst { return tb.insts }
+
+// Add appends one mop's µop expansion and returns the index of its
+// terminal µop (the one successors should depend on), or trace.NoDep
+// if the spec expands to zero µops. The expansion order is loads,
+// compute (Scalar+VecALU+VecShuffle µops in Depth-long strands), then
+// stores.
+func (tb *TraceBuilder) Add(sp *MopSpec) int32 {
+	lastLoad := int32(trace.NoDep)
+	for i := 0; i < sp.Loads; i++ {
+		lastLoad = tb.emit(trace.Inst{
+			Class: trace.Load,
+			Bytes: sp.LoadBytes,
+			Addr:  sp.LoadAddr + int64(i)*sp.LoadStep,
+			Deps:  sp.Deps,
+		})
+	}
+
+	compute := sp.Scalar + sp.VecALU + sp.VecShuffle
+	lastCompute := lastLoad
+	if compute > 0 {
+		depth := sp.Depth
+		if depth < 1 {
+			depth = 1
+		}
+		if depth > compute {
+			depth = compute
+		}
+		// strands parallel chains of ~depth µops each model the mop's
+		// internal ILP: µop j depends on µop j-strands, so the chain
+		// length through any strand is ceil(compute/strands) ≈ depth.
+		strands := (compute + depth - 1) / depth
+		base := int32(len(tb.insts))
+		shuf, alu := sp.VecShuffle, sp.VecALU
+		for j := 0; j < compute; j++ {
+			var class trace.Class
+			switch {
+			case j < shuf:
+				class = trace.VecShuffle
+			case j < shuf+alu:
+				class = trace.VecALU
+			default:
+				class = trace.ScalarALU
+			}
+			deps := [3]int32{trace.NoDep, trace.NoDep, trace.NoDep}
+			if j >= strands {
+				deps[0] = base + int32(j-strands)
+				deps[1] = lastLoad
+			} else {
+				// Strand head: gated on the mop's own loads (which
+				// carry the memory-carried deps transitively) and on
+				// the register-carried predecessors.
+				deps[0] = lastLoad
+				deps[1] = sp.CompDeps[0]
+				deps[2] = sp.CompDeps[1]
+				if lastLoad < 0 {
+					deps[0], deps[1], deps[2] = sp.CompDeps[0], sp.CompDeps[1], sp.CompDeps[2]
+				}
+			}
+			lastCompute = tb.emit(trace.Inst{Class: class, Deps: deps})
+		}
+	}
+
+	last := lastCompute
+	storeDeps := sp.Deps
+	if lastCompute >= 0 {
+		// Stores wait for the value (last compute) and for the
+		// memory-carried predecessors (store-store ordering); when the
+		// mop had loads, the latter are already transitive through
+		// lastCompute.
+		storeDeps = [3]int32{lastCompute, sp.Deps[0], sp.Deps[1]}
+		if lastLoad >= 0 {
+			storeDeps = [3]int32{lastCompute, trace.NoDep, trace.NoDep}
+		}
+	}
+	for i := 0; i < sp.Stores; i++ {
+		last = tb.emit(trace.Inst{
+			Class: trace.Store,
+			Bytes: sp.StoreBytes,
+			Addr:  sp.StoreAddr + int64(i)*sp.StoreStep,
+			Deps:  storeDeps,
+		})
+	}
+	return last
+}
+
+func (tb *TraceBuilder) emit(in trace.Inst) int32 {
+	tb.insts = append(tb.insts, in)
+	return int32(len(tb.insts) - 1)
+}

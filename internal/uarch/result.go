@@ -32,6 +32,12 @@ type Result struct {
 	Cycles int64
 	Insts  int64
 
+	// Slots is the total number of issue slots the top-down accounting
+	// attributed while the trace was still being fetched — exactly
+	// IssueWidth per accounting cycle, each slot in exactly one
+	// category, so Retiring*Slots == Insts for a fully retired trace.
+	Slots int64
+
 	TopDown TopDown
 
 	// PortBusy counts, per port, the cycles the port executed a µop.

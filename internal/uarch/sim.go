@@ -205,6 +205,7 @@ func (s *Simulator) Run(insts []trace.Inst) Result {
 		supply := cfg.IssueWidth - feSlots
 
 		issued := 0
+		mispredicted := false
 		for issued < supply && fetch < n {
 			if count >= cfg.WindowSize {
 				break
@@ -220,20 +221,34 @@ func (s *Simulator) Run(insts []trace.Inst) Result {
 				if brAcc >= 1 {
 					brAcc -= 1
 					bsCountdown = cfg.BranchPenalty
+					mispredicted = true
 					break
 				}
 			}
 		}
 		slotsRet += int64(issued)
-		if issued < supply && fetch < n {
-			// Window full: backend bound. Classify by what blocks
-			// the oldest unfinished µop.
+		if issued < supply {
+			// Leftover slots of an accounting cycle must land in
+			// exactly one category. In priority order: slots wasted
+			// behind a mispredicted branch are bad speculation (the
+			// fetch redirect starts this cycle, not next); slots left
+			// because the trace's tail just issued are frontend
+			// starvation (nothing to fetch); otherwise the window is
+			// full — backend bound, classified by what blocks the
+			// oldest unfinished µop.
 			stall := int64(supply - issued)
-			mshrFull := cfg.MSHRs > 0 && len(mshr) >= cfg.MSHRs
-			if s.headBlockedOnMemory(insts, rob[head], doneAt, loadMiss, cycle, mshrFull) {
-				slotsBEMem += stall
-			} else {
-				slotsBECore += stall
+			switch {
+			case mispredicted:
+				slotsBS += stall
+			case fetch >= n:
+				slotsFE += stall
+			default:
+				mshrFull := cfg.MSHRs > 0 && len(mshr) >= cfg.MSHRs
+				if s.headBlockedOnMemory(insts, rob[head], doneAt, loadMiss, cycle, mshrFull) {
+					slotsBEMem += stall
+				} else {
+					slotsBECore += stall
+				}
 			}
 		}
 	}
@@ -241,6 +256,7 @@ func (s *Simulator) Run(insts []trace.Inst) Result {
 	res.Cycles = cycle + 1
 	res.Insts = int64(n)
 	total := slotsRet + slotsFE + slotsBS + slotsBECore + slotsBEMem
+	res.Slots = total
 	if total > 0 {
 		res.TopDown = TopDown{
 			Retiring:      float64(slotsRet) / float64(total),

@@ -294,3 +294,138 @@ func TestPlatformConstructors(t *testing.T) {
 		t.Error("wimpy desktop core should clock higher than beefy xeon")
 	}
 }
+
+// TestSlotAttributionSaturatedSchedWindow pins the top-down accounting
+// invariant at the boundary the scheduler window creates: with
+// SchedWindow far smaller than the ready-queue depth the window fills,
+// mispredicts cut issue cycles short, and the trace tail issues
+// mid-cycle — and still every issue slot of every accounting cycle
+// must land in exactly one category. Three checkable consequences:
+// Slots is a whole number of issue cycles, the category fractions sum
+// to one, and Retiring*Slots equals the µop count (each µop issues
+// exactly once).
+func TestSlotAttributionSaturatedSchedWindow(t *testing.T) {
+	mkTrace := func(n int, chained bool, branchEvery int) []trace.Inst {
+		insts := make([]trace.Inst, n)
+		for i := range insts {
+			in := trace.Inst{Class: trace.VecALU, Mnemonic: "padds", Deps: trace.Deps3()}
+			if chained && i > 0 {
+				in.Deps = trace.Deps3(i - 1)
+			}
+			if branchEvery > 0 && i%branchEvery == branchEvery-1 {
+				in = trace.Inst{Class: trace.Branch, Mnemonic: "jnz", Deps: trace.Deps3()}
+			}
+			insts[i] = in
+		}
+		return insts
+	}
+	cases := []struct {
+		name  string
+		cfg   func() Config
+		insts []trace.Inst
+	}{
+		{"window-1-wide", func() Config {
+			cfg := cleanConfig()
+			cfg.SchedWindow = 1
+			return cfg
+		}, mkTrace(4003, false, 0)},
+		{"window-1-chained", func() Config {
+			cfg := cleanConfig()
+			cfg.SchedWindow = 1
+			return cfg
+		}, mkTrace(2001, true, 0)},
+		{"window-2-mispredicts", func() Config {
+			cfg := SkylakeServer()
+			cfg.SchedWindow = 2
+			cfg.BranchMispredictRate = 0.5
+			return cfg
+		}, mkTrace(3007, false, 3)},
+		{"fe-noise-tail", func() Config {
+			cfg := SkylakeServer()
+			cfg.SchedWindow = 1
+			cfg.FrontendStallFrac = 0.13
+			return cfg
+		}, mkTrace(5, false, 0)},
+		{"mispredict-on-tail", func() Config {
+			cfg := cleanConfig()
+			cfg.SchedWindow = 1
+			cfg.BranchMispredictRate = 1
+			return cfg
+		}, mkTrace(9, false, 2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			res := NewSimulator(cfg, nil).Run(tc.insts)
+			if res.Slots <= 0 {
+				t.Fatalf("Slots = %d, want > 0", res.Slots)
+			}
+			if res.Slots%int64(cfg.IssueWidth) != 0 {
+				t.Errorf("Slots = %d not a multiple of issue width %d: some cycle was partially attributed",
+					res.Slots, cfg.IssueWidth)
+			}
+			td := res.TopDown
+			sum := td.Retiring + td.FrontendBound + td.BadSpec + td.BackendBound
+			if sum < 1-1e-9 || sum > 1+1e-9 {
+				t.Errorf("top-down sum = %.12f, want exactly 1", sum)
+			}
+			got := td.Retiring * float64(res.Slots)
+			if want := float64(len(tc.insts)); got < want-1e-6 || got > want+1e-6 {
+				t.Errorf("Retiring*Slots = %.6f, want %v (every µop issues exactly once)", got, want)
+			}
+		})
+	}
+}
+
+// TestTraceBuilderShapes pins the mop adapter's expansion: µop counts,
+// class mix, budget, and the dependency shape (loads gate on external
+// deps, strands chain at the declared depth, stores gate on the last
+// compute µop).
+func TestTraceBuilderShapes(t *testing.T) {
+	tb := NewTraceBuilder(0)
+	first := tb.Add(&MopSpec{VecALU: 1, Deps: trace.Deps3()})
+	if first != 0 || tb.Len() != 1 {
+		t.Fatalf("first mop: terminal=%d len=%d, want 0, 1", first, tb.Len())
+	}
+	term := tb.Add(&MopSpec{
+		Loads: 2, LoadBytes: 64, LoadAddr: 1024, LoadStep: 64,
+		VecShuffle: 2, VecALU: 4, Depth: 3,
+		Stores: 1, StoreBytes: 64, StoreAddr: 4096,
+		Deps: trace.Deps3(int(first)),
+	})
+	insts := tb.Insts()
+	if tb.Len() != 1+2+6+1 || int(term) != tb.Len()-1 {
+		t.Fatalf("len=%d terminal=%d, want 10, 9", tb.Len(), term)
+	}
+	if insts[1].Class != trace.Load || insts[1].Deps[0] != first {
+		t.Errorf("load µop = %+v, want Load gated on mop 1's terminal", insts[1])
+	}
+	if insts[2].Addr != 1024+64 {
+		t.Errorf("second load addr = %d, want stride applied", insts[2].Addr)
+	}
+	if insts[3].Class != trace.VecShuffle || insts[8].Class != trace.VecALU {
+		t.Errorf("compute classes = %v, %v; want shuffles first then ALU", insts[3].Class, insts[8].Class)
+	}
+	if insts[9].Class != trace.Store || insts[9].Deps[0] != 8 {
+		t.Errorf("store µop = %+v, want gated on last compute", insts[9])
+	}
+	// Depth 3 over 6 compute µops = 2 strands: µop j depends on j-2.
+	if insts[5].Deps[0] != 3 {
+		t.Errorf("strand chain dep = %d, want 3", insts[5].Deps[0])
+	}
+	mix := trace.MixOf(insts)
+	if mix.Count[trace.Load] != 2 || mix.Count[trace.Store] != 1 ||
+		mix.Count[trace.VecShuffle] != 2 || mix.Count[trace.VecALU] != 5 {
+		t.Errorf("mix = %v", mix)
+	}
+
+	lim := NewTraceBuilder(3)
+	lim.Add(&MopSpec{VecALU: 2, Deps: trace.Deps3()})
+	if lim.Full() {
+		t.Error("builder full before reaching limit")
+	}
+	lim.Add(&MopSpec{VecALU: 2, Deps: trace.Deps3()})
+	if !lim.Full() {
+		t.Error("builder not full after exceeding limit")
+	}
+}

@@ -11,6 +11,7 @@
 //	          [-tti 1ms] [-deadline 3ms] [-window 500µs] [-queue 64]
 //	          [-saturate] [-stats 1s] [-seed 1] [-admin :9090] [-notrace]
 //	          [-harq-retries 3] [-harq-procs 8]
+//	          [-class urllc,embb] [-urllc-deadline 0] [-predict]
 //	          [-chaos] [-chaos-seed 0] [-chaos-corrupt 0.05] [-chaos-crc 0.05]
 //	          [-chaos-stall 0] [-chaos-queue 0] [-chaos-evict 0]
 //	          [-chaos-compilefail 0]
@@ -19,6 +20,14 @@
 // runtime's fault sites; decode failures route through the HARQ
 // soft-combining retry path instead of dropping, visible as the
 // vran_harq_* and vran_chaos_* metric families on /metrics.
+//
+// -class assigns SLA classes to cells (the list cycles: "urllc,embb"
+// makes every other cell URLLC). With URLLC cells configured the
+// runtime dispatches URLLC ahead of eMBB, sheds eMBB first under
+// overload, and reports per-class ledgers (vran_class_* families).
+// -predict arms the per-cell MMPP burst predictor so shedding starts
+// when a burst begins rather than when the backlog crosses a
+// threshold (vran_predict_* families).
 //
 // With -admin an HTTP endpoint exposes the runtime while it serves:
 // /metrics (Prometheus text, ?format=json for JSON), /snapshot,
@@ -115,6 +124,16 @@ func main() {
 	fmt.Printf("deadline %v, batch window %v (%d lanes), queue depth %d, %d TTIs of %v\n",
 		cfg.Deadline, cfg.BatchWindow, rt.Lanes(), cfg.QueueDepth, *ttis, *tti)
 	fmt.Printf("HARQ: %d retries, %d processes/UE\n", cfg.HARQ.MaxRetries, cfg.HARQ.Processes)
+	if len(cfg.SLA.Classes) > 0 {
+		fmt.Printf("SLA classes:")
+		for i, c := range cfg.SLA.Classes {
+			fmt.Printf(" cell%d=%s", i, c)
+		}
+		if cfg.Predict.Enabled {
+			fmt.Printf("; burst predictor armed (window %v)", cfg.Predict.Window)
+		}
+		fmt.Println()
+	}
 	if inj != nil {
 		cs := *cf.Seed
 		if cs == 0 {
@@ -191,6 +210,23 @@ func final(s *ran.Snapshot, rep *ran.LoadReport, cfg ran.Config, k int, tti time
 	if s.CRCFailures > 0 || s.HARQRetries > 0 {
 		fmt.Printf("HARQ: %d CRC failures, %d retries, %d recovered by combining; %d combines, %d buffer evictions; %d degraded batches\n",
 			s.CRCFailures, s.HARQRetries, s.HARQRecovered, s.HARQCombines, s.HARQEvictions, s.DegradedBatches)
+	}
+	if len(cfg.SLA.Classes) > 0 {
+		fmt.Printf("\n%-6s %10s %10s %10s %10s %10s %10s\n", "class", "accepted", "delivered", "dropped", "shed", "p99", "p50")
+		for c := ran.Class(0); c < ran.NumClasses; c++ {
+			ks := s.Classes[c]
+			fmt.Printf("%-6s %10d %10d %10d %10d %10v %10v\n", c, ks.Accepted, ks.Delivered, ks.Dropped(),
+				ks.Drops[ran.DropShed], ks.LatencyP99.Round(10*time.Microsecond), ks.LatencyP50.Round(10*time.Microsecond))
+		}
+		fmt.Printf("worker steals %d, final shed level %d\n", s.Steals, s.ShedLevel)
+		for _, p := range s.Predict {
+			state := "off"
+			if p.Burst {
+				state = "ON"
+			}
+			fmt.Printf("predict cell %d: state %s, rate %.0f/s (on %.0f, off %.0f), %d transitions over %d windows\n",
+				p.Cell, state, p.Rate, p.RateOn, p.RateOff, p.Transitions, p.Windows)
+		}
 	}
 	if inj != nil {
 		fmt.Printf("chaos: ")

@@ -29,24 +29,32 @@ type RuntimeFlags struct {
 	HARQProcs             *int
 	Sched                 *bool
 	TuneCache             *string
+	Class                 *string
+	URLLCDeadline         *time.Duration
+	Predict               *bool
+	PredictWindow         *time.Duration
 }
 
 // RegisterRuntime registers the runtime flags on fs.
 func RegisterRuntime(fs *flag.FlagSet) *RuntimeFlags {
 	return &RuntimeFlags{
-		Cells:       fs.Int("cells", 3, "number of served cells"),
-		Workers:     fs.Int("workers", 4, "decode worker pool size"),
-		Width:       fs.Int("width", 512, WidthHelp),
-		Mech:        fs.String("mech", "apcm", MechHelp),
-		K:           fs.Int("k", 40, "turbo code block size"),
-		Iters:       fs.Int("iters", 4, "turbo decoder iteration budget"),
-		Deadline:    fs.Duration("deadline", 10*time.Millisecond, "per-block HARQ processing budget (the emulated decoder is ~1000x a real one, so the default budget is loose)"),
-		Window:      fs.Duration("window", 500*time.Microsecond, "lane-fill batch window"),
-		Queue:       fs.Int("queue", 64, "per-cell ingress queue depth"),
-		HARQRetries: fs.Int("harq-retries", 3, "HARQ retransmission budget per block (0 disables the retry path)"),
-		HARQProcs:   fs.Int("harq-procs", 8, "HARQ processes per (cell, UE)"),
-		Sched:       fs.Bool("sched", false, "route worker program compilations through the port-aware scheduling pass"),
-		TuneCache:   fs.String("tunecache", "", "vrantune plan cache file; workers warm-start from it and skip compile+search for the tuned grid"),
+		Cells:         fs.Int("cells", 3, "number of served cells"),
+		Workers:       fs.Int("workers", 4, "decode worker pool size"),
+		Width:         fs.Int("width", 512, WidthHelp),
+		Mech:          fs.String("mech", "apcm", MechHelp),
+		K:             fs.Int("k", 40, "turbo code block size"),
+		Iters:         fs.Int("iters", 4, "turbo decoder iteration budget"),
+		Deadline:      fs.Duration("deadline", 10*time.Millisecond, "per-block HARQ processing budget (the emulated decoder is ~1000x a real one, so the default budget is loose)"),
+		Window:        fs.Duration("window", 500*time.Microsecond, "lane-fill batch window"),
+		Queue:         fs.Int("queue", 64, "per-cell ingress queue depth"),
+		HARQRetries:   fs.Int("harq-retries", 3, "HARQ retransmission budget per block (0 disables the retry path)"),
+		HARQProcs:     fs.Int("harq-procs", 8, "HARQ processes per (cell, UE)"),
+		Sched:         fs.Bool("sched", false, "route worker program compilations through the port-aware scheduling pass"),
+		TuneCache:     fs.String("tunecache", "", "vrantune plan cache file; workers warm-start from it and skip compile+search for the tuned grid"),
+		Class:         fs.String("class", "", "per-cell SLA class list, comma-separated and cycled over cells (e.g. \"urllc,embb\"); empty = class-blind"),
+		URLLCDeadline: fs.Duration("urllc-deadline", 0, "processing budget override for URLLC-class blocks (0: same as -deadline)"),
+		Predict:       fs.Bool("predict", false, "arm the per-cell MMPP burst predictor feeding the class-aware shed ladder"),
+		PredictWindow: fs.Duration("predict-window", time.Millisecond, "burst predictor rate-estimation window"),
 	}
 }
 
@@ -70,6 +78,12 @@ func (rf *RuntimeFlags) Config() (ran.Config, error) {
 	cfg.Deadline = *rf.Deadline
 	cfg.HARQ = ran.HARQConfig{MaxRetries: *rf.HARQRetries, Processes: *rf.HARQProcs}
 	cfg.Schedule = *rf.Sched
+	classes, err := ran.ParseClassList(*rf.Class, cfg.Cells)
+	if err != nil {
+		return ran.Config{}, fmt.Errorf("-class: %w", err)
+	}
+	cfg.SLA = ran.SLAConfig{Classes: classes, URLLCDeadline: *rf.URLLCDeadline}
+	cfg.Predict = ran.PredictConfig{Enabled: *rf.Predict, Window: *rf.PredictWindow}
 	if *rf.TuneCache != "" {
 		c, err := tune.Load(*rf.TuneCache)
 		if err != nil {

@@ -3,9 +3,12 @@ package ran
 import "time"
 
 // batch is one unit of worker work: up to `lanes` same-K blocks decoded
-// in parallel register lane groups.
+// in parallel register lane groups. class is the SLA class of every
+// block in it (the dispatcher runs one batcher per class), deciding
+// which priority channel carries it to the workers.
 type batch struct {
 	k      int
+	class  Class
 	blocks []*Block
 }
 

@@ -114,7 +114,7 @@ func (r *Runtime) harqRelease(b *Block) {
 // conserved.
 func (r *Runtime) retryOrDrop(b *Block, now time.Time, busy time.Duration, iters int) {
 	if r.harq == nil || b.Attempt >= r.cfg.HARQ.MaxRetries {
-		r.met.drop(b.Cell, DropHARQ)
+		r.met.drop(b.Cell, b.Class, DropHARQ)
 		r.recordSpan(b, now, busy, iters, "harq_exhausted")
 		r.harqRelease(b)
 		return
@@ -122,7 +122,7 @@ func (r *Runtime) retryOrDrop(b *Block, now time.Time, busy time.Duration, iters
 	if r.stopped.Load() {
 		// The dispatcher is (or is about to be) gone; a requeued block
 		// would never be decoded. Terminate it visibly instead.
-		r.met.drop(b.Cell, DropShutdown)
+		r.met.drop(b.Cell, b.Class, DropShutdown)
 		r.recordSpan(b, now, busy, iters, "harq_shutdown")
 		r.harqRelease(b)
 		return
@@ -131,8 +131,8 @@ func (r *Runtime) retryOrDrop(b *Block, now time.Time, busy time.Duration, iters
 	// per-transmission deadline; if that budget cannot even cover the
 	// batch window plus one measured decode, requeuing is hopeless work.
 	if r.cfg.AdmissionGuard {
-		if need := r.cfg.BatchWindow + time.Duration(r.estDecodeNs.Load()); r.cfg.Deadline < need {
-			r.met.drop(b.Cell, DropHARQ)
+		if need := r.cfg.BatchWindow + time.Duration(r.estDecodeNs.Load()); r.classDeadline(b.Class) < need {
+			r.met.drop(b.Cell, b.Class, DropHARQ)
 			r.recordSpan(b, now, busy, iters, "harq_exhausted")
 			r.harqRelease(b)
 			return
@@ -143,7 +143,7 @@ func (r *Runtime) retryOrDrop(b *Block, now time.Time, busy time.Duration, iters
 	if b.Attempt == 0 {
 		if _, _, err := r.harq.Combine(b.Cell, b.UE, b.Process, b.Word); err != nil {
 			// K mismatch against a live buffer: reject, never corrupt.
-			r.met.drop(b.Cell, DropHARQ)
+			r.met.drop(b.Cell, b.Class, DropHARQ)
 			r.recordSpan(b, now, busy, iters, "harq_reject")
 			return
 		}
@@ -154,18 +154,18 @@ func (r *Runtime) retryOrDrop(b *Block, now time.Time, busy time.Duration, iters
 	rx := r.cfg.Chaos.CorruptWord(b.tx)
 	comb, _, err := r.harq.Combine(b.Cell, b.UE, b.Process, rx)
 	if err != nil {
-		r.met.drop(b.Cell, DropHARQ)
+		r.met.drop(b.Cell, b.Class, DropHARQ)
 		r.recordSpan(b, now, busy, iters, "harq_reject")
 		return
 	}
 	nb := &Block{
-		Cell: b.Cell, UE: b.UE, Process: b.Process, K: b.K,
+		Cell: b.Cell, UE: b.UE, Process: b.Process, K: b.K, Class: b.Class,
 		Word: comb, tx: b.tx, Attempt: b.Attempt + 1,
 		// Arrived stays the first transmission's arrival so delivered
 		// latency covers the whole HARQ exchange; the deadline is per
 		// transmission.
 		Arrived:  b.Arrived,
-		Deadline: now.Add(r.cfg.Deadline),
+		Deadline: now.Add(r.classDeadline(b.Class)),
 		// The trace follows the retransmission: the failed attempt's
 		// entire local dwell folds into the harq-retry stage, and the
 		// successor's queue/batch/decode stages restart from its own
@@ -181,7 +181,7 @@ func (r *Runtime) retryOrDrop(b *Block, now time.Time, busy time.Duration, iters
 	}
 	nb.acc[telemetry.SpanHARQRetry] += clampDur(now.Sub(prev))
 	if !r.retryq.offer(nb) {
-		r.met.drop(b.Cell, DropShutdown)
+		r.met.drop(b.Cell, b.Class, DropShutdown)
 		r.recordSpan(b, now, busy, iters, "harq_shutdown")
 		r.harqRelease(b)
 		return
@@ -211,6 +211,30 @@ func (r *Runtime) updateDegrade() {
 	if f := float64(r.retryq.depth()) / float64(r.cfg.QueueDepth); f > worst {
 		worst = f
 	}
+	r.degrade.Store(int32(r.degradeLadder(worst)))
+	// Class-aware runtimes track a second level from the URLLC queues
+	// alone. The global level above rises whenever ANY queue backs up —
+	// during an eMBB burst that is every dwell — and clamping URLLC's
+	// iteration budget because eMBB queues are full trades URLLC CRC
+	// failures (and their HARQ retry-chain latency) for capacity that
+	// shedding eMBB should reclaim instead. URLLC batches therefore
+	// clamp only on their own class's backlog; eMBB keeps the global
+	// signal (giving up eMBB iterations because URLLC is backed up is
+	// the right direction).
+	if r.slaActive {
+		worstU := 0.0
+		for cell := 0; cell < r.cfg.Cells; cell++ {
+			if f := float64(r.queues[r.qi(cell, ClassURLLC)].depth()) / float64(r.cfg.QueueDepth); f > worstU {
+				worstU = f
+			}
+		}
+		r.degradeU.Store(int32(r.degradeLadder(worstU)))
+	}
+}
+
+// degradeLadder maps a worst backlog fraction to an iteration-clamp
+// level, capped so at least one iteration always remains.
+func (r *Runtime) degradeLadder(worst float64) int {
 	lvl := 0
 	switch {
 	case worst >= 0.9:
@@ -223,7 +247,7 @@ func (r *Runtime) updateDegrade() {
 	if maxLvl := r.cfg.MaxIters - 1; lvl > maxLvl {
 		lvl = maxLvl
 	}
-	r.degrade.Store(int32(lvl))
+	return lvl
 }
 
 // checkBlock runs the post-decode acceptance check for one block:

@@ -16,7 +16,9 @@ type DropCause int
 // while queued or batching), late (decoded, but after the deadline),
 // harq (CRC failed and the retry budget was exhausted, or a combine
 // was rejected), shutdown (a requeued HARQ retry could not be decoded
-// because the runtime was stopping).
+// because the runtime was stopping), shed (the class-aware overload
+// controller rejected an eMBB arrival at the door to protect URLLC —
+// a pre-admission drop, like backlog and admission).
 const (
 	DropBacklog DropCause = iota
 	DropAdmission
@@ -24,6 +26,7 @@ const (
 	DropLate
 	DropHARQ
 	DropShutdown
+	DropShed
 	numDropCauses
 )
 
@@ -42,6 +45,8 @@ func (c DropCause) String() string {
 		return "harq"
 	case DropShutdown:
 		return "shutdown"
+	case DropShed:
+		return "shed"
 	}
 	return "unknown"
 }
@@ -55,11 +60,26 @@ type cellCounters struct {
 	bits      atomic.Uint64 // delivered information bits
 }
 
+// classCounters is the per-SLA-class view: the same ledger as a cell's,
+// plus the class's own delivered-latency histogram so URLLC p99 is
+// never diluted by eMBB deliveries.
+type classCounters struct {
+	accepted  atomic.Uint64
+	delivered atomic.Uint64
+	drops     [numDropCauses]atomic.Uint64
+	latency   telemetry.Hist
+}
+
 // Metrics is the runtime's atomic-counter metrics layer. All methods
 // are safe for concurrent use from any number of goroutines.
 type Metrics struct {
-	start time.Time
-	cells []cellCounters
+	start   time.Time
+	cells   []cellCounters
+	classes [NumClasses]classCounters
+
+	// steals counts worker pulls of a URLLC batch while eMBB batches
+	// were waiting — the work-stealing priority bypass in action.
+	steals atomic.Uint64
 
 	laneSlotsUsed  atomic.Uint64 // lane groups carrying a real block
 	laneSlotsTotal atomic.Uint64 // lane groups available across batches
@@ -125,13 +145,23 @@ func NewMetrics(nCells int) *Metrics {
 	return &Metrics{start: time.Now(), cells: make([]cellCounters, nCells)}
 }
 
-func (m *Metrics) accept(cell int)                { m.cells[cell].accepted.Add(1) }
-func (m *Metrics) drop(cell int, cause DropCause) { m.cells[cell].drops[cause].Add(1) }
+func (m *Metrics) accept(cell int, class Class) {
+	m.cells[cell].accepted.Add(1)
+	m.classes[class].accepted.Add(1)
+}
+
+func (m *Metrics) drop(cell int, class Class, cause DropCause) {
+	m.cells[cell].drops[cause].Add(1)
+	m.classes[class].drops[cause].Add(1)
+}
 
 // unaccept removes one block from a cell's accepted count — the export
 // side of a migration. The block is re-accepted on the target runtime,
 // so the fleet-wide ledger counts it exactly once.
-func (m *Metrics) unaccept(cell int) { m.cells[cell].accepted.Add(^uint64(0)) }
+func (m *Metrics) unaccept(cell int, class Class) {
+	m.cells[cell].accepted.Add(^uint64(0))
+	m.classes[class].accepted.Add(^uint64(0))
+}
 
 // inflight estimates a cell's non-terminal block count (accepted minus
 // delivered and drops). Terminal counters are read before accepted, so
@@ -150,11 +180,14 @@ func (m *Metrics) inflight(cell int) uint64 {
 	return acc - term
 }
 
-func (m *Metrics) deliver(cell, bits int, latency time.Duration) {
+func (m *Metrics) deliver(cell int, class Class, bits int, latency time.Duration) {
 	c := &m.cells[cell]
 	c.delivered.Add(1)
 	c.bits.Add(uint64(bits))
 	m.latency.Observe(latency)
+	cc := &m.classes[class]
+	cc.delivered.Add(1)
+	cc.latency.Observe(latency)
 }
 
 func (m *Metrics) crcFail()       { m.crcFailures.Add(1) }
@@ -247,6 +280,32 @@ func (c CellSnapshot) Dropped() uint64 {
 	return n
 }
 
+// ClassSnapshot is one SLA class's view in a Snapshot: the class
+// ledger, its aggregate queue backlog, and its own latency percentiles
+// (plus the raw histogram buckets, so shard.Aggregate can reconstruct
+// correct fleet-wide per-class percentiles).
+type ClassSnapshot struct {
+	Accepted   uint64
+	Delivered  uint64
+	Drops      [numDropCauses]uint64
+	QueueDepth int
+
+	LatencyP50 time.Duration
+	LatencyP90 time.Duration
+	LatencyP99 time.Duration
+
+	LatencyBuckets []uint64
+}
+
+// Dropped totals the class's drops across causes.
+func (c ClassSnapshot) Dropped() uint64 {
+	var n uint64
+	for _, d := range c.Drops {
+		n += d
+	}
+	return n
+}
+
 // Snapshot is a consistent-enough point-in-time view of the metrics
 // (individual counters are read atomically; cross-counter skew is at
 // most one in-flight block).
@@ -327,6 +386,19 @@ type Snapshot struct {
 	DegradeLevel    int
 	DegradedBatches uint64
 
+	// SLA-class view: per-class ledgers with their own latency
+	// percentiles, the worker steal count (URLLC batches taken while
+	// eMBB batches waited), the shed ladder's current level, and how
+	// many workers are reserved for URLLC-only service.
+	Classes         [NumClasses]ClassSnapshot
+	Steals          uint64
+	ShedLevel       int
+	ReservedWorkers int
+
+	// Predict holds one row per cell predictor; nil when the predictor
+	// is not armed.
+	Predict []PredictSnapshot
+
 	LatencyP50 time.Duration
 	LatencyP90 time.Duration
 	LatencyP99 time.Duration
@@ -356,9 +428,10 @@ func (s *Snapshot) DropsByCause() map[string]uint64 {
 	return out
 }
 
-// snapshot assembles the exported view. queueDepths and workers come
-// from the runtime (the metrics layer itself has no queue handle).
-func (m *Metrics) snapshot(queueDepths []int, workers int) *Snapshot {
+// snapshot assembles the exported view. queueDepths (per cell),
+// classDepths (per class) and workers come from the runtime (the
+// metrics layer itself has no queue handle).
+func (m *Metrics) snapshot(queueDepths []int, classDepths [NumClasses]int, workers int) *Snapshot {
 	s := &Snapshot{
 		Elapsed: time.Since(m.start),
 		Cells:   make([]CellSnapshot, len(m.cells)),
@@ -439,5 +512,22 @@ func (m *Metrics) snapshot(queueDepths []int, workers int) *Snapshot {
 	s.LatencyP90 = m.latency.Percentile(0.90)
 	s.LatencyP99 = m.latency.Percentile(0.99)
 	s.LatencyBuckets = m.latency.Buckets()
+	for c := Class(0); c < NumClasses; c++ {
+		cc := &m.classes[c]
+		ks := ClassSnapshot{
+			Accepted:   cc.accepted.Load(),
+			Delivered:  cc.delivered.Load(),
+			QueueDepth: classDepths[c],
+		}
+		for d := DropCause(0); d < numDropCauses; d++ {
+			ks.Drops[d] = cc.drops[d].Load()
+		}
+		ks.LatencyP50 = cc.latency.Percentile(0.50)
+		ks.LatencyP90 = cc.latency.Percentile(0.90)
+		ks.LatencyP99 = cc.latency.Percentile(0.99)
+		ks.LatencyBuckets = cc.latency.Buckets()
+		s.Classes[c] = ks
+	}
+	s.Steals = m.steals.Load()
 	return s
 }

@@ -35,9 +35,9 @@ func TestSnapshotPercentileReconstruction(t *testing.T) {
 	m := NewMetrics(1)
 	// 1..1000 µs uniform: p50=500µs, p90=900µs, p99=990µs.
 	for i := 1; i <= 1000; i++ {
-		m.deliver(0, 40, time.Duration(i)*time.Microsecond)
+		m.deliver(0, ClassEMBB, 40, time.Duration(i)*time.Microsecond)
 	}
-	s := m.snapshot([]int{0}, 1)
+	s := m.snapshot([]int{0}, [NumClasses]int{}, 1)
 	check := func(name string, got, want time.Duration) {
 		t.Helper()
 		relErr := math.Abs(float64(got-want)) / float64(want)
@@ -58,9 +58,9 @@ func TestSnapshotPercentileOverflowBucket(t *testing.T) {
 	m := NewMetrics(1)
 	huge := time.Duration(math.MaxInt64)
 	for i := 0; i < 10; i++ {
-		m.deliver(0, 40, huge)
+		m.deliver(0, ClassEMBB, 40, huge)
 	}
-	s := m.snapshot([]int{0}, 1)
+	s := m.snapshot([]int{0}, [NumClasses]int{}, 1)
 	idx := telemetry.HistIndex(huge.Nanoseconds())
 	if idx >= telemetry.HistBuckets {
 		t.Fatalf("index %d out of range", idx)
@@ -83,11 +83,11 @@ func TestDropsAcrossAllCauses(t *testing.T) {
 	// Cell 0 gets c+1 drops of cause c; cell 1 gets 1 each.
 	for c := DropCause(0); c < numDropCauses; c++ {
 		for n := 0; n <= int(c); n++ {
-			m.drop(0, c)
+			m.drop(0, ClassEMBB, c)
 		}
-		m.drop(1, c)
+		m.drop(1, ClassEMBB, c)
 	}
-	s := m.snapshot([]int{0, 0}, 1)
+	s := m.snapshot([]int{0, 0}, [NumClasses]int{}, 1)
 
 	n := uint64(numDropCauses)
 	cell0 := n * (n + 1) / 2 // 1+2+...+numDropCauses
@@ -114,16 +114,16 @@ func TestDropsAcrossAllCauses(t *testing.T) {
 
 func TestSnapshotAggregation(t *testing.T) {
 	m := NewMetrics(2)
-	m.accept(0)
-	m.accept(0)
-	m.accept(1)
-	m.drop(0, DropBacklog)
-	m.drop(1, DropExpired)
-	m.deliver(0, 104, 2*time.Millisecond)
-	m.deliver(1, 104, 4*time.Millisecond)
+	m.accept(0, ClassEMBB)
+	m.accept(0, ClassEMBB)
+	m.accept(1, ClassEMBB)
+	m.drop(0, ClassEMBB, DropBacklog)
+	m.drop(1, ClassEMBB, DropExpired)
+	m.deliver(0, ClassEMBB, 104, 2*time.Millisecond)
+	m.deliver(1, ClassEMBB, 104, 4*time.Millisecond)
 	m.batchDone(2, 4, 300*time.Microsecond)
 
-	s := m.snapshot([]int{3, 0}, 2)
+	s := m.snapshot([]int{3, 0}, [NumClasses]int{}, 2)
 	if s.Accepted != 3 || s.Delivered != 2 {
 		t.Errorf("accepted=%d delivered=%d, want 3/2", s.Accepted, s.Delivered)
 	}
@@ -154,10 +154,10 @@ func TestSnapshotAggregation(t *testing.T) {
 // cause appears, and headline gauges carry the snapshot's values.
 func TestSnapshotFamilies(t *testing.T) {
 	m := NewMetrics(2)
-	m.accept(0)
-	m.deliver(0, 104, time.Millisecond)
-	m.drop(1, DropLate)
-	s := m.snapshot([]int{1, 2}, 2)
+	m.accept(0, ClassEMBB)
+	m.deliver(0, ClassEMBB, 104, time.Millisecond)
+	m.drop(1, ClassEMBB, DropLate)
+	s := m.snapshot([]int{1, 2}, [NumClasses]int{}, 2)
 	fams := s.Families()
 	byName := map[string]telemetry.Family{}
 	for _, f := range fams {
@@ -183,12 +183,12 @@ func TestSnapshotFamilies(t *testing.T) {
 // the exposition as vran_decode_allocs_per_op.
 func TestDecodeAllocsGauge(t *testing.T) {
 	m := NewMetrics(1)
-	if s := m.snapshot(nil, 1); s.DecodeAllocsPerOp != -1 {
+	if s := m.snapshot(nil, [NumClasses]int{}, 1); s.DecodeAllocsPerOp != -1 {
 		t.Errorf("unsampled gauge = %v, want -1", s.DecodeAllocsPerOp)
 	}
 	m.allocSample(6)
 	m.allocSample(2)
-	s := m.snapshot(nil, 1)
+	s := m.snapshot(nil, [NumClasses]int{}, 1)
 	if s.DecodeAllocsPerOp != 4 {
 		t.Errorf("sampled gauge = %v, want 4", s.DecodeAllocsPerOp)
 	}

@@ -102,7 +102,7 @@ func (r *Runtime) DrainCell(cell int, timeout time.Duration) (*CellState, error)
 	r.migrating.Store(-1)
 	st := &CellState{Cell: cell}
 	for _, b := range blocks {
-		r.met.unaccept(cell)
+		r.met.unaccept(cell, b.Class)
 		st.Blocks = append(st.Blocks, MigratedBlock{
 			UE: b.UE, Proc: b.Process, K: b.K, Attempt: b.Attempt,
 			Word: b.Word, Tx: b.tx,
@@ -120,7 +120,7 @@ func (r *Runtime) abortDrain(cell int) {
 	r.migrating.Store(-1)
 	for _, b := range r.migq.drain() {
 		if !r.retryq.offer(b) {
-			r.met.drop(b.Cell, DropShutdown)
+			r.met.drop(b.Cell, b.Class, DropShutdown)
 			r.recordSpan(b, time.Now(), 0, 0, "migrate_shutdown")
 			r.harqRelease(b)
 		}
@@ -149,18 +149,19 @@ func (r *Runtime) ImportCell(st *CellState) (int, error) {
 		}
 	}
 	now := time.Now()
+	class := r.cfg.SLA.ClassOf(st.Cell)
 	n := 0
 	for _, mb := range st.Blocks {
 		b := &Block{
-			Cell: st.Cell, UE: mb.UE, Process: mb.Proc, K: mb.K,
+			Cell: st.Cell, UE: mb.UE, Process: mb.Proc, K: mb.K, Class: class,
 			Word: mb.Word, tx: mb.Tx, Attempt: mb.Attempt,
 			Arrived:    now,
-			Deadline:   now.Add(r.cfg.Deadline),
+			Deadline:   now.Add(r.classDeadline(class)),
 			hopArrived: now,
 		}
-		r.met.accept(st.Cell)
-		if !r.queues[st.Cell].offer(b) {
-			r.met.drop(st.Cell, DropBacklog)
+		r.met.accept(st.Cell, class)
+		if !r.queues[r.qi(st.Cell, class)].offer(b) {
+			r.met.drop(st.Cell, class, DropBacklog)
 			r.harqRelease(b)
 			continue
 		}

@@ -1,0 +1,287 @@
+package ran
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// This file is the MMPP-informed burst predictor: a two-state arrival
+// rate estimator that watches one cell's observed arrival stream and
+// decides — ahead of any queue filling — whether the cell is inside an
+// ON (burst) dwell of the Markov-modulated process the traffic
+// generator models (transport.BurstyProcess). The shed ladder (sla.go)
+// consults it so eMBB shedding starts when a burst begins, not when the
+// backlog already crossed a threshold.
+//
+// Mechanism: arrivals are counted into fixed windows (one TTI by
+// default). Each closed window feeds two EWMAs — a fast one tracking
+// the instantaneous rate and a slow one tracking the baseline (idle)
+// rate; the slow EWMA is frozen while a burst is declared so a long ON
+// dwell cannot erode its own detection threshold. The state flips to
+// burst when the fast rate exceeds OnFactor x the baseline for Confirm
+// consecutive windows, and back when it falls under OffFactor x the
+// baseline for Confirm windows — the two-sided hysteresis that keeps
+// the estimator still on stationary Poisson input. While in a state,
+// the state's own rate EWMA (RateOn / RateOff) converges toward the
+// generating process's true per-state mean — the cross-check the unit
+// tests run against transport.BurstyProcess ground truth.
+
+// PredictConfig parameterizes the per-cell burst predictors.
+type PredictConfig struct {
+	// Enabled arms one predictor per cell; false leaves the shed ladder
+	// purely reactive and emits no vran_predict_* families.
+	Enabled bool
+	// Window is the rate-estimation window (default 1ms — one LTE TTI).
+	Window time.Duration
+	// FastAlpha and SlowAlpha are the EWMA weights of the instantaneous
+	// and baseline rate trackers (defaults 0.3 and 0.03).
+	FastAlpha, SlowAlpha float64
+	// OnFactor and OffFactor are the hysteresis thresholds: burst when
+	// fast >= OnFactor x baseline, clear when fast <= OffFactor x
+	// baseline (defaults 1.8 and 1.2; OnFactor must exceed OffFactor).
+	OnFactor, OffFactor float64
+	// MinRate floors the baseline used for thresholding (in blocks per
+	// window) so a silent cell does not flag its first arrival as a
+	// burst (default 1).
+	MinRate float64
+	// Confirm is how many consecutive windows must agree before the
+	// state flips, in either direction (default 2).
+	Confirm int
+	// NoiseSigmas is the Poisson-noise guard on the up transition: the
+	// fast rate must also clear the baseline by this many standard
+	// deviations of the fast EWMA under Poisson(baseline) arrivals
+	// (sigma = sqrt(base*a/(2-a))). Without it, a stationary stream
+	// with a mean near MinRate sits only ~2 sigma under OnFactor x base
+	// and would flip state on noise alone (default 4).
+	NoiseSigmas float64
+	// MaxCatchUp bounds how many empty windows one Observe call rolls
+	// forward after a long silence (default 64).
+	MaxCatchUp int
+}
+
+func (c PredictConfig) withDefaults() PredictConfig {
+	if c.Window <= 0 {
+		c.Window = time.Millisecond
+	}
+	if c.FastAlpha <= 0 || c.FastAlpha > 1 {
+		c.FastAlpha = 0.3
+	}
+	if c.SlowAlpha <= 0 || c.SlowAlpha > 1 {
+		c.SlowAlpha = 0.03
+	}
+	if c.OnFactor <= 1 {
+		c.OnFactor = 1.8
+	}
+	if c.OffFactor <= 0 || c.OffFactor >= c.OnFactor {
+		c.OffFactor = 1.2
+		if c.OffFactor >= c.OnFactor {
+			c.OffFactor = (1 + c.OnFactor) / 2
+		}
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = 1
+	}
+	if c.Confirm <= 0 {
+		c.Confirm = 2
+	}
+	if c.NoiseSigmas <= 0 {
+		c.NoiseSigmas = 4
+	}
+	if c.MaxCatchUp <= 0 {
+		c.MaxCatchUp = 64
+	}
+	return c
+}
+
+// Predictor is one cell's burst estimator. Safe for concurrent use;
+// the runtime calls Observe from every Submit, the shed controller
+// reads Burst/Rate from the dispatcher, and tests drive Tick directly
+// with synthetic per-window counts.
+type Predictor struct {
+	mu  sync.Mutex
+	cfg PredictConfig
+
+	windowEnd time.Time
+	pending   float64 // arrivals in the open window
+
+	seeded          bool
+	offWindows      uint64  // non-burst windows folded into slow
+	fast, slow      float64 // EWMA rates, blocks per window
+	rateOn, rateOff float64 // learned per-state rates, blocks per window
+	onSeen, offSeen bool
+
+	burst              bool
+	upStreak, downHold int
+	transitions        uint64
+	windows            uint64
+}
+
+// NewPredictor builds a predictor with cfg's zero fields defaulted.
+func NewPredictor(cfg PredictConfig) *Predictor {
+	return &Predictor{cfg: cfg.withDefaults()}
+}
+
+// Observe records n arrivals at wall-clock instant now, closing (and
+// scoring) any windows that have fully elapsed since the last call.
+// A silent stretch longer than MaxCatchUp windows is truncated — the
+// estimator re-anchors instead of replaying unbounded history.
+func (p *Predictor) Observe(now time.Time, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.windowEnd.IsZero() {
+		p.windowEnd = now.Add(p.cfg.Window)
+		p.pending = float64(n)
+		return
+	}
+	rolled := 0
+	for !now.Before(p.windowEnd) {
+		p.tick(p.pending)
+		p.pending = 0
+		p.windowEnd = p.windowEnd.Add(p.cfg.Window)
+		if rolled++; rolled >= p.cfg.MaxCatchUp {
+			p.windowEnd = now.Add(p.cfg.Window)
+			break
+		}
+	}
+	p.pending += float64(n)
+}
+
+// Tick closes one full window carrying count arrivals — the test and
+// simulation entry point, bypassing the wall clock.
+func (p *Predictor) Tick(count int) {
+	p.mu.Lock()
+	p.tick(float64(count))
+	p.mu.Unlock()
+}
+
+// tick folds one closed window into the estimator. Callers hold mu.
+func (p *Predictor) tick(count float64) {
+	p.windows++
+	if !p.seeded {
+		p.seeded = true
+		p.offWindows = 1
+		p.fast, p.slow = count, count
+	} else {
+		p.fast += p.cfg.FastAlpha * (count - p.fast)
+		if !p.burst {
+			// The baseline only learns outside bursts: a long ON dwell
+			// must not drag the threshold up under itself. Two further
+			// guards keep it honest:
+			//  - warming: for the first 1/SlowAlpha windows the weight is
+			//    1/n, so the baseline is the running mean and settles
+			//    immediately instead of anchoring on the first window;
+			//  - outlier damping: a window already over the up-threshold
+			//    is probably an undeclared burst (detection lag), so it
+			//    feeds the baseline at 1/8 weight rather than dragging
+			//    the threshold up under the next dwell.
+			p.offWindows++
+			a := p.cfg.SlowAlpha
+			if w := 1 / float64(p.offWindows); w > a {
+				a = w
+			}
+			// Outlier bound: a single Poisson(base) window has std
+			// sqrt(base), so only counts beyond both the burst factor
+			// and NoiseSigmas single-sample deviations are damped —
+			// ordinary high draws must keep feeding the baseline or a
+			// stationary stream biases its own threshold down.
+			guard := p.slow
+			if guard < p.cfg.MinRate {
+				guard = p.cfg.MinRate
+			}
+			cut := p.cfg.OnFactor * guard
+			if c := guard + p.cfg.NoiseSigmas*math.Sqrt(guard); c > cut {
+				cut = c
+			}
+			if count > cut {
+				a = p.cfg.SlowAlpha / 8
+			}
+			p.slow += a * (count - p.slow)
+		}
+	}
+	base := p.slow
+	if base < p.cfg.MinRate {
+		base = p.cfg.MinRate
+	}
+	if !p.burst {
+		// EWMA std under Poisson(base): sqrt(base * a/(2-a)).
+		sigma := math.Sqrt(base * p.cfg.FastAlpha / (2 - p.cfg.FastAlpha))
+		if p.fast >= p.cfg.OnFactor*base && p.fast >= base+p.cfg.NoiseSigmas*sigma {
+			if p.upStreak++; p.upStreak >= p.cfg.Confirm {
+				p.burst = true
+				p.transitions++
+				p.upStreak, p.downHold = 0, 0
+			}
+		} else {
+			p.upStreak = 0
+		}
+	} else {
+		if p.fast <= p.cfg.OffFactor*base {
+			if p.downHold++; p.downHold >= p.cfg.Confirm {
+				p.burst = false
+				p.transitions++
+				p.upStreak, p.downHold = 0, 0
+			}
+		} else {
+			p.downHold = 0
+		}
+	}
+	// Per-state rate learning — the MMPP ON/OFF mean estimates.
+	const stateAlpha = 0.1
+	if p.burst {
+		if !p.onSeen {
+			p.onSeen, p.rateOn = true, count
+		} else {
+			p.rateOn += stateAlpha * (count - p.rateOn)
+		}
+	} else {
+		if !p.offSeen {
+			p.offSeen, p.rateOff = true, count
+		} else {
+			p.rateOff += stateAlpha * (count - p.rateOff)
+		}
+	}
+}
+
+// Burst reports whether the predictor currently declares an ON dwell.
+func (p *Predictor) Burst() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.burst
+}
+
+// Rate returns the fast (near-term) arrival-rate estimate in blocks
+// per second.
+func (p *Predictor) Rate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fast / p.cfg.Window.Seconds()
+}
+
+// PredictSnapshot is one cell predictor's exported state.
+type PredictSnapshot struct {
+	Cell int
+	// Burst is the current state; Rate / RateOn / RateOff are the fast
+	// estimate and the learned per-state means, in blocks per second.
+	Burst                 bool
+	Rate, RateOn, RateOff float64
+	// Transitions counts state flips; Windows counts closed estimation
+	// windows.
+	Transitions, Windows uint64
+}
+
+// snapshot exports the predictor state for the metrics layer.
+func (p *Predictor) snapshot(cell int) PredictSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sec := p.cfg.Window.Seconds()
+	return PredictSnapshot{
+		Cell:        cell,
+		Burst:       p.burst,
+		Rate:        p.fast / sec,
+		RateOn:      p.rateOn / sec,
+		RateOff:     p.rateOff / sec,
+		Transitions: p.transitions,
+		Windows:     p.windows,
+	}
+}

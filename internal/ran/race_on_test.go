@@ -1,0 +1,10 @@
+//go:build race
+
+package ran
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The SLA soak's latency criteria scale with it: race
+// instrumentation slows decode ~10× and saturates the CPU under burst
+// load, so wall-clock percentiles measure detector contention on a
+// race build, not the class policy.
+const raceEnabled = true

@@ -44,6 +44,10 @@ type Block struct {
 	// K is the turbo information block size; blocks batch only with
 	// equal K.
 	K int
+	// Class is the block's SLA traffic class, stamped at Submit from
+	// the cell's configured class (sla.go). It decides dispatch
+	// priority, shed eligibility and the degradation clamp exposure.
+	Class Class
 	// Word is the received soft information: the submitted word, a
 	// chaos-corrupted copy of it, or — on a retry — the HARQ-combined
 	// snapshot of every reception so far.
@@ -95,6 +99,9 @@ const (
 	// RejectedSealed: the cell is sealed for migration — it no longer
 	// (or does not yet) live on this runtime.
 	RejectedSealed
+	// RejectedShed: the class-aware overload controller shed this
+	// (eMBB-class) arrival to protect the tighter class (sla.go).
+	RejectedShed
 )
 
 // Config parameterizes a Runtime.
@@ -152,6 +159,14 @@ type Config struct {
 	CheckCRC func(b *Block, bits []byte) bool
 	// HARQ configures the retransmission/soft-combining path.
 	HARQ HARQConfig
+	// SLA configures per-cell traffic classes and the class-aware shed
+	// ladder (sla.go). The zero value is class-blind: every cell is
+	// eMBB and nothing sheds.
+	SLA SLAConfig
+	// Predict arms one MMPP burst predictor per cell (predict.go); the
+	// shed ladder consults it to start shedding eMBB when a burst
+	// begins instead of when the backlog crosses a threshold.
+	Predict PredictConfig
 	// Chaos, when non-nil, arms fault injection at the runtime's fault
 	// sites (submit corruption, queue pressure, worker stalls, forced
 	// CRC failures, plan evictions, compile-verify failures). Nil
@@ -178,8 +193,12 @@ func DefaultConfig(w simd.Width, s core.Strategy) Config {
 // Runtime is the serving runtime. Construct with New, feed with Submit,
 // finish with Stop.
 type Runtime struct {
-	cfg    Config
-	met    *Metrics
+	cfg Config
+	met *Metrics
+	// queues holds one bounded ingress queue per (cell, class), indexed
+	// by qi(cell, class) — the per-class split is what lets the
+	// dispatcher drain every cell's URLLC backlog before any cell's
+	// eMBB, and the shed ladder watch per-class pressure.
 	queues []*cellQueue
 
 	// harq holds the soft combining buffers (nil when the retry path is
@@ -188,11 +207,15 @@ type Runtime struct {
 	harq   *phy.ProcessSet
 	retryq *retryQueue
 
-	notify   chan struct{}
-	batches  chan batch
-	stop     chan struct{}
-	dispDone chan struct{}
-	workerWG sync.WaitGroup
+	notify chan struct{}
+	// batchesHi carries URLLC batches, batchesLo everything else; a
+	// worker always drains Hi first, so an idle worker steals another
+	// cell's URLLC work before serving its own class's eMBB backlog.
+	batchesHi chan batch
+	batchesLo chan batch
+	stop      chan struct{}
+	dispDone  chan struct{}
+	workerWG  sync.WaitGroup
 	// recDone closes after Stop's retry reconciliation, so racing Stop
 	// callers never snapshot before the shutdown drops are counted.
 	recDone chan struct{}
@@ -218,6 +241,23 @@ type Runtime struct {
 	// estDecodeNs is an EWMA of per-block decode cost, feeding the
 	// admission guard.
 	estDecodeNs atomic.Int64
+
+	// SLA-class overload state (sla.go / predict.go): slaActive latches
+	// whether any cell carries the URLLC class; shed is the current
+	// shed-ladder level, raised by the dispatcher and read at every
+	// Submit; shedCalm is the dispatcher-private de-escalation streak;
+	// preds holds one burst predictor per cell when Predict is armed.
+	// degradeU is the URLLC-only iteration-clamp level, computed from
+	// the URLLC queues alone so an eMBB burst's backlog can never cost
+	// URLLC decode iterations (harq.go updateDegrade).
+	degradeU  atomic.Int32
+	slaActive bool
+	shed      atomic.Int32
+	shedCalm  int
+	preds     []*Predictor
+	// reserved is how many workers serve only the URLLC batch channel
+	// (resolveReserve over SLA.ReserveWorkers; 0 when class-blind).
+	reserved int
 }
 
 // New validates cfg and starts the dispatcher and worker goroutines.
@@ -240,18 +280,21 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.HARQ.MaxRetries > 0 {
 		cfg.HARQ = cfg.HARQ.withDefaults(cfg.Cells, cfg.QueueDepth)
 	}
+	cfg.SLA = cfg.SLA.withDefaults(cfg.BatchWindow)
 	r := &Runtime{
-		cfg:      cfg,
-		met:      NewMetrics(cfg.Cells),
-		queues:   make([]*cellQueue, cfg.Cells),
-		retryq:   &retryQueue{},
-		migq:     &retryQueue{},
-		sealed:   make([]atomic.Bool, cfg.Cells),
-		notify:   make(chan struct{}, 1),
-		batches:  make(chan batch, 2*cfg.Workers),
-		stop:     make(chan struct{}),
-		dispDone: make(chan struct{}),
-		recDone:  make(chan struct{}),
+		cfg:       cfg,
+		met:       NewMetrics(cfg.Cells),
+		queues:    make([]*cellQueue, cfg.Cells*int(NumClasses)),
+		retryq:    &retryQueue{},
+		migq:      &retryQueue{},
+		sealed:    make([]atomic.Bool, cfg.Cells),
+		notify:    make(chan struct{}, 1),
+		batchesHi: make(chan batch, 2*cfg.Workers),
+		batchesLo: make(chan batch, 2*cfg.Workers),
+		stop:      make(chan struct{}),
+		dispDone:  make(chan struct{}),
+		recDone:   make(chan struct{}),
+		slaActive: cfg.SLA.hasURLLC(),
 	}
 	r.migrating.Store(-1)
 	if cfg.HARQ.MaxRetries > 0 {
@@ -260,10 +303,17 @@ func New(cfg Config) (*Runtime, error) {
 	for i := range r.queues {
 		r.queues[i] = newCellQueue(cfg.QueueDepth)
 	}
+	if cfg.Predict.Enabled {
+		r.preds = make([]*Predictor, cfg.Cells)
+		for i := range r.preds {
+			r.preds[i] = NewPredictor(cfg.Predict)
+		}
+	}
 	go r.dispatch()
+	r.reserved = resolveReserve(r.slaActive, cfg.SLA.ReserveWorkers, cfg.Workers)
 	r.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go r.worker()
+		go r.worker(i < r.reserved)
 	}
 	return r, nil
 }
@@ -304,13 +354,25 @@ func (r *Runtime) SubmitTraced(cell, ue, proc, k int, word *turbo.LLRWord, tc te
 		return RejectedSealed
 	}
 	now := time.Now()
+	class := r.cfg.SLA.ClassOf(cell)
+	// The predictor observes every arrival — including ones about to be
+	// shed or bounced — because it estimates the offered process, not
+	// the admitted one.
+	if r.preds != nil {
+		r.preds[cell].Observe(now, 1)
+	}
+	if r.shouldShed(cell, class) {
+		r.met.drop(cell, class, DropShed)
+		return RejectedShed
+	}
+	deadline := r.classDeadline(class)
 	// A chaos injector may hand back a corrupted private copy — the
 	// noisy reception; the submitted word stays untouched as tx.
 	b := &Block{
-		Cell: cell, UE: ue, Process: proc, K: k,
+		Cell: cell, UE: ue, Process: proc, K: k, Class: class,
 		Word: r.cfg.Chaos.CorruptWord(word), tx: word,
 		Arrived:    now,
-		Deadline:   now.Add(r.cfg.Deadline),
+		Deadline:   now.Add(deadline),
 		hopArrived: now,
 	}
 	if tc.Valid() {
@@ -322,16 +384,16 @@ func (r *Runtime) SubmitTraced(cell, ue, proc, k int, word *turbo.LLRWord, tc te
 		// decode. The estimate is the workers' own EWMA; before the
 		// first measurement (est==0) everything is feasible.
 		need := r.cfg.BatchWindow + time.Duration(r.estDecodeNs.Load())
-		if r.cfg.Deadline < need {
-			r.met.drop(cell, DropAdmission)
+		if deadline < need {
+			r.met.drop(cell, class, DropAdmission)
 			return RejectedDeadline
 		}
 	}
-	if r.cfg.Chaos.QueueOverflow() || !r.queues[cell].offer(b) {
-		r.met.drop(cell, DropBacklog)
+	if r.cfg.Chaos.QueueOverflow() || !r.queues[r.qi(cell, class)].offer(b) {
+		r.met.drop(cell, class, DropBacklog)
 		return RejectedBacklog
 	}
-	r.met.accept(cell)
+	r.met.accept(cell, class)
 	r.kick()
 	return Admitted
 }
@@ -363,7 +425,7 @@ func (r *Runtime) Stop() *Snapshot {
 	// block is never silently lost.
 	now := time.Now()
 	for _, b := range r.retryq.closeAndDrain() {
-		r.met.drop(b.Cell, DropShutdown)
+		r.met.drop(b.Cell, b.Class, DropShutdown)
 		r.recordSpan(b, now, 0, 0, "harq_shutdown")
 		r.harqRelease(b)
 	}
@@ -371,7 +433,7 @@ func (r *Runtime) Stop() *Snapshot {
 	// were diverted out of the decode path and nothing will move them
 	// now. Shutdown drops keep the conservation ledger exact.
 	for _, b := range r.migq.closeAndDrain() {
-		r.met.drop(b.Cell, DropShutdown)
+		r.met.drop(b.Cell, b.Class, DropShutdown)
 		r.recordSpan(b, now, 0, 0, "migrate_shutdown")
 		r.harqRelease(b)
 	}
@@ -381,34 +443,74 @@ func (r *Runtime) Stop() *Snapshot {
 
 // Snapshot returns the current metrics view.
 func (r *Runtime) Snapshot() *Snapshot {
-	depths := make([]int, len(r.queues))
-	for i, q := range r.queues {
-		depths[i] = q.depth()
+	depths := make([]int, r.cfg.Cells)
+	var classDepths [NumClasses]int
+	for cell := 0; cell < r.cfg.Cells; cell++ {
+		for c := Class(0); c < NumClasses; c++ {
+			d := r.queues[r.qi(cell, c)].depth()
+			depths[cell] += d
+			classDepths[c] += d
+		}
 	}
-	s := r.met.snapshot(depths, r.cfg.Workers)
-	// Runtime-owned HARQ/degradation state rides on top of the counter
-	// view (the metrics layer has no handle on the process set).
+	s := r.met.snapshot(depths, classDepths, r.cfg.Workers)
+	// Runtime-owned HARQ/degradation/SLA state rides on top of the
+	// counter view (the metrics layer has no handle on the process set
+	// or the predictors).
 	s.RetryDepth = r.retryq.depth()
 	s.DegradeLevel = int(r.degrade.Load())
+	s.ShedLevel = int(r.shed.Load())
+	s.ReservedWorkers = r.reserved
 	if r.harq != nil {
 		s.HARQCombines, s.HARQEvictions = r.harq.Stats()
 		s.HARQBuffers = r.harq.Len()
+	}
+	if r.preds != nil {
+		s.Predict = make([]PredictSnapshot, len(r.preds))
+		for i, p := range r.preds {
+			s.Predict[i] = p.snapshot(i)
+		}
 	}
 	return s
 }
 
 // dispatch is the single goroutine that moves blocks from the cell
-// queues into the lane-fill batcher and full/due batches to the worker
-// channel. Single ownership of the batcher is what keeps the lane
-// accounting lock-free.
+// queues into the per-class lane-fill batchers and full/due batches to
+// the priority worker channels. Single ownership of the batchers is
+// what keeps the lane accounting lock-free.
 func (r *Runtime) dispatch() {
 	defer close(r.dispDone)
-	lb := newLaneBatcher(r.Lanes(), r.cfg.BatchWindow)
+	// One batcher per class: the URLLC batcher runs a tighter flush
+	// window (a tight-deadline block should not wait long for lane
+	// co-travelers), and keeping the classes apart is what lets the
+	// workers drain URLLC batches first.
+	var lbs [NumClasses]*laneBatcher
+	lbs[ClassEMBB] = newLaneBatcher(r.Lanes(), r.cfg.BatchWindow)
+	lbs[ClassURLLC] = newLaneBatcher(r.Lanes(), r.cfg.SLA.URLLCWindow)
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
 	}
 	timerArmed := false
+	nextDue := func() (time.Time, bool) {
+		var due time.Time
+		found := false
+		for _, lb := range lbs {
+			if d, ok := lb.nextDue(); ok && (!found || d.Before(due)) {
+				due, found = d, true
+			}
+		}
+		return due, found
+	}
+	flush := func(force bool) {
+		now := time.Now()
+		for c := NumClasses; c > 0; c-- {
+			class := c - 1 // URLLC flushes first
+			for _, bt := range lbs[class].flushDue(now, force) {
+				bt.class = class
+				r.forward(bt)
+			}
+		}
+	}
 	for {
 		// Arm the flush timer for the oldest pending group.
 		if timerArmed {
@@ -421,7 +523,7 @@ func (r *Runtime) dispatch() {
 			timerArmed = false
 		}
 		var timerC <-chan time.Time
-		if due, ok := lb.nextDue(); ok {
+		if due, ok := nextDue(); ok {
 			d := time.Until(due)
 			if d < 0 {
 				d = 0
@@ -433,61 +535,81 @@ func (r *Runtime) dispatch() {
 		select {
 		case <-r.stop:
 			// Final sweep: queued blocks still get their chance.
-			r.sweep(lb)
-			for _, bt := range lb.flushDue(time.Now(), true) {
-				r.batches <- bt
-			}
-			close(r.batches)
+			r.sweep(&lbs)
+			flush(true)
+			close(r.batchesHi)
+			close(r.batchesLo)
 			return
 		case <-r.notify:
 		case <-timerC:
 			timerArmed = false
 		}
-		r.sweep(lb)
-		for _, bt := range lb.flushDue(time.Now(), false) {
-			r.batches <- bt
-		}
+		r.sweep(&lbs)
+		flush(false)
 	}
 }
 
-// sweep drains the retry queue and every cell queue round-robin into
-// the batcher, forwarding batches as they fill. It first recomputes
-// the degradation level from the backlog it is about to drain —
-// pressure the workers respond to one batch later.
-func (r *Runtime) sweep(lb *laneBatcher) {
+// forward hands one batch to the worker pool on its class's priority
+// channel.
+func (r *Runtime) forward(bt batch) {
+	if bt.class == ClassURLLC {
+		r.batchesHi <- bt
+	} else {
+		r.batchesLo <- bt
+	}
+}
+
+// sweep drains the retry queue and every cell queue into the class
+// batchers, forwarding batches as they fill — URLLC queues across ALL
+// cells first, then eMBB, so one cell's burst can never starve another
+// cell's tight-deadline traffic of dispatch order. It first recomputes
+// the degradation and shed levels from the backlog it is about to
+// drain — pressure the workers and the admission gate respond to one
+// batch later.
+func (r *Runtime) sweep(lbs *[NumClasses]*laneBatcher) {
 	r.updateDegrade()
+	r.updateShed()
 	// A draining cell's blocks are diverted into the migration queue
 	// instead of the batcher — they will decode on the target shard.
 	mig := r.migrating.Load()
 	route := func(b *Block) {
 		if mig >= 0 && int64(b.Cell) == mig {
 			if !r.migq.offer(b) {
-				r.met.drop(b.Cell, DropShutdown)
+				r.met.drop(b.Cell, b.Class, DropShutdown)
 				r.recordSpan(b, time.Now(), 0, 0, "migrate_shutdown")
 				r.harqRelease(b)
 			}
 			return
 		}
-		if bt, full := lb.add(b, time.Now()); full {
-			r.batches <- bt
+		if bt, full := lbs[b.Class].add(b, time.Now()); full {
+			bt.class = b.Class
+			r.forward(bt)
 		}
 	}
 	for _, b := range r.retryq.drain() {
 		route(b)
 	}
-	for _, q := range r.queues {
-		for _, b := range q.drain() {
-			route(b)
+	for c := NumClasses; c > 0; c-- {
+		class := c - 1
+		for cell := 0; cell < r.cfg.Cells; cell++ {
+			for _, b := range r.queues[r.qi(cell, class)].drain() {
+				route(b)
+			}
 		}
 	}
 }
 
 // worker pulls batches, drops expired blocks, decodes the rest on its
-// private engine, and records the outcome. The decoder's plan cache
-// makes the steady state allocation-free, so the worker also keeps its
-// own words slice across batches; every ~64th decode is wrapped in a
-// heap-allocation sample feeding the vran_decode_allocs_per_op gauge.
-func (r *Runtime) worker() {
+// private engine, and records the outcome. A reserved worker consumes
+// only the URLLC priority channel, so the tight-deadline class always
+// has decode capacity no eMBB batch can occupy — without it, stealing
+// only helps at batch boundaries and a fleet of workers mid-way
+// through full-lane eMBB batches blocks URLLC for a whole service
+// time. The decoder's plan cache makes the steady state
+// allocation-free, so the worker also keeps its own words slice across
+// batches; every ~64th decode is wrapped in a heap-allocation sample
+// feeding the vran_decode_allocs_per_op gauge.
+func (r *Runtime) worker(reserved bool) {
 	defer r.workerWG.Done()
 	bd := turbo.NewBatchDecoder(r.cfg.Width, r.cfg.Strategy, r.cfg.MemBytes)
 	bd.MaxIters = r.cfg.MaxIters
@@ -541,12 +663,22 @@ func (r *Runtime) worker() {
 	words := make([]*turbo.LLRWord, 0, lanes)
 	var sampler allocSampler
 	var batchNo uint64
-	for bt := range r.batches {
+	hi, lo := r.batchesHi, r.batchesLo
+	if reserved {
+		// nextBatch treats a nil lo as already-drained: the worker
+		// blocks on hi alone and exits when it closes.
+		lo = nil
+	}
+	for {
+		bt, ok := nextBatch(&hi, &lo, &r.met.steals)
+		if !ok {
+			return
+		}
 		now := time.Now()
 		live := bt.blocks[:0]
 		for _, b := range bt.blocks {
 			if now.After(b.Deadline) {
-				r.met.drop(b.Cell, DropExpired)
+				r.met.drop(b.Cell, b.Class, DropExpired)
 				r.recordSpan(b, now, 0, 0, "expired")
 				r.harqRelease(b)
 				continue
@@ -567,8 +699,16 @@ func (r *Runtime) worker() {
 		}
 		// Graceful degradation: under backlog pressure the dispatcher
 		// raises the level and every worker clamps its iteration budget
-		// (never below one iteration) until the backlog clears.
-		if lvl := int(r.degrade.Load()); lvl > 0 {
+		// (never below one iteration) until the backlog clears. With SLA
+		// classes active, eMBB batches absorb the clamp first — URLLC
+		// reads its class-private level (its own queues' backlog, so an
+		// eMBB burst cannot cost it iterations) and even that clamps
+		// only at the last level (sla.go).
+		lvl := int(r.degrade.Load())
+		if r.slaActive && bt.class == ClassURLLC {
+			lvl = int(r.degradeU.Load())
+		}
+		if lvl > 0 && r.clampClass(bt.class, lvl) {
 			over := r.cfg.MaxIters - lvl
 			if over < 1 {
 				over = 1
@@ -614,7 +754,7 @@ func (r *Runtime) worker() {
 			// A decode error (bad K reaching the pool) wastes the whole
 			// batch; account it as expired-equivalent drops.
 			for _, b := range live {
-				r.met.drop(b.Cell, DropExpired)
+				r.met.drop(b.Cell, b.Class, DropExpired)
 				r.recordSpan(b, time.Now(), 0, 0, "expired")
 				r.harqRelease(b)
 			}
@@ -623,7 +763,7 @@ func (r *Runtime) worker() {
 		end := time.Now()
 		for i, b := range live {
 			if end.After(b.Deadline) {
-				r.met.drop(b.Cell, DropLate)
+				r.met.drop(b.Cell, b.Class, DropLate)
 				r.recordSpan(b, end, busy, decodeIters, "late")
 				r.harqRelease(b)
 			} else if !r.checkBlock(b, bits[i]) {
@@ -637,13 +777,74 @@ func (r *Runtime) worker() {
 				if b.Attempt > 0 {
 					r.met.harqRecover()
 				}
-				r.met.deliver(b.Cell, b.K, end.Sub(b.Arrived))
+				r.met.deliver(b.Cell, b.Class, b.K, end.Sub(b.Arrived))
 				r.recordSpan(b, end, busy, decodeIters, "delivered")
 				r.harqRelease(b)
 			}
 			if r.cfg.OnDecoded != nil {
 				r.cfg.OnDecoded(b, bits[i])
 			}
+		}
+	}
+}
+
+// nextBatch pulls the worker's next unit of work, URLLC batches
+// strictly first: the non-blocking probe of the high-priority channel
+// means a worker about to serve eMBB "steals" any cell's pending URLLC
+// batch instead — cross-cell work stealing through the shared priority
+// pool. Taking URLLC work while eMBB batches wait is counted as a
+// steal. A closed channel is parked (set nil in the caller's slot) so
+// the worker drains the survivor and exits when both are gone.
+func nextBatch(hi, lo *chan batch, steals *atomic.Uint64) (batch, bool) {
+	for {
+		if *hi != nil {
+			select {
+			case bt, ok := <-*hi:
+				if ok {
+					if len(*lo) > 0 {
+						steals.Add(1)
+					}
+					return bt, true
+				}
+				*hi = nil
+			default:
+			}
+		}
+		if *hi == nil && *lo == nil {
+			return batch{}, false
+		}
+		if *hi == nil {
+			bt, ok := <-*lo
+			if !ok {
+				*lo = nil
+				continue
+			}
+			return bt, true
+		}
+		if *lo == nil {
+			bt, ok := <-*hi
+			if !ok {
+				*hi = nil
+				continue
+			}
+			return bt, true
+		}
+		select {
+		case bt, ok := <-*hi:
+			if !ok {
+				*hi = nil
+				continue
+			}
+			if len(*lo) > 0 {
+				steals.Add(1)
+			}
+			return bt, true
+		case bt, ok := <-*lo:
+			if !ok {
+				*lo = nil
+				continue
+			}
+			return bt, true
 		}
 	}
 }

@@ -81,7 +81,42 @@ func (s *Snapshot) Families() []telemetry.Family {
 		simIPC.Samples = append(simIPC.Samples, telemetry.Sample{
 			Labels: []telemetry.Label{telemetry.L("stage", st.label)}, Value: st.v})
 	}
-	return []telemetry.Family{
+	// SLA-class families: the per-class ledger mirrors the per-cell one,
+	// plus class latency quantiles so a scraper can watch URLLC p99
+	// directly without reconstructing it from cells.
+	clsAccepted := telemetry.Family{Name: "vran_class_accepted_total",
+		Help: "Blocks admitted, by SLA class.", Type: telemetry.Counter}
+	clsDelivered := telemetry.Family{Name: "vran_class_delivered_total",
+		Help: "Blocks delivered within deadline, by SLA class.", Type: telemetry.Counter}
+	clsDropped := telemetry.Family{Name: "vran_class_dropped_total",
+		Help: "Blocks dropped, by SLA class and cause.", Type: telemetry.Counter}
+	clsDepth := telemetry.Family{Name: "vran_class_queue_depth",
+		Help: "Current ingress backlog summed over cells, by SLA class.", Type: telemetry.Gauge}
+	clsLat := telemetry.Family{Name: "vran_class_latency_seconds",
+		Help: "Delivered-block latency quantiles, by SLA class.", Type: telemetry.Gauge}
+	for c := Class(0); c < NumClasses; c++ {
+		ks := &s.Classes[c]
+		lbl := telemetry.L("class", c.String())
+		clsAccepted.Samples = append(clsAccepted.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{lbl}, Value: float64(ks.Accepted)})
+		clsDelivered.Samples = append(clsDelivered.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{lbl}, Value: float64(ks.Delivered)})
+		for d := DropCause(0); d < numDropCauses; d++ {
+			clsDropped.Samples = append(clsDropped.Samples, telemetry.Sample{
+				Labels: []telemetry.Label{lbl, telemetry.L("cause", d.String())},
+				Value:  float64(ks.Drops[d])})
+		}
+		clsDepth.Samples = append(clsDepth.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{lbl}, Value: float64(ks.QueueDepth)})
+		for _, q := range []struct {
+			s string
+			d float64
+		}{{"0.5", ks.LatencyP50.Seconds()}, {"0.9", ks.LatencyP90.Seconds()}, {"0.99", ks.LatencyP99.Seconds()}} {
+			clsLat.Samples = append(clsLat.Samples, telemetry.Sample{
+				Labels: []telemetry.Label{lbl, telemetry.L("quantile", q.s)}, Value: q.d})
+		}
+	}
+	fams := []telemetry.Family{
 		telemetry.F("vran_uptime_seconds", "Time since the metrics layer started.", telemetry.Gauge, s.Elapsed.Seconds()),
 		accepted, delivered, dropped, depth, cellMbps,
 		telemetry.F("vran_goodput_mbps", "Delivered information bits over elapsed time.", telemetry.Gauge, s.GoodputMbps),
@@ -115,7 +150,44 @@ func (s *Snapshot) Families() []telemetry.Family {
 		telemetry.F("vran_degrade_level", "Current graceful-degradation iteration-clamp level (0 = full budget).", telemetry.Gauge, float64(s.DegradeLevel)),
 		telemetry.F("vran_degraded_batches_total", "Batches decoded under a clamped iteration budget.", telemetry.Counter, float64(s.DegradedBatches)),
 		lat,
+		clsAccepted, clsDelivered, clsDropped, clsDepth, clsLat,
+		telemetry.F("vran_class_steals_total", "URLLC batches a worker pulled while eMBB batches waited.", telemetry.Counter, float64(s.Steals)),
+		telemetry.F("vran_class_shed_level", "Current class-aware shed ladder level (0 = admit all).", telemetry.Gauge, float64(s.ShedLevel)),
+		telemetry.F("vran_class_reserved_workers", "Workers dedicated to URLLC batches (0 when class-blind).", telemetry.Gauge, float64(s.ReservedWorkers)),
 	}
+	if len(s.Predict) > 0 {
+		state := telemetry.Family{Name: "vran_predict_state",
+			Help: "Per-cell burst predictor state (1 = ON dwell declared).", Type: telemetry.Gauge}
+		rate := telemetry.Family{Name: "vran_predict_rate",
+			Help: "Per-cell predicted arrival rate, blocks/s (est=fast/on/off).", Type: telemetry.Gauge}
+		trans := telemetry.Family{Name: "vran_predict_transitions_total",
+			Help: "Per-cell predictor state flips.", Type: telemetry.Counter}
+		var windows, burstCells float64
+		for _, p := range s.Predict {
+			cell := telemetry.L("cell", strconv.Itoa(p.Cell))
+			v := 0.0
+			if p.Burst {
+				v, burstCells = 1, burstCells+1
+			}
+			state.Samples = append(state.Samples, telemetry.Sample{
+				Labels: []telemetry.Label{cell}, Value: v})
+			for _, e := range []struct {
+				est string
+				v   float64
+			}{{"fast", p.Rate}, {"on", p.RateOn}, {"off", p.RateOff}} {
+				rate.Samples = append(rate.Samples, telemetry.Sample{
+					Labels: []telemetry.Label{cell, telemetry.L("est", e.est)}, Value: e.v})
+			}
+			trans.Samples = append(trans.Samples, telemetry.Sample{
+				Labels: []telemetry.Label{cell}, Value: float64(p.Transitions)})
+			windows += float64(p.Windows)
+		}
+		fams = append(fams, state, rate, trans,
+			telemetry.F("vran_predict_windows_total", "Closed estimation windows across cell predictors.", telemetry.Counter, windows),
+			telemetry.F("vran_predict_burst_cells", "Cells whose predictor currently declares a burst.", telemetry.Gauge, burstCells),
+		)
+	}
+	return fams
 }
 
 // HealthPolicy sets the /healthz thresholds. Zero values take the
@@ -183,9 +255,9 @@ type spansBody struct {
 
 // snapshotBody is the /snapshot JSON shape.
 type snapshotBody struct {
-	Snapshot     *Snapshot                  `json:"snapshot"`
-	DropsByCause map[string]uint64          `json:"drops_by_cause"`
-	Stages       []telemetry.StageSummary   `json:"stages,omitempty"`
+	Snapshot     *Snapshot                `json:"snapshot"`
+	DropsByCause map[string]uint64        `json:"drops_by_cause"`
+	Stages       []telemetry.StageSummary `json:"stages,omitempty"`
 }
 
 // MountAdmin wires a runtime, an optional tracer and an optional uarch

@@ -131,8 +131,8 @@ func TestAdminLiveExposition(t *testing.T) {
 		Snapshot struct {
 			Delivered uint64 `json:"Delivered"`
 		} `json:"snapshot"`
-		DropsByCause map[string]uint64          `json:"drops_by_cause"`
-		Stages       []telemetry.StageSummary   `json:"stages"`
+		DropsByCause map[string]uint64        `json:"drops_by_cause"`
+		Stages       []telemetry.StageSummary `json:"stages"`
 	}
 	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/snapshot")), &snap); err != nil {
 		t.Fatalf("/snapshot not JSON: %v", err)

@@ -105,6 +105,13 @@ type LoadConfig struct {
 	// with the same long-run mean but BurstFactor× the rate while on.
 	Bursty      bool
 	BurstFactor float64
+	// CellMeans overrides MeanPerTTI per cell (0 entries and cells past
+	// the slice keep the global mean) — how a soak offers steady URLLC
+	// on some cells and a heavier mean on others.
+	CellMeans []float64
+	// CellBursty overrides Bursty per cell when non-nil, so one run can
+	// mix MMPP-bursty eMBB cells with steady-Poisson URLLC cells.
+	CellBursty []bool
 	// TTIs is the run horizon.
 	TTIs int
 	// Seed derives one private rng per cell.
@@ -139,17 +146,25 @@ func OfferLoad(rt *Runtime, pool *WordPool, cfg LoadConfig, paced bool) *LoadRep
 		go func(cell int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(cell)*7919))
+			mean := cfg.MeanPerTTI
+			if cell < len(cfg.CellMeans) && cfg.CellMeans[cell] > 0 {
+				mean = cfg.CellMeans[cell]
+			}
+			bursty := cfg.Bursty
+			if cfg.CellBursty != nil {
+				bursty = cell < len(cfg.CellBursty) && cfg.CellBursty[cell]
+			}
 			var proc transport.ArrivalProcess
-			if cfg.Bursty {
+			if bursty {
 				bf := cfg.BurstFactor
 				if bf <= 1 {
 					bf = 4
 				}
-				// On/off dwell split keeping the long-run mean at
-				// MeanPerTTI: on 1/bf of the time at bf× the rate.
-				proc = transport.NewBurstyProcess(bf*cfg.MeanPerTTI, 0, 8, 8*(bf-1), rng)
+				// On/off dwell split keeping the long-run mean at the
+				// cell's mean: on 1/bf of the time at bf× the rate.
+				proc = transport.NewBurstyProcess(bf*mean, 0, 8, 8*(bf-1), rng)
 			} else {
-				proc = transport.NewPoissonProcess(cfg.MeanPerTTI, rng)
+				proc = transport.NewPoissonProcess(mean, rng)
 			}
 			arrivals := make([]int, cfg.TTIs)
 			next := time.Now()

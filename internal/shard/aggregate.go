@@ -62,6 +62,31 @@ func Aggregate(snaps []*ran.Snapshot) *ran.Snapshot {
 		out.HARQBuffers += s.HARQBuffers
 		out.RetryDepth += s.RetryDepth
 		out.DegradedBatches += s.DegradedBatches
+		out.Steals += s.Steals
+		out.ReservedWorkers += s.ReservedWorkers
+		if s.ShedLevel > out.ShedLevel {
+			out.ShedLevel = s.ShedLevel
+		}
+		for c := range s.Classes {
+			ks, ok := &s.Classes[c], &out.Classes[c]
+			ok.Accepted += ks.Accepted
+			ok.Delivered += ks.Delivered
+			for d := range ks.Drops {
+				ok.Drops[d] += ks.Drops[d]
+			}
+			ok.QueueDepth += ks.QueueDepth
+			// Class percentiles reconstruct from merged buckets below; the
+			// max-fold is the no-buckets fallback, as for the global ones.
+			ok.LatencyBuckets = telemetry.MergeBuckets(ok.LatencyBuckets, ks.LatencyBuckets)
+			ok.LatencyP50 = maxDur(ok.LatencyP50, ks.LatencyP50)
+			ok.LatencyP90 = maxDur(ok.LatencyP90, ks.LatencyP90)
+			ok.LatencyP99 = maxDur(ok.LatencyP99, ks.LatencyP99)
+		}
+		// Predictor rows key on cell: each cell is owned by exactly one
+		// shard at a time, so rows concatenate rather than merge (a
+		// migrated cell keeps both shards' rows; readers key on the
+		// freshest windows count).
+		out.Predict = append(out.Predict, s.Predict...)
 
 		laneWeighted += s.LaneOccupancy * float64(s.Batches)
 		decodeWeighted += s.AvgDecodeUs * float64(s.DecodedBlocks)
@@ -88,6 +113,14 @@ func Aggregate(snaps []*ran.Snapshot) *ran.Snapshot {
 		out.LatencyP50 = telemetry.PercentileFromBuckets(out.LatencyBuckets, 0.50)
 		out.LatencyP90 = telemetry.PercentileFromBuckets(out.LatencyBuckets, 0.90)
 		out.LatencyP99 = telemetry.PercentileFromBuckets(out.LatencyBuckets, 0.99)
+	}
+	for c := range out.Classes {
+		ok := &out.Classes[c]
+		if len(ok.LatencyBuckets) > 0 {
+			ok.LatencyP50 = telemetry.PercentileFromBuckets(ok.LatencyBuckets, 0.50)
+			ok.LatencyP90 = telemetry.PercentileFromBuckets(ok.LatencyBuckets, 0.90)
+			ok.LatencyP99 = telemetry.PercentileFromBuckets(ok.LatencyBuckets, 0.99)
+		}
 	}
 	if out.Batches > 0 {
 		out.LaneOccupancy = laneWeighted / float64(out.Batches)

@@ -105,6 +105,10 @@ func (b *BurstyProcess) Next() int {
 	return b.inner.Next()
 }
 
+// On reports whether the process is currently in its ON (burst) dwell —
+// the ground truth a burst estimator's state is judged against.
+func (b *BurstyProcess) On() bool { return b.onAir }
+
 // MeanRate returns the long-run per-TTI arrival mean of the process.
 func (b *BurstyProcess) MeanRate() float64 {
 	tot := b.BurstTTIs + b.IdleTTIs
